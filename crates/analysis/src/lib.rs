@@ -1,0 +1,35 @@
+//! # elc-analysis — statistics, tables and the comparison matrix
+//!
+//! Turns raw experiment measurements into the artifacts the harness prints:
+//!
+//! * [`stats`] — exact slice statistics, percentiles, confidence intervals,
+//! * [`table`] — aligned text tables with CSV export,
+//! * [`plot`] — ASCII line/bar figures for the sweep experiments,
+//! * [`matrix`] — the three-model comparison matrix (the paper's
+//!   "articulated exhaustively" conclusion, rebuilt from measurements),
+//! * [`report`] — per-experiment sections assembled into a report.
+//!
+//! # Examples
+//!
+//! ```
+//! use elc_analysis::matrix::{ComparisonMatrix, Direction};
+//!
+//! let mut m = ComparisonMatrix::new();
+//! m.add("3-year TCO ($)", "E1", [120_000.0, 210_000.0, 260_000.0],
+//!       Direction::LowerIsBetter);
+//! assert_eq!(m.win_counts(), [1, 0, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod plot;
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use matrix::{ComparisonMatrix, Criterion, Direction, Rating};
+pub use report::{Report, Section};
+pub use stats::{ci95, mean, median, percentile, std_dev, Ci95};
+pub use table::Table;

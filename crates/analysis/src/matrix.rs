@@ -1,0 +1,272 @@
+//! The deployment-model comparison matrix (T1).
+//!
+//! The paper's conclusion claims "the comparison of deployment models,
+//! depending on e-learning requirements, is articulated exhaustively". This
+//! module assembles that comparison from measured experiment outputs: each
+//! criterion gets the three models' metric values, a direction (whether
+//! lower or higher is better) and derived ordinal ratings.
+
+use std::fmt;
+
+use crate::table::{fmt_f64, Table};
+
+/// Whether smaller or larger metric values are better for a criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller wins (cost, incidents, staleness).
+    LowerIsBetter,
+    /// Larger wins (availability, survival rate).
+    HigherIsBetter,
+}
+
+/// Ordinal rating of one model on one criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rating {
+    /// Worst of the three.
+    Poor,
+    /// Between the extremes (or tied).
+    Fair,
+    /// Best of the three.
+    Good,
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rating::Good => "good",
+            Rating::Fair => "fair",
+            Rating::Poor => "poor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the matrix: a measured criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Criterion {
+    /// Name, e.g. "3-year TCO (USD)".
+    pub name: String,
+    /// Which experiment produced it, e.g. "E1".
+    pub experiment: String,
+    /// Metric values in model order (public, private, hybrid).
+    pub values: [f64; 3],
+    /// Whether lower or higher is better.
+    pub direction: Direction,
+}
+
+/// Values closer than this relative fraction are considered tied — the
+/// experiments are stochastic, and a sub-1% gap is measurement noise, not
+/// a verdict (every real gap in the measured tables exceeds 10%).
+const TIE_EPSILON: f64 = 1e-2;
+
+impl Criterion {
+    /// Ordinal ratings for (public, private, hybrid).
+    ///
+    /// Ties (within a 1% relative tolerance) share the better rating.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // index couples two arrays
+    pub fn ratings(&self) -> [Rating; 3] {
+        let mut out = [Rating::Fair; 3];
+        let better = |a: f64, b: f64| {
+            let scale = a.abs().max(b.abs());
+            if (a - b).abs() <= TIE_EPSILON * scale {
+                return false; // tied
+            }
+            match self.direction {
+                Direction::LowerIsBetter => a < b,
+                Direction::HigherIsBetter => a > b,
+            }
+        };
+        for i in 0..3 {
+            let wins = (0..3)
+                .filter(|&j| j != i && better(self.values[i], self.values[j]))
+                .count();
+            let losses = (0..3)
+                .filter(|&j| j != i && better(self.values[j], self.values[i]))
+                .count();
+            out[i] = if losses == 0 && wins > 0 {
+                Rating::Good
+            } else if wins == 0 && losses > 0 {
+                Rating::Poor
+            } else if wins == 0 && losses == 0 {
+                // Three-way tie.
+                Rating::Good
+            } else {
+                Rating::Fair
+            };
+        }
+        out
+    }
+
+    /// Index (0=public, 1=private, 2=hybrid) of the winning model; ties
+    /// resolve to the first winner.
+    #[must_use]
+    pub fn winner(&self) -> usize {
+        let ratings = self.ratings();
+        ratings
+            .iter()
+            .position(|&r| r == Rating::Good)
+            .unwrap_or(0)
+    }
+}
+
+/// The full comparison matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ComparisonMatrix {
+    criteria: Vec<Criterion>,
+}
+
+/// Model names in column order.
+pub const MODEL_NAMES: [&str; 3] = ["public", "private", "hybrid"];
+
+impl ComparisonMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        ComparisonMatrix::default()
+    }
+
+    /// Adds a measured criterion.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        experiment: impl Into<String>,
+        values: [f64; 3],
+        direction: Direction,
+    ) -> &mut Self {
+        self.criteria.push(Criterion {
+            name: name.into(),
+            experiment: experiment.into(),
+            values,
+            direction,
+        });
+        self
+    }
+
+    /// The criteria added so far.
+    #[must_use]
+    pub fn criteria(&self) -> &[Criterion] {
+        &self.criteria
+    }
+
+    /// How many criteria each model wins outright.
+    #[must_use]
+    pub fn win_counts(&self) -> [usize; 3] {
+        let mut wins = [0usize; 3];
+        for c in &self.criteria {
+            let ratings = c.ratings();
+            for (i, &r) in ratings.iter().enumerate() {
+                if r == Rating::Good {
+                    wins[i] += 1;
+                }
+            }
+        }
+        wins
+    }
+
+    /// Renders the matrix with raw values and ratings.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "criterion",
+            "exp",
+            "public",
+            "private",
+            "hybrid",
+            "verdict",
+        ]);
+        for c in &self.criteria {
+            let ratings = c.ratings();
+            let fmt_cell =
+                |i: usize| format!("{} ({})", fmt_f64(c.values[i]), ratings[i]);
+            let verdict = if ratings == [Rating::Good; 3] {
+                "tie".to_string()
+            } else {
+                format!("{} wins", MODEL_NAMES[c.winner()])
+            };
+            t.row([
+                c.name.clone(),
+                c.experiment.clone(),
+                fmt_cell(0),
+                fmt_cell(1),
+                fmt_cell(2),
+                verdict,
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for ComparisonMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn criterion(values: [f64; 3], direction: Direction) -> Criterion {
+        Criterion {
+            name: "x".into(),
+            experiment: "E0".into(),
+            values,
+            direction,
+        }
+    }
+
+    #[test]
+    fn ratings_lower_is_better() {
+        let c = criterion([1.0, 3.0, 2.0], Direction::LowerIsBetter);
+        assert_eq!(c.ratings(), [Rating::Good, Rating::Poor, Rating::Fair]);
+        assert_eq!(c.winner(), 0);
+    }
+
+    #[test]
+    fn ratings_higher_is_better() {
+        let c = criterion([1.0, 3.0, 2.0], Direction::HigherIsBetter);
+        assert_eq!(c.ratings(), [Rating::Poor, Rating::Good, Rating::Fair]);
+        assert_eq!(c.winner(), 1);
+    }
+
+    #[test]
+    fn two_way_tie_shares_good() {
+        let c = criterion([1.0, 1.0, 5.0], Direction::LowerIsBetter);
+        assert_eq!(c.ratings(), [Rating::Good, Rating::Good, Rating::Poor]);
+    }
+
+    #[test]
+    fn three_way_tie_is_all_good() {
+        let c = criterion([2.0, 2.0, 2.0], Direction::LowerIsBetter);
+        assert_eq!(c.ratings(), [Rating::Good, Rating::Good, Rating::Good]);
+    }
+
+    #[test]
+    fn win_counts_accumulate() {
+        let mut m = ComparisonMatrix::new();
+        m.add("cost", "E1", [10.0, 30.0, 20.0], Direction::LowerIsBetter);
+        m.add("security", "E6", [5.0, 1.0, 1.0], Direction::LowerIsBetter);
+        m.add("portability", "E8", [9.0, 0.0, 4.0], Direction::LowerIsBetter);
+        // Private wins security (shared with hybrid) and portability;
+        // public wins cost; hybrid shares the security win.
+        assert_eq!(m.win_counts(), [1, 2, 1]);
+        assert_eq!(m.criteria().len(), 3);
+    }
+
+    #[test]
+    fn table_rendering_contains_ratings() {
+        let mut m = ComparisonMatrix::new();
+        m.add("cost", "E1", [10.0, 30.0, 20.0], Direction::LowerIsBetter);
+        let text = m.to_string();
+        assert!(text.contains("good"));
+        assert!(text.contains("poor"));
+        assert!(text.contains("public wins"));
+    }
+
+    #[test]
+    fn rating_display() {
+        assert_eq!(Rating::Good.to_string(), "good");
+        assert!(Rating::Good > Rating::Fair);
+    }
+}

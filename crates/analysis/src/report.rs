@@ -1,0 +1,173 @@
+//! Experiment report assembly.
+//!
+//! A report is a titled sequence of sections, each wrapping a table and
+//! free-form notes; the harness prints one per experiment.
+
+use std::fmt;
+
+use crate::table::Table;
+
+/// One experiment's rendered output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    id: String,
+    title: String,
+    table: Table,
+    notes: Vec<String>,
+}
+
+impl Section {
+    /// Creates a section for experiment `id` ("E1", "T1", …).
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>, table: Table) -> Self {
+        Section {
+            id: id.into(),
+            title: title.into(),
+            table,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a free-form note line (expectation, observed shape, caveat).
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.notes.push(line.into());
+        self
+    }
+
+    /// The experiment id.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The section title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The result table.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The notes.
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        write!(f, "{}", self.table)?;
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full report: an ordered list of sections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a section.
+    pub fn push(&mut self, section: Section) -> &mut Self {
+        self.sections.push(section);
+        self
+    }
+
+    /// The sections.
+    #[must_use]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Finds a section by id.
+    #[must_use]
+    pub fn section(&self, id: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.id() == id)
+    }
+}
+
+impl Extend<Section> for Report {
+    fn extend<T: IntoIterator<Item = Section>>(&mut self, iter: T) {
+        self.sections.extend(iter);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a", "1"]);
+        t
+    }
+
+    #[test]
+    fn section_renders_with_notes() {
+        let mut s = Section::new("E1", "TCO", table());
+        s.note("public wins at small scale");
+        let text = s.to_string();
+        assert!(text.contains("== E1: TCO =="));
+        assert!(text.contains("note: public wins"));
+        assert_eq!(s.notes().len(), 1);
+    }
+
+    #[test]
+    fn report_lookup_and_order() {
+        let mut r = Report::new();
+        r.push(Section::new("E1", "one", table()));
+        r.push(Section::new("E2", "two", table()));
+        assert_eq!(r.sections().len(), 2);
+        assert_eq!(r.section("E2").unwrap().title(), "two");
+        assert!(r.section("E9").is_none());
+        let text = r.to_string();
+        let pos1 = text.find("E1").unwrap();
+        let pos2 = text.find("E2").unwrap();
+        assert!(pos1 < pos2);
+    }
+
+    #[test]
+    fn report_extends() {
+        let mut r = Report::new();
+        r.extend([
+            Section::new("A", "a", table()),
+            Section::new("B", "b", table()),
+        ]);
+        assert_eq!(r.sections().len(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Section::new("T1", "matrix", table());
+        assert_eq!(s.id(), "T1");
+        assert_eq!(s.table().len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! A1 ablation — the kernel's binary-heap event queue vs the naive
+//! unsorted-vector baseline, plus raw executive throughput.
+//!
+//! DESIGN.md §4 calls out the pending-event set as a deliberate design
+//! choice; this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_simcore::baseline::NaiveQueue;
+use elc_simcore::queue::EventQueue;
+use elc_simcore::sim::Simulation;
+use elc_simcore::time::{SimDuration, SimTime};
+use elc_simcore::SimRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_kernel");
+    for &n in &[1_000u64, 10_000] {
+        let mut rng = SimRng::seed(HARNESS_SEED);
+        let times: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_nanos(rng.next_below(1_000_000)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("heap_queue", n), &times, |b, times| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for &t in times {
+                    q.push(t, ());
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive_queue", n), &times, |b, times| {
+            b.iter(|| {
+                let mut q = NaiveQueue::new();
+                for &t in times {
+                    q.push(t, ());
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            })
+        });
+    }
+    g.bench_function("executive_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(HARNESS_SEED, 0u64);
+            sim.schedule_every(SimDuration::from_nanos(1), SimDuration::from_nanos(1), |s| {
+                *s.state_mut() += 1;
+                *s.state() < 100_000
+            });
+            sim.run();
+            black_box(sim.executed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! A2 ablation — autosave interval vs lost work (E7's design knob).
+//!
+//! Sweeps the autosave interval over a fixed outage schedule and prints
+//! the lost-work curve: the bound the paper's "unsaved data" risk lives
+//! under is exactly the autosave interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_elearn::session::{SessionPolicy, StateLocation, WorkSession};
+use elc_net::outage::OutageModel;
+use elc_simcore::{SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn lost_minutes(interval: Option<SimDuration>, rng: &SimRng) -> f64 {
+    let horizon = SimTime::from_secs(30 * 86_400);
+    let mut sched_rng = rng.derive("sched");
+    let schedule = OutageModel::new(SimDuration::from_hours(30), SimDuration::from_mins(12))
+        .schedule(&mut sched_rng, horizon);
+    let mut r = rng.derive("starts");
+    let session_len = SimDuration::from_mins(40);
+    let policy = SessionPolicy {
+        location: StateLocation::Cloud,
+        autosave: interval,
+    };
+    let mut total = 0.0;
+    let mut hit = 0u32;
+    for _ in 0..5_000 {
+        let start = SimTime::from_nanos(r.range_u64(0, (horizon - session_len).as_nanos()));
+        let session = WorkSession::new(start, policy);
+        let cut = schedule
+            .next_outage_after(start)
+            .filter(|&(s, _)| s < start + session_len)
+            .map(|(s, _)| s)
+            .or_else(|| schedule.window_covering(start).map(|_| start));
+        if let Some(at) = cut {
+            total += session.lost_work(at).as_secs_f64() / 60.0;
+            hit += 1;
+        }
+    }
+    if hit == 0 { 0.0 } else { total / f64::from(hit) }
+}
+
+fn bench(c: &mut Criterion) {
+    let rng = SimRng::seed(HARNESS_SEED).derive("a2");
+    let mut g = c.benchmark_group("a2_autosave");
+    g.bench_function("sweep_eval_30s", |b| {
+        b.iter(|| lost_minutes(black_box(Some(SimDuration::from_secs(30))), &rng))
+    });
+    g.finish();
+
+    println!("\nA2 ablation — mean lost work vs autosave interval (rural outages):");
+    for (label, interval) in [
+        ("5s", Some(SimDuration::from_secs(5))),
+        ("30s", Some(SimDuration::from_secs(30))),
+        ("2min", Some(SimDuration::from_secs(120))),
+        ("10min", Some(SimDuration::from_secs(600))),
+        ("never", None),
+    ] {
+        println!("  autosave {label:>6}: {:>7.3} min lost", lost_minutes(interval, &rng));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! A3 ablation — replication factor × site spread vs asset survival
+//! (E4's design knob).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::quick_criterion;
+use elc_cloud::failure::FailureModel;
+use elc_cloud::storage::ReplicationPolicy;
+use elc_deploy::reliability::StorageProfile;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a3_replication");
+    g.bench_function("loss_probability_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for replicas in 1..=4u32 {
+                for sites in 1..=replicas {
+                    let p = StorageProfile {
+                        replication: ReplicationPolicy::new(replicas, sites),
+                        failures: FailureModel::server_room_grade(),
+                    };
+                    acc += p.asset_loss_probability(black_box(3.0));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    println!("\nA3 ablation — 3-year asset loss probability (server-room hardware):");
+    println!("  replicas x sites -> loss");
+    for replicas in 1..=4u32 {
+        for sites in 1..=replicas {
+            let p = StorageProfile {
+                replication: ReplicationPolicy::new(replicas, sites),
+                failures: FailureModel::server_room_grade(),
+            };
+            println!(
+                "  {replicas} x {sites}: {:.5}",
+                p.asset_loss_probability(3.0)
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 bench — TCO computation for the three deployment models.
+//!
+//! Regenerates the E1 table rows (cost per model per institution size);
+//! Criterion measures the cost-model evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e01;
+use elc_core::scenario::Scenario;
+use elc_deploy::cost::{tco, CostInputs};
+use elc_deploy::model::{Deployment, DeploymentKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::university(HARNESS_SEED);
+    let inputs = CostInputs::standard(scenario.workload());
+
+    let mut g = c.benchmark_group("e01_tco");
+    for kind in DeploymentKind::ALL {
+        let d = Deployment::canonical(kind);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| tco(black_box(&d), black_box(&inputs)))
+        });
+    }
+    g.bench_function("full_size_sweep", |b| {
+        b.iter(|| e01::run(black_box(&scenario)))
+    });
+    g.finish();
+
+    // Print the regenerated table once per bench run.
+    println!("\n{}", e01::run(&scenario).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E2 bench — client startup and page-action sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e02;
+use elc_core::scenario::Scenario;
+use elc_elearn::client::ClientModel;
+use elc_elearn::request::RequestKind;
+use elc_net::link::{Link, LinkProfile};
+use elc_simcore::SimRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let link = Link::from_profile(LinkProfile::MetroInternet);
+    let mut g = c.benchmark_group("e02_performance");
+    for (name, model) in [
+        ("thin_startup", ClientModel::thin_cloud()),
+        ("desktop_startup", ClientModel::desktop_install()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = SimRng::seed(HARNESS_SEED);
+            b.iter(|| model.startup_time(black_box(&link), &mut rng))
+        });
+    }
+    g.bench_function("thin_page_action", |b| {
+        let model = ClientModel::thin_cloud();
+        let mut rng = SimRng::seed(HARNESS_SEED);
+        b.iter(|| model.action_time(RequestKind::CoursePage, black_box(&link), &mut rng))
+    });
+    g.finish();
+
+    println!("\n{}", e02::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

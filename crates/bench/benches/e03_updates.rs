@@ -1,0 +1,33 @@
+//! E3 bench — update-propagation simulation for both channels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e03;
+use elc_core::scenario::Scenario;
+use elc_deploy::updates::{simulate_updates, UpdateChannel};
+use elc_simcore::{SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let horizon = SimTime::from_secs(10 * 365 * 86_400);
+    let mut g = c.benchmark_group("e03_updates");
+    for (name, channel) in [
+        ("saas_push", UpdateChannel::saas_default()),
+        ("admin_managed", UpdateChannel::onprem_default()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = SimRng::seed(HARNESS_SEED);
+            b.iter(|| simulate_updates(black_box(channel), 12.0, horizon, &mut rng))
+        });
+    }
+    g.finish();
+
+    println!("\n{}", e03::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

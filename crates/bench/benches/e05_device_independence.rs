@@ -1,0 +1,34 @@
+//! E5 bench — continuity evaluation over many device switches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e05;
+use elc_core::scenario::Scenario;
+use elc_elearn::session::{SessionPolicy, WorkSession};
+use elc_simcore::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05_device_independence");
+    g.bench_function("continuity_10k_switches", |b| {
+        let session = WorkSession::new(SimTime::ZERO, SessionPolicy::cloud_default());
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..10_000u64 {
+                let t = SimTime::ZERO + SimDuration::from_secs(i);
+                acc += session.continuity_after_switch(black_box(t));
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    println!("\n{}", e05::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

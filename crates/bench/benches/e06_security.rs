@@ -1,0 +1,32 @@
+//! E6 bench — attack-campaign simulation per deployment model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e06;
+use elc_core::scenario::Scenario;
+use elc_deploy::model::{Deployment, DeploymentKind};
+use elc_deploy::security::ThreatModel;
+use elc_simcore::SimRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let threat = ThreatModel::standard();
+    let mut g = c.benchmark_group("e06_security");
+    for kind in DeploymentKind::ALL {
+        let d = Deployment::canonical(kind);
+        g.bench_function(format!("campaign_50y_{kind}"), |b| {
+            let mut rng = SimRng::seed(HARNESS_SEED);
+            b.iter(|| threat.simulate_campaign(&mut rng, black_box(&d), 50.0))
+        });
+    }
+    g.finish();
+
+    println!("\n{}", e06::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

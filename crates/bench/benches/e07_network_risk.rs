@@ -1,0 +1,32 @@
+//! E7 bench — outage schedules and session-loss accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e07;
+use elc_core::scenario::Scenario;
+use elc_net::outage::OutageModel;
+use elc_simcore::{SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_network_risk");
+    g.bench_function("schedule_one_term", |b| {
+        let model = OutageModel::new(SimDuration::from_hours(30), SimDuration::from_mins(12));
+        let mut rng = SimRng::seed(HARNESS_SEED);
+        b.iter(|| model.schedule(&mut rng, black_box(SimTime::from_secs(17 * 7 * 86_400))))
+    });
+    g.bench_function("full_experiment", |b| {
+        let scenario = Scenario::rural_learners(HARNESS_SEED);
+        b.iter(|| e07::run(black_box(&scenario)))
+    });
+    g.finish();
+
+    println!("\n{}", e07::run(&Scenario::rural_learners(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

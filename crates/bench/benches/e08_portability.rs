@@ -1,0 +1,35 @@
+//! E8 bench — exit-plan pricing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_cloud::billing::PriceSheet;
+use elc_core::experiments::e08;
+use elc_core::scenario::Scenario;
+use elc_deploy::migration::exit_plan;
+use elc_deploy::model::{Deployment, DeploymentKind};
+use elc_net::link::{Link, LinkProfile};
+use elc_net::units::Bytes;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let prices = PriceSheet::public_2013();
+    let link = Link::from_profile(LinkProfile::InterDatacenter);
+    let data = Bytes::from_gib(5_000);
+    let mut g = c.benchmark_group("e08_portability");
+    for kind in DeploymentKind::ALL {
+        let d = Deployment::canonical(kind);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| exit_plan(black_box(&d), data, &prices, &link))
+        });
+    }
+    g.finish();
+
+    println!("\n{}", e08::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

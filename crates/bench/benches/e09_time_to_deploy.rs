@@ -1,0 +1,29 @@
+//! E9 bench — provisioning-schedule computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e09;
+use elc_core::scenario::Scenario;
+use elc_deploy::model::{Deployment, DeploymentKind};
+use elc_deploy::provisioning::schedule;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_time_to_deploy");
+    for kind in DeploymentKind::ALL {
+        let d = Deployment::canonical(kind);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| schedule(black_box(&d)))
+        });
+    }
+    g.finish();
+
+    println!("\n{}", e09::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

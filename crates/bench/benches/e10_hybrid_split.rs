@@ -1,0 +1,35 @@
+//! E10 bench — the 64-placement unit-distribution sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e10;
+use elc_core::scenario::Scenario;
+use elc_deploy::cost::CostInputs;
+use elc_deploy::hybrid::{pareto, sweep};
+use elc_deploy::security::ThreatModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::national_platform(HARNESS_SEED);
+    let inputs = CostInputs::standard(scenario.workload());
+    let threat = ThreatModel::standard();
+
+    let mut g = c.benchmark_group("e10_hybrid_split");
+    g.bench_function("sweep_64_placements", |b| {
+        b.iter(|| sweep(black_box(&inputs), &threat, inputs.stored_bytes))
+    });
+    let points = sweep(&inputs, &threat, inputs.stored_bytes);
+    g.bench_function("pareto_filter", |b| {
+        b.iter(|| pareto(black_box(&points)))
+    });
+    g.finish();
+
+    println!("\n{}", e10::run(&scenario).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

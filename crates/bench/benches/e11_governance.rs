@@ -1,0 +1,30 @@
+//! E11 bench — governance-overhead computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e11;
+use elc_core::scenario::Scenario;
+use elc_deploy::governance::{overhead, setup_consultancy};
+use elc_deploy::model::Deployment;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_governance");
+    g.bench_function("overhead_hybrid", |b| {
+        let d = Deployment::hybrid_default();
+        b.iter(|| overhead(black_box(&d), 8))
+    });
+    g.bench_function("consultancy_curve", |b| {
+        b.iter(|| (1..=4u32).map(|p| setup_consultancy(black_box(p))).collect::<Vec<_>>())
+    });
+    g.finish();
+
+    println!("\n{}", e11::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

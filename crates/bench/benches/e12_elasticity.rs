@@ -1,0 +1,25 @@
+//! E12 bench — the exam-day DES under all three capacity strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e12;
+use elc_core::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::university(HARNESS_SEED);
+    let mut g = c.benchmark_group("e12_elasticity");
+    g.bench_function("exam_day_all_strategies", |b| {
+        b.iter(|| e12::run(black_box(&scenario)))
+    });
+    g.finish();
+
+    println!("\n{}", e12::run(&scenario).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E13 bench — community-cloud consortium sweep (extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e13;
+use elc_core::scenario::Scenario;
+use elc_deploy::community::CommunityCloud;
+use elc_deploy::cost::CostInputs;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::university(HARNESS_SEED);
+    let inputs = CostInputs::standard(scenario.workload());
+
+    let mut g = c.benchmark_group("e13_community");
+    g.bench_function("assess_8_members", |b| {
+        let cc = CommunityCloud::new(8, inputs.clone());
+        b.iter(|| black_box(&cc).assess())
+    });
+    g.bench_function("sweep_16_members", |b| {
+        b.iter(|| e13::run(black_box(&scenario)))
+    });
+    g.finish();
+
+    println!("\n{}", e13::run(&scenario).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

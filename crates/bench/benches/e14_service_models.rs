@@ -1,0 +1,28 @@
+//! E14 bench — service-model assessment (extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_cloud::billing::Usd;
+use elc_core::experiments::e14;
+use elc_core::scenario::Scenario;
+use elc_deploy::service_model::{assess, ServiceModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_service_models");
+    for model in ServiceModel::ALL {
+        g.bench_function(model.to_string(), |b| {
+            b.iter(|| assess(black_box(model), Usd::new(60_000.0), 3.0))
+        });
+    }
+    g.finish();
+
+    println!("\n{}", e14::run(&Scenario::university(HARNESS_SEED)).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E15 bench — capacity planning under enrollment growth (extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::e15;
+use elc_core::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::university(HARNESS_SEED);
+    let mut g = c.benchmark_group("e15_growth");
+    g.bench_function("six_year_three_strategies", |b| {
+        b.iter(|| e15::run(black_box(&scenario)))
+    });
+    g.finish();
+
+    println!("\n{}", e15::run(&scenario).section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

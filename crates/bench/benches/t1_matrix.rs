@@ -1,0 +1,32 @@
+//! T1 bench — comparison-matrix assembly from suite outputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::{quick_criterion, HARNESS_SEED};
+use elc_core::experiments::run_all;
+use elc_core::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Run the suite once; benchmark the matrix assembly and rendering.
+    let outputs = run_all(&Scenario::small_college(HARNESS_SEED));
+    let metrics = outputs.metrics();
+
+    let mut g = c.benchmark_group("t1_matrix");
+    g.bench_function("matrix_build", |b| {
+        b.iter(|| black_box(&metrics).matrix())
+    });
+    g.bench_function("matrix_render", |b| {
+        let m = metrics.matrix();
+        b.iter(|| black_box(&m).to_table().to_string())
+    });
+    g.finish();
+
+    println!("\n{}", metrics.section());
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerates every table of the reproduction (E1–E12 and T1) for the
+//! three harness scenarios, printing the report and writing one CSV per
+//! section under `results/<scenario>/`.
+//!
+//! ```sh
+//! cargo run --release -p elc-bench --bin paper-tables
+//! # or with a custom seed:
+//! cargo run --release -p elc-bench --bin paper-tables -- 7
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use elc_analysis::plot::line_chart;
+use elc_bench::{harness_scenarios, HARNESS_SEED};
+use elc_core::advisor::advise;
+use elc_core::experiments::run_all;
+use elc_core::requirements::Requirements;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(HARNESS_SEED);
+
+    let out_root = PathBuf::from("results");
+    for scenario in harness_scenarios(seed) {
+        println!("########################################################");
+        println!(
+            "## scenario: {} — {} students, seed {}",
+            scenario.name(),
+            scenario.students(),
+            seed
+        );
+        println!("########################################################\n");
+
+        let outputs = run_all(&scenario);
+        let report = outputs.report();
+        println!("{report}\n");
+
+        // Figures for the sweep-shaped experiments.
+        let e1_series: Vec<Vec<(f64, f64)>> = (0..3)
+            .map(|m| {
+                outputs
+                    .e01
+                    .rows
+                    .iter()
+                    .map(|r| (f64::from(r.students).log10(), r.totals[m].amount()))
+                    .collect()
+            })
+            .collect();
+        println!("Figure F1 — 3-year TCO vs log10(students):");
+        println!(
+            "{}",
+            line_chart(
+                &[
+                    ("public", &e1_series[0]),
+                    ("private", &e1_series[1]),
+                    ("hybrid", &e1_series[2]),
+                ],
+                56,
+                12,
+            )
+        );
+        let e13_series: Vec<(f64, f64)> = outputs
+            .e13
+            .sweep
+            .iter()
+            .map(|a| (f64::from(a.members), a.per_member_tco.amount()))
+            .collect();
+        println!("Figure F2 — per-member TCO vs consortium size:");
+        println!("{}", line_chart(&[("community", &e13_series)], 56, 10));
+
+        // Advisor verdicts for the paper's three customer archetypes.
+        let metrics = outputs.metrics();
+        for (label, reqs) in [
+            ("startup-program", Requirements::startup_program()),
+            ("exam-authority", Requirements::exam_authority()),
+            ("balanced-university", Requirements::balanced_university()),
+        ] {
+            println!("[advisor/{label}] {}", advise(&reqs, &metrics));
+        }
+
+        // CSV export, one file per section.
+        let dir = out_root.join(scenario.name());
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            continue;
+        }
+        for section in report.sections() {
+            let path = dir.join(format!("{}.csv", section.id().to_lowercase()));
+            if let Err(e) = fs::write(&path, section.table().to_csv()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        let report_path = dir.join("report.txt");
+        if let Err(e) = fs::write(&report_path, report.to_string()) {
+            eprintln!("warning: cannot write {}: {e}", report_path.display());
+        }
+        println!("csv written to {}\n", dir.display());
+    }
+}

@@ -1,0 +1,57 @@
+//! # elc-bench — benchmark harness for the elearn-cloud experiments
+//!
+//! Two entry points:
+//!
+//! * the `paper-tables` binary regenerates every table (E1–E12 and T1)
+//!   for three scenario sizes and writes CSVs next to the printed report;
+//! * `benches/` holds one Criterion benchmark per experiment plus the
+//!   kernel ablation `a1_kernel` (binary-heap event queue vs the naive
+//!   baseline).
+//!
+//! Shared helpers live here so benches and the binary agree on scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use elc_core::scenario::Scenario;
+
+/// A Criterion configuration tuned so the full 14-bench suite completes in
+/// a couple of minutes while still producing stable estimates.
+#[must_use]
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+/// The scenarios the harness reports on, smallest first.
+#[must_use]
+pub fn harness_scenarios(seed: u64) -> Vec<Scenario> {
+    vec![
+        Scenario::small_college(seed),
+        Scenario::rural_learners(seed),
+        Scenario::university(seed),
+        Scenario::national_platform(seed),
+    ]
+}
+
+/// The default seed used by `paper-tables` and the benches.
+pub const HARNESS_SEED: u64 = 2013; // the paper's year
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_ordered_by_size() {
+        let s = harness_scenarios(1);
+        assert_eq!(s.len(), 4);
+        for w in s.windows(2) {
+            assert!(w[0].students() < w[1].students());
+        }
+    }
+}

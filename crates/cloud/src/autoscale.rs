@@ -1,0 +1,251 @@
+//! Elastic capacity control.
+//!
+//! The paper's abstract motivates clouds for e-learning by "dynamically
+//! allocation of computation and storage resources". [`AutoScaler`] is a
+//! reactive target-tracking controller: it sizes the fleet so that offered
+//! load sits at a target fraction of capacity, with a cooldown to prevent
+//! flapping. [`FixedCapacity`] is the non-elastic baseline the paper's
+//! argument implies (a fixed on-premise fleet).
+
+use elc_simcore::time::{SimDuration, SimTime};
+
+/// A capacity decision at one control tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Add this many instances.
+    ScaleUp(u32),
+    /// Remove this many instances.
+    ScaleDown(u32),
+    /// Do nothing.
+    Hold,
+}
+
+/// Sizes a fleet from offered load. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoScaler {
+    min_instances: u32,
+    max_instances: u32,
+    target_utilization: f64,
+    cooldown: SimDuration,
+    last_action_at: Option<SimTime>,
+}
+
+impl AutoScaler {
+    /// Creates a target-tracking scaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target_utilization <= 1`, `min_instances >= 1`
+    /// and `min_instances <= max_instances`.
+    #[must_use]
+    pub fn new(
+        min_instances: u32,
+        max_instances: u32,
+        target_utilization: f64,
+        cooldown: SimDuration,
+    ) -> Self {
+        assert!(
+            target_utilization > 0.0 && target_utilization <= 1.0,
+            "target utilization must be in (0, 1], got {target_utilization}"
+        );
+        assert!(min_instances >= 1, "need at least one instance");
+        assert!(
+            min_instances <= max_instances,
+            "min {min_instances} > max {max_instances}"
+        );
+        AutoScaler {
+            min_instances,
+            max_instances,
+            target_utilization,
+            cooldown,
+            last_action_at: None,
+        }
+    }
+
+    /// The fleet size this scaler would choose for `load_rps` given each
+    /// instance serves `unit_rps`.
+    #[must_use]
+    pub fn desired_count(&self, load_rps: f64, unit_rps: f64) -> u32 {
+        assert!(unit_rps > 0.0, "unit capacity must be positive");
+        let needed = (load_rps / (unit_rps * self.target_utilization)).ceil();
+        (needed.max(0.0) as u32).clamp(self.min_instances, self.max_instances)
+    }
+
+    /// Decides a scaling action at `now`.
+    ///
+    /// Returns [`ScaleDecision::Hold`] while in cooldown from the previous
+    /// action or when the fleet is already right-sized.
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        current: u32,
+        load_rps: f64,
+        unit_rps: f64,
+    ) -> ScaleDecision {
+        if let Some(last) = self.last_action_at {
+            if now.saturating_since(last) < self.cooldown {
+                return ScaleDecision::Hold;
+            }
+        }
+        let desired = self.desired_count(load_rps, unit_rps);
+        let decision = if desired > current {
+            ScaleDecision::ScaleUp(desired - current)
+        } else if desired < current {
+            ScaleDecision::ScaleDown(current - desired)
+        } else {
+            ScaleDecision::Hold
+        };
+        if decision != ScaleDecision::Hold {
+            self.last_action_at = Some(now);
+        }
+        decision
+    }
+
+    /// Configured floor.
+    #[must_use]
+    pub fn min_instances(&self) -> u32 {
+        self.min_instances
+    }
+
+    /// Configured ceiling.
+    #[must_use]
+    pub fn max_instances(&self) -> u32 {
+        self.max_instances
+    }
+}
+
+/// The non-elastic baseline: a fixed fleet sized once, up front.
+///
+/// On-premise deployments without virtualization headroom behave this way —
+/// capacity is whatever was procured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedCapacity {
+    instances: u32,
+}
+
+impl FixedCapacity {
+    /// Creates a fixed fleet of `instances`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    #[must_use]
+    pub fn new(instances: u32) -> Self {
+        assert!(instances >= 1, "need at least one instance");
+        FixedCapacity { instances }
+    }
+
+    /// Sizes a fixed fleet for an expected *average* load — the procurement
+    /// decision an institution makes once per budget cycle.
+    #[must_use]
+    pub fn sized_for(avg_load_rps: f64, unit_rps: f64, headroom: f64) -> Self {
+        assert!(unit_rps > 0.0, "unit capacity must be positive");
+        assert!(headroom >= 1.0, "headroom must be >= 1");
+        let n = (avg_load_rps * headroom / unit_rps).ceil().max(1.0) as u32;
+        FixedCapacity::new(n)
+    }
+
+    /// The fleet size (never changes).
+    #[must_use]
+    pub fn instances(&self) -> u32 {
+        self.instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> AutoScaler {
+        AutoScaler::new(1, 20, 0.6, SimDuration::from_mins(5))
+    }
+
+    #[test]
+    fn desired_count_tracks_target() {
+        let s = scaler();
+        // 300 rps at 100 rps/unit and 60% target → ceil(300/60) = 5.
+        assert_eq!(s.desired_count(300.0, 100.0), 5);
+        assert_eq!(s.desired_count(0.0, 100.0), 1); // floor
+        assert_eq!(s.desired_count(1e9, 100.0), 20); // ceiling
+    }
+
+    #[test]
+    fn scale_up_when_under_provisioned() {
+        let mut s = scaler();
+        let d = s.decide(SimTime::ZERO, 2, 300.0, 100.0);
+        assert_eq!(d, ScaleDecision::ScaleUp(3));
+    }
+
+    #[test]
+    fn scale_down_when_over_provisioned() {
+        let mut s = scaler();
+        let d = s.decide(SimTime::ZERO, 10, 100.0, 100.0);
+        assert_eq!(d, ScaleDecision::ScaleDown(8));
+    }
+
+    #[test]
+    fn hold_when_right_sized() {
+        let mut s = scaler();
+        let d = s.decide(SimTime::ZERO, 5, 300.0, 100.0);
+        assert_eq!(d, ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_actions() {
+        let mut s = scaler();
+        assert_ne!(s.decide(SimTime::ZERO, 1, 1_000.0, 100.0), ScaleDecision::Hold);
+        // One minute later the scaler is still cooling down.
+        assert_eq!(
+            s.decide(SimTime::from_secs(60), 1, 10_000.0, 100.0),
+            ScaleDecision::Hold
+        );
+        // After the cooldown it acts again.
+        assert_ne!(
+            s.decide(SimTime::from_secs(301), 1, 10_000.0, 100.0),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn hold_does_not_start_cooldown() {
+        let mut s = scaler();
+        assert_eq!(s.decide(SimTime::ZERO, 5, 300.0, 100.0), ScaleDecision::Hold);
+        // An immediate overload must still trigger a scale-up.
+        assert_eq!(
+            s.decide(SimTime::from_secs(1), 5, 600.0, 100.0),
+            ScaleDecision::ScaleUp(5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target utilization")]
+    fn rejects_bad_target() {
+        let _ = AutoScaler::new(1, 10, 0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "min 5 > max 2")]
+    fn rejects_inverted_bounds() {
+        let _ = AutoScaler::new(5, 2, 0.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fixed_capacity_sizing() {
+        let f = FixedCapacity::sized_for(250.0, 100.0, 1.5);
+        assert_eq!(f.instances(), 4); // ceil(250*1.5/100)
+        assert_eq!(FixedCapacity::sized_for(0.0, 100.0, 2.0).instances(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn fixed_capacity_rejects_zero() {
+        let _ = FixedCapacity::new(0);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = scaler();
+        assert_eq!(s.min_instances(), 1);
+        assert_eq!(s.max_instances(), 20);
+    }
+}

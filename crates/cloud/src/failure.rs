@@ -1,0 +1,257 @@
+//! Hardware and site failure processes.
+//!
+//! Private clouds carry their own iron, so the paper's §IV.B risk ("data
+//! loss due to physical damage of the unit") needs concrete hazard rates:
+//! host crashes, disk losses, and rare whole-site disasters (fire, flood,
+//! power incident). All processes are Poisson — adequate for steady-state
+//! hazard modelling, and analytically checkable.
+
+use elc_simcore::dist::{Distribution, Exp};
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+/// Seconds per (365-day) year, the unit hazard rates are quoted in.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 86_400.0;
+
+/// Annualized hazard rates for one site's hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    host_failures_per_year: f64,
+    disk_afr: f64,
+    site_disasters_per_year: f64,
+}
+
+impl FailureModel {
+    /// Creates a failure model.
+    ///
+    /// * `host_failures_per_year` — per-host crash rate (hardware fault
+    ///   needing intervention),
+    /// * `disk_afr` — annualized failure rate of a disk (fraction, e.g.
+    ///   0.04),
+    /// * `site_disasters_per_year` — rate of events destroying the whole
+    ///   site's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative, non-finite, or `disk_afr > 1`.
+    #[must_use]
+    pub fn new(
+        host_failures_per_year: f64,
+        disk_afr: f64,
+        site_disasters_per_year: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("host rate", host_failures_per_year),
+            ("disk afr", disk_afr),
+            ("disaster rate", site_disasters_per_year),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be >= 0, got {v}");
+        }
+        assert!(disk_afr <= 1.0, "disk AFR is a fraction, got {disk_afr}");
+        FailureModel {
+            host_failures_per_year,
+            disk_afr,
+            site_disasters_per_year,
+        }
+    }
+
+    /// A professionally run datacenter: rare host faults, 2% disk AFR,
+    /// disaster every ~200 years.
+    #[must_use]
+    pub fn datacenter_grade() -> Self {
+        FailureModel::new(0.1, 0.02, 0.005)
+    }
+
+    /// A campus server room: more host faults, 5% disk AFR, disaster every
+    /// ~50 years (burst pipe, power surge — the paper's "physical damage").
+    #[must_use]
+    pub fn server_room_grade() -> Self {
+        FailureModel::new(0.5, 0.05, 0.02)
+    }
+
+    /// Per-host crash rate, per year.
+    #[must_use]
+    pub fn host_failures_per_year(&self) -> f64 {
+        self.host_failures_per_year
+    }
+
+    /// Disk annualized failure rate.
+    #[must_use]
+    pub fn disk_afr(&self) -> f64 {
+        self.disk_afr
+    }
+
+    /// Whole-site disaster rate, per year.
+    #[must_use]
+    pub fn site_disasters_per_year(&self) -> f64 {
+        self.site_disasters_per_year
+    }
+
+    /// Probability of at least one site disaster within `years`
+    /// (`1 - e^{-rate·t}`).
+    #[must_use]
+    pub fn disaster_probability(&self, years: f64) -> f64 {
+        assert!(years >= 0.0, "years must be >= 0");
+        1.0 - (-self.site_disasters_per_year * years).exp()
+    }
+
+    /// Probability a given disk dies within `years`.
+    #[must_use]
+    pub fn disk_loss_probability(&self, years: f64) -> f64 {
+        assert!(years >= 0.0, "years must be >= 0");
+        // AFR is itself an annual probability; convert to a rate first so
+        // multi-year horizons compose correctly.
+        if self.disk_afr >= 1.0 {
+            return 1.0;
+        }
+        let rate = -(1.0 - self.disk_afr).ln();
+        1.0 - (-rate * years).exp()
+    }
+
+    /// Samples the times of site disasters over `[0, horizon)`.
+    #[must_use]
+    pub fn sample_disasters(&self, rng: &mut SimRng, horizon: SimTime) -> Vec<SimTime> {
+        sample_poisson_times(rng, self.site_disasters_per_year, horizon)
+    }
+
+    /// Samples host-crash times for a fleet of `hosts` over `[0, horizon)`,
+    /// returning `(time, host_index)` sorted by time.
+    #[must_use]
+    pub fn sample_host_failures(
+        &self,
+        rng: &mut SimRng,
+        hosts: usize,
+        horizon: SimTime,
+    ) -> Vec<(SimTime, usize)> {
+        let mut events = Vec::new();
+        for h in 0..hosts {
+            let mut r = rng.derive_u64(h as u64);
+            for t in sample_poisson_times(&mut r, self.host_failures_per_year, horizon) {
+                events.push((t, h));
+            }
+        }
+        events.sort_unstable();
+        events
+    }
+}
+
+/// Samples event times of a Poisson process with `rate_per_year` over
+/// `[0, horizon)`.
+fn sample_poisson_times(rng: &mut SimRng, rate_per_year: f64, horizon: SimTime) -> Vec<SimTime> {
+    if rate_per_year <= 0.0 {
+        return Vec::new();
+    }
+    let rate_per_sec = rate_per_year / SECONDS_PER_YEAR;
+    let gap = Exp::new(rate_per_sec).expect("positive rate");
+    let mut times = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let dt = SimDuration::from_secs_f64(gap.sample(rng));
+        let Some(next) = t.checked_add(dt) else { break };
+        if next >= horizon {
+            break;
+        }
+        times.push(next);
+        t = next;
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn years(n: f64) -> SimTime {
+        SimTime::from_secs((n * SECONDS_PER_YEAR) as u64)
+    }
+
+    #[test]
+    fn disaster_probability_formula() {
+        let m = FailureModel::new(0.0, 0.0, 0.02);
+        assert!((m.disaster_probability(1.0) - (1.0 - (-0.02f64).exp())).abs() < 1e-12);
+        assert_eq!(m.disaster_probability(0.0), 0.0);
+        assert!(m.disaster_probability(1_000.0) > 0.99);
+    }
+
+    #[test]
+    fn disk_loss_probability_composes_over_years() {
+        let m = FailureModel::new(0.0, 0.05, 0.0);
+        let one = m.disk_loss_probability(1.0);
+        assert!((one - 0.05).abs() < 1e-12, "1-year loss should equal AFR");
+        let three = m.disk_loss_probability(3.0);
+        assert!((three - (1.0 - 0.95f64.powi(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disaster_sampling_matches_rate() {
+        let m = FailureModel::new(0.0, 0.0, 2.0);
+        let rng = SimRng::seed(1);
+        let mut total = 0usize;
+        let runs = 200;
+        for i in 0..runs {
+            let mut r = rng.derive_u64(i);
+            total += m.sample_disasters(&mut r, years(10.0)).len();
+        }
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 20.0).abs() < 1.5, "mean disasters {mean}, want ~20");
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let m = FailureModel::new(0.0, 0.0, 0.0);
+        let mut rng = SimRng::seed(2);
+        assert!(m.sample_disasters(&mut rng, years(100.0)).is_empty());
+        assert!(m.sample_host_failures(&mut rng, 10, years(100.0)).is_empty());
+    }
+
+    #[test]
+    fn host_failures_sorted_and_bounded() {
+        let m = FailureModel::server_room_grade();
+        let mut rng = SimRng::seed(3);
+        let horizon = years(5.0);
+        let events = m.sample_host_failures(&mut rng, 8, horizon);
+        for w in events.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(t, h) in &events {
+            assert!(t < horizon);
+            assert!(h < 8);
+        }
+        // 8 hosts * 0.5/yr * 5yr = 20 expected.
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn grades_are_ordered() {
+        let dc = FailureModel::datacenter_grade();
+        let sr = FailureModel::server_room_grade();
+        assert!(dc.host_failures_per_year() < sr.host_failures_per_year());
+        assert!(dc.disk_afr() < sr.disk_afr());
+        assert!(dc.site_disasters_per_year() < sr.site_disasters_per_year());
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let m = FailureModel::server_room_grade();
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        assert_eq!(
+            m.sample_host_failures(&mut a, 4, years(3.0)),
+            m.sample_host_failures(&mut b, 4, years(3.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disk AFR is a fraction")]
+    fn rejects_afr_above_one() {
+        let _ = FailureModel::new(0.0, 1.5, 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = FailureModel::new(0.1, 0.02, 0.005);
+        assert_eq!(m.host_failures_per_year(), 0.1);
+        assert_eq!(m.disk_afr(), 0.02);
+        assert_eq!(m.site_disasters_per_year(), 0.005);
+    }
+}

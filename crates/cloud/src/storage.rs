@@ -1,0 +1,361 @@
+//! Replicated object storage and durability.
+//!
+//! The paper argues two sides of data reliability: cloud storage keeps data
+//! "still intact … still accessible" when a client crashes (§III.4), while a
+//! single-site private cloud "runs the risk of data loss due to physical
+//! damage of the unit" (§IV.B). Both reduce to one mechanism: how many
+//! replicas exist and how they are spread over failure domains (*sites*).
+//!
+//! [`ObjectStore`] tracks objects and their replica placement;
+//! [`ReplicationPolicy`] describes the spread; analytic helpers give loss
+//! probabilities that experiments cross-check by sampling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use elc_net::units::Bytes;
+use elc_simcore::define_id;
+use elc_simcore::id::IdGen;
+
+define_id!(
+    /// Identifies a stored object (a digital asset).
+    pub struct ObjectId("obj")
+);
+
+/// How replicas are spread over failure domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationPolicy {
+    /// Total copies of each object.
+    pub replicas: u32,
+    /// Independent failure domains (sites) available for placement.
+    pub sites: u32,
+}
+
+impl ReplicationPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `sites` is zero.
+    #[must_use]
+    pub fn new(replicas: u32, sites: u32) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        assert!(sites >= 1, "need at least one site");
+        ReplicationPolicy { replicas, sites }
+    }
+
+    /// Single copy on a single site — the paper's at-risk private setup.
+    #[must_use]
+    pub fn single_copy() -> Self {
+        ReplicationPolicy::new(1, 1)
+    }
+
+    /// Three replicas across three sites — public-cloud object storage.
+    #[must_use]
+    pub fn cloud_triplicate() -> Self {
+        ReplicationPolicy::new(3, 3)
+    }
+
+    /// Sites that hold at least one replica of an object, given round-robin
+    /// placement starting at `first_site`.
+    #[must_use]
+    pub fn placement(&self, first_site: u32) -> Vec<u32> {
+        let mut sites: Vec<u32> = (0..self.replicas.min(self.sites))
+            .map(|i| (first_site + i) % self.sites)
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    }
+
+    /// Probability an object is lost if each *replica* independently fails
+    /// with probability `p_replica` (e.g. disk loss over a horizon).
+    #[must_use]
+    pub fn loss_probability(&self, p_replica: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p_replica),
+            "probability out of range: {p_replica}"
+        );
+        p_replica.powi(self.replicas as i32)
+    }
+
+    /// True if an object survives the total destruction of `site` —
+    /// it does iff any replica lives elsewhere.
+    #[must_use]
+    pub fn survives_site_loss(&self, first_site: u32, lost_site: u32) -> bool {
+        self.placement(first_site).iter().any(|&s| s != lost_site)
+    }
+}
+
+/// An object's record in the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    size: Bytes,
+    sites: Vec<u32>,
+    lost: bool,
+}
+
+impl StoredObject {
+    /// The object size.
+    #[must_use]
+    pub fn size(&self) -> Bytes {
+        self.size
+    }
+
+    /// Sites holding a live replica.
+    #[must_use]
+    pub fn sites(&self) -> &[u32] {
+        &self.sites
+    }
+
+    /// True if every replica has been destroyed.
+    #[must_use]
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+}
+
+/// A replicated object store spread over failure domains.
+///
+/// # Examples
+///
+/// ```
+/// use elc_cloud::storage::{ObjectStore, ReplicationPolicy};
+/// use elc_net::units::Bytes;
+///
+/// let mut store = ObjectStore::new(ReplicationPolicy::cloud_triplicate());
+/// let exam = store.put(Bytes::from_mib(2));
+/// let lost = store.destroy_site(0);
+/// assert!(lost.is_empty(), "triplicated data survives one site");
+/// assert!(!store.object(exam).unwrap().is_lost());
+/// ```
+#[derive(Debug)]
+pub struct ObjectStore {
+    policy: ReplicationPolicy,
+    objects: BTreeMap<ObjectId, StoredObject>,
+    ids: IdGen<ObjectId>,
+    next_site: u32,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(policy: ReplicationPolicy) -> Self {
+        ObjectStore {
+            policy,
+            objects: BTreeMap::new(),
+            ids: IdGen::new(),
+            next_site: 0,
+        }
+    }
+
+    /// The replication policy.
+    #[must_use]
+    pub fn policy(&self) -> ReplicationPolicy {
+        self.policy
+    }
+
+    /// Stores an object, spreading replicas round-robin over sites.
+    pub fn put(&mut self, size: Bytes) -> ObjectId {
+        let id = self.ids.next_id();
+        let sites = self.policy.placement(self.next_site);
+        self.next_site = (self.next_site + 1) % self.policy.sites;
+        self.objects.insert(
+            id,
+            StoredObject {
+                size,
+                sites,
+                lost: false,
+            },
+        );
+        id
+    }
+
+    /// Looks up an object.
+    #[must_use]
+    pub fn object(&self, id: ObjectId) -> Option<&StoredObject> {
+        self.objects.get(&id)
+    }
+
+    /// Number of objects (lost ones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the store holds no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total bytes of surviving objects (counting each object once, not per
+    /// replica).
+    #[must_use]
+    pub fn surviving_bytes(&self) -> Bytes {
+        self.objects
+            .values()
+            .filter(|o| !o.lost)
+            .map(StoredObject::size)
+            .sum()
+    }
+
+    /// Objects lost so far.
+    #[must_use]
+    pub fn lost_count(&self) -> usize {
+        self.objects.values().filter(|o| o.lost).count()
+    }
+
+    /// Destroys a failure domain. Every replica on `site` disappears;
+    /// objects whose last replica lived there are lost.
+    ///
+    /// Returns the ids of newly lost objects.
+    pub fn destroy_site(&mut self, site: u32) -> Vec<ObjectId> {
+        let mut newly_lost = Vec::new();
+        for (&id, obj) in &mut self.objects {
+            if obj.lost {
+                continue;
+            }
+            obj.sites.retain(|&s| s != site);
+            if obj.sites.is_empty() {
+                obj.lost = true;
+                newly_lost.push(id);
+            }
+        }
+        newly_lost
+    }
+
+    /// Fraction of objects surviving, in `[0, 1]`; 1.0 for an empty store.
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        if self.objects.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.lost_count() as f64 / self.objects.len() as f64
+    }
+}
+
+impl fmt::Display for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} objects, {} lost, policy r={} sites={}",
+            self.objects.len(),
+            self.lost_count(),
+            self.policy.replicas,
+            self.policy.sites
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_spreads_over_sites() {
+        let p = ReplicationPolicy::new(3, 3);
+        assert_eq!(p.placement(0), vec![0, 1, 2]);
+        assert_eq!(p.placement(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn placement_with_fewer_sites_than_replicas() {
+        let p = ReplicationPolicy::new(3, 1);
+        assert_eq!(p.placement(0), vec![0]);
+    }
+
+    #[test]
+    fn loss_probability_is_independent_product() {
+        let p = ReplicationPolicy::new(3, 3);
+        assert!((p.loss_probability(0.1) - 0.001).abs() < 1e-12);
+        assert_eq!(ReplicationPolicy::single_copy().loss_probability(0.1), 0.1);
+        assert_eq!(p.loss_probability(0.0), 0.0);
+        assert_eq!(p.loss_probability(1.0), 1.0);
+    }
+
+    #[test]
+    fn site_loss_survival() {
+        let single = ReplicationPolicy::single_copy();
+        assert!(!single.survives_site_loss(0, 0));
+        let tri = ReplicationPolicy::cloud_triplicate();
+        assert!(tri.survives_site_loss(0, 0));
+        // Two replicas on two sites survives either site's loss.
+        let two = ReplicationPolicy::new(2, 2);
+        assert!(two.survives_site_loss(0, 0));
+        assert!(two.survives_site_loss(0, 1));
+    }
+
+    #[test]
+    fn single_site_store_loses_everything() {
+        let mut store = ObjectStore::new(ReplicationPolicy::single_copy());
+        for _ in 0..10 {
+            store.put(Bytes::from_mib(1));
+        }
+        let lost = store.destroy_site(0);
+        assert_eq!(lost.len(), 10);
+        assert_eq!(store.survival_rate(), 0.0);
+        assert_eq!(store.surviving_bytes(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn triplicated_store_survives_two_site_losses() {
+        let mut store = ObjectStore::new(ReplicationPolicy::cloud_triplicate());
+        for _ in 0..10 {
+            store.put(Bytes::from_mib(1));
+        }
+        assert!(store.destroy_site(0).is_empty());
+        assert!(store.destroy_site(1).is_empty());
+        assert_eq!(store.survival_rate(), 1.0);
+        // Third site loss kills everything.
+        assert_eq!(store.destroy_site(2).len(), 10);
+        assert_eq!(store.survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn destroying_unknown_site_is_harmless() {
+        let mut store = ObjectStore::new(ReplicationPolicy::new(2, 2));
+        store.put(Bytes::from_kib(4));
+        assert!(store.destroy_site(99).is_empty());
+        assert_eq!(store.survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn surviving_bytes_counts_objects_once() {
+        let mut store = ObjectStore::new(ReplicationPolicy::cloud_triplicate());
+        store.put(Bytes::from_mib(3));
+        store.put(Bytes::from_mib(5));
+        assert_eq!(store.surviving_bytes(), Bytes::from_mib(8));
+    }
+
+    #[test]
+    fn empty_store_metrics() {
+        let store = ObjectStore::new(ReplicationPolicy::single_copy());
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn lost_objects_stay_lost() {
+        let mut store = ObjectStore::new(ReplicationPolicy::single_copy());
+        let id = store.put(Bytes::from_kib(1));
+        store.destroy_site(0);
+        // Second disaster reports nothing new.
+        assert!(store.destroy_site(0).is_empty());
+        assert!(store.object(id).unwrap().is_lost());
+        assert_eq!(store.lost_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn policy_rejects_zero_replicas() {
+        let _ = ReplicationPolicy::new(0, 1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let store = ObjectStore::new(ReplicationPolicy::cloud_triplicate());
+        assert!(store.to_string().contains("policy r=3"));
+    }
+}

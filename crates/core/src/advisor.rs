@@ -1,0 +1,218 @@
+//! The deployment advisor.
+//!
+//! §II: "the customers can choose one of cloud deployment models, depending
+//! on their requirements." The advisor codifies §IV's guidance: it scores
+//! the three models against a [`Requirements`] profile using *measured*
+//! metrics (from the experiment suite), normalizes each criterion, and
+//! returns a ranked recommendation with the reasoning spelled out.
+
+use std::fmt;
+
+use elc_deploy::model::DeploymentKind;
+
+use crate::experiments::t1::ModelMetrics;
+use crate::requirements::Requirements;
+
+/// A ranked recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Models with their scores, best first. Scores are in `[0, 1]`.
+    pub ranking: Vec<(DeploymentKind, f64)>,
+    /// Human-readable justification lines.
+    pub rationale: Vec<String>,
+}
+
+impl Recommendation {
+    /// The winning model.
+    #[must_use]
+    pub fn best(&self) -> DeploymentKind {
+        self.ranking[0].0
+    }
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "recommendation: {}", self.best())?;
+        for (kind, score) in &self.ranking {
+            writeln!(f, "  {kind}: {score:.3}")?;
+        }
+        for line in &self.rationale {
+            writeln!(f, "  - {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes a lower-is-better criterion to per-model goodness in
+/// `[0, 1]` (1 = best). Equal values all score 1.
+fn goodness(values: [f64; 3]) -> [f64; 3] {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < f64::EPSILON * max.abs().max(1.0) {
+        return [1.0; 3];
+    }
+    let mut out = [0.0; 3];
+    for (o, v) in out.iter_mut().zip(values) {
+        *o = (max - v) / (max - min);
+    }
+    out
+}
+
+/// Scores the three models for a requirements profile.
+///
+/// # Panics
+///
+/// Panics if the requirements fail validation.
+#[must_use]
+pub fn advise(requirements: &Requirements, metrics: &ModelMetrics) -> Recommendation {
+    requirements
+        .validate()
+        .unwrap_or_else(|field| panic!("invalid requirements: {field} out of [0, 1]"));
+
+    // (criterion label, per-model values, weight)
+    let criteria: [(&str, [f64; 3], f64); 6] = [
+        ("cost", metrics.tco, requirements.cost_sensitivity),
+        (
+            "confidentiality",
+            metrics.confidential_incidents,
+            requirements.security_sensitivity,
+        ),
+        (
+            "elasticity",
+            metrics.surge_rejected,
+            requirements.elasticity_need,
+        ),
+        (
+            "portability",
+            metrics.exit_cost,
+            requirements.portability_concern,
+        ),
+        (
+            "time to service",
+            metrics.time_to_service_days,
+            requirements.time_pressure,
+        ),
+        (
+            "ops burden",
+            metrics.ops_fte,
+            1.0 - requirements.ops_capacity,
+        ),
+    ];
+
+    let mut scores = [0.0f64; 3];
+    let mut weight_sum = 0.0;
+    let mut rationale = Vec::new();
+    for (label, values, weight) in criteria {
+        if weight <= 0.0 {
+            continue;
+        }
+        let g = goodness(values);
+        for (s, gi) in scores.iter_mut().zip(g) {
+            *s += gi * weight;
+        }
+        weight_sum += weight;
+        let winner = (0..3).max_by(|&a, &b| {
+            g[a].partial_cmp(&g[b]).expect("goodness is finite")
+        });
+        if let Some(w) = winner {
+            rationale.push(format!(
+                "{label} (weight {weight:.2}): favours {}",
+                DeploymentKind::ALL[w]
+            ));
+        }
+    }
+    if weight_sum > 0.0 {
+        for s in &mut scores {
+            *s /= weight_sum;
+        }
+    }
+
+    let mut ranking: Vec<(DeploymentKind, f64)> = DeploymentKind::ALL
+        .iter()
+        .copied()
+        .zip(scores)
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+
+    Recommendation { ranking, rationale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Metrics with the shapes every experiment establishes (public fast
+    /// and elastic, private secure and portable, hybrid in between).
+    fn metrics() -> ModelMetrics {
+        ModelMetrics {
+            tco: [150_000.0, 250_000.0, 300_000.0],
+            staleness_days: [1.0, 30.0, 6.0],
+            loss_probability: [1e-6, 0.06, 0.004],
+            confidential_incidents: [0.3, 0.096, 0.096],
+            exit_cost: [120_000.0, 0.0, 40_000.0],
+            time_to_service_days: [2.2, 55.0, 70.0],
+            ops_fte: [0.35, 0.6, 0.95],
+            surge_rejected: [0.01, 0.45, 0.01],
+        }
+    }
+
+    #[test]
+    fn startup_gets_public() {
+        let rec = advise(&Requirements::startup_program(), &metrics());
+        assert_eq!(rec.best(), DeploymentKind::Public);
+    }
+
+    #[test]
+    fn exam_authority_gets_private() {
+        let rec = advise(&Requirements::exam_authority(), &metrics());
+        assert_eq!(rec.best(), DeploymentKind::Private);
+    }
+
+    #[test]
+    fn scores_are_normalized() {
+        let rec = advise(&Requirements::balanced_university(), &metrics());
+        for (_, s) in &rec.ranking {
+            assert!((0.0..=1.0).contains(s), "score {s}");
+        }
+        // Sorted descending.
+        for w in rec.ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn rationale_names_winners() {
+        let rec = advise(&Requirements::balanced_university(), &metrics());
+        assert!(!rec.rationale.is_empty());
+        assert!(rec
+            .rationale
+            .iter()
+            .any(|l| l.contains("time to service") && l.contains("public")));
+        assert!(rec
+            .rationale
+            .iter()
+            .any(|l| l.contains("portability") && l.contains("private")));
+    }
+
+    #[test]
+    fn goodness_normalization() {
+        assert_eq!(goodness([1.0, 3.0, 2.0]), [1.0, 0.0, 0.5]);
+        assert_eq!(goodness([5.0, 5.0, 5.0]), [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid requirements")]
+    #[allow(clippy::field_reassign_with_default)]
+    fn invalid_requirements_rejected() {
+        let mut r = Requirements::default();
+        r.cost_sensitivity = 2.0;
+        let _ = advise(&r, &metrics());
+    }
+
+    #[test]
+    fn display_renders() {
+        let rec = advise(&Requirements::default(), &metrics());
+        let text = rec.to_string();
+        assert!(text.contains("recommendation:"));
+    }
+}

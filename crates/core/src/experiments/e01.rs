@@ -1,0 +1,229 @@
+//! E1 — Total cost of ownership across institution sizes.
+//!
+//! Paper claims under test: §III.1 "lower costs" for cloud clients, §IV.A
+//! public is the "lowest cost" entry, §IV.B private has "relatively higher
+//! costs". Expected shape: public wins small institutions; ownership wins
+//! at sustained scale; the crossover is the decision boundary.
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_cloud::billing::Usd;
+use elc_deploy::cost::{tco, CostBreakdown, CostInputs};
+use elc_deploy::model::{Deployment, DeploymentKind};
+
+use crate::scenario::Scenario;
+
+/// Population sweep points.
+pub const SIZES: [u32; 5] = [1_000, 5_000, 20_000, 60_000, 150_000];
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostRow {
+    /// Institution size.
+    pub students: u32,
+    /// 3-model TCO in model order (public, private, hybrid).
+    pub totals: [Usd; 3],
+}
+
+impl CostRow {
+    /// Index of the cheapest model.
+    #[must_use]
+    pub fn winner(&self) -> DeploymentKind {
+        let mut best = 0;
+        for i in 1..3 {
+            if self.totals[i] < self.totals[best] {
+                best = i;
+            }
+        }
+        DeploymentKind::ALL[best]
+    }
+}
+
+/// E1 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One row per sweep size.
+    pub rows: Vec<CostRow>,
+    /// Smallest sweep size where a non-public model is cheapest, if any.
+    pub crossover_students: Option<u32>,
+    /// TCO at the scenario's own size, for the T1 matrix.
+    pub at_scenario: [Usd; 3],
+    /// Full cost breakdowns at the scenario's own size, in model order.
+    pub at_scenario_breakdown: [CostBreakdown; 3],
+    /// Public TCO at the scenario size with the always-on baseline on
+    /// reserved instances (the 2013 cost-optimization play).
+    pub public_reserved: Usd,
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let breakdowns = |students: u32| -> [CostBreakdown; 3] {
+        let sized = scenario.with_students(students);
+        let mut inputs = CostInputs::standard(sized.workload());
+        inputs.years = scenario.years();
+        [
+            tco(&Deployment::public(), &inputs),
+            tco(&Deployment::private(), &inputs),
+            tco(&Deployment::hybrid_default(), &inputs),
+        ]
+    };
+    let price = |students: u32| -> [Usd; 3] {
+        let b = breakdowns(students);
+        [b[0].total(), b[1].total(), b[2].total()]
+    };
+
+    let rows: Vec<CostRow> = SIZES
+        .iter()
+        .map(|&students| CostRow {
+            students,
+            totals: price(students),
+        })
+        .collect();
+
+    let crossover_students = rows
+        .iter()
+        .find(|r| r.winner() != DeploymentKind::Public)
+        .map(|r| r.students);
+
+    let at_scenario_breakdown = breakdowns(scenario.students());
+    let public_reserved = {
+        let sized = scenario.with_students(scenario.students());
+        let mut inputs = CostInputs::standard(sized.workload()).with_reserved();
+        inputs.years = scenario.years();
+        tco(&Deployment::public(), &inputs).total()
+    };
+    Output {
+        public_reserved,
+        at_scenario: [
+            at_scenario_breakdown[0].total(),
+            at_scenario_breakdown[1].total(),
+            at_scenario_breakdown[2].total(),
+        ],
+        at_scenario_breakdown,
+        rows,
+        crossover_students,
+    }
+}
+
+impl Output {
+    /// Renders the E1 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "students",
+            "public ($)",
+            "private ($)",
+            "hybrid ($)",
+            "cheapest",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.students.to_string(),
+                fmt_f64(r.totals[0].amount()),
+                fmt_f64(r.totals[1].amount()),
+                fmt_f64(r.totals[2].amount()),
+                r.winner().to_string(),
+            ]);
+        }
+        let mut s = Section::new("E1", "TCO vs institution size (3-year horizon)", t);
+        s.note("paper §III.1/§IV: public is the low-cost entry; private carries capex, power, cooling, staff");
+        match self.crossover_students {
+            Some(n) => s.note(format!(
+                "measured: public wins below ~{n} students; ownership wins at sustained scale"
+            )),
+            None => s.note("measured: public cheapest at every swept size"),
+        };
+        for (i, kind) in DeploymentKind::ALL.iter().enumerate() {
+            let b = &self.at_scenario_breakdown[i];
+            s.note(format!(
+                "breakdown at scenario size, {kind}: capex {}, facilities {}, staff {}, cloud usage {}, consultancy {}",
+                b.capex, b.facilities, b.staff, b.cloud_usage, b.consultancy
+            ));
+        }
+        s.note(format!(
+            "reserving the always-on baseline cuts public to {} at scenario size (vs {} on-demand)",
+            self.public_reserved, self.at_scenario[0]
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(42))
+    }
+
+    #[test]
+    fn public_wins_smallest_size() {
+        let out = output();
+        assert_eq!(out.rows[0].winner(), DeploymentKind::Public);
+    }
+
+    #[test]
+    fn ownership_wins_largest_size() {
+        let out = output();
+        let last = out.rows.last().unwrap();
+        assert_ne!(last.winner(), DeploymentKind::Public);
+    }
+
+    #[test]
+    fn crossover_detected() {
+        let out = output();
+        let n = out.crossover_students.expect("a crossover exists");
+        assert!(n > SIZES[0] && n <= SIZES[SIZES.len() - 1]);
+    }
+
+    #[test]
+    fn costs_increase_with_scale() {
+        let out = output();
+        for w in out.rows.windows(2) {
+            for i in 0..3 {
+                assert!(
+                    w[1].totals[i] >= w[0].totals[i],
+                    "model {i} cost decreased with scale"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn section_mentions_crossover() {
+        let out = output();
+        let s = out.section();
+        assert_eq!(s.id(), "E1");
+        assert_eq!(s.table().len(), SIZES.len());
+        assert!(s.notes().iter().any(|n| n.contains("students")));
+    }
+
+    #[test]
+    fn scenario_size_priced() {
+        let out = output();
+        for (v, b) in out.at_scenario.iter().zip(&out.at_scenario_breakdown) {
+            assert!(*v > Usd::ZERO);
+            assert_eq!(*v, b.total());
+        }
+        // The breakdowns show *why*: private pays capex+staff, public pays
+        // usage.
+        assert_eq!(out.at_scenario_breakdown[0].capex, Usd::ZERO);
+        assert!(out.at_scenario_breakdown[1].capex > Usd::ZERO);
+        assert_eq!(out.at_scenario_breakdown[1].cloud_usage, Usd::ZERO);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Scenario::university(1));
+        let b = run(&Scenario::university(2));
+        // The cost model is closed-form: seeds must not matter.
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn reserved_baseline_is_cheaper() {
+        let out = output();
+        assert!(out.public_reserved < out.at_scenario[0]);
+    }
+}

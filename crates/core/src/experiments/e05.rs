@@ -1,0 +1,182 @@
+//! E5 — Device independence: session continuity across machine switches.
+//!
+//! Paper claim under test: §III.5 "you're no longer tethered to a single
+//! computer … change computers, and your existing applications and
+//! documents follow you through the cloud". Expected shape: cloud sessions
+//! carry ≥99% of accumulated work to the new device; device-local state
+//! carries none of it.
+
+use elc_analysis::report::Section;
+use elc_analysis::stats::mean;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_elearn::session::{SessionPolicy, StateLocation, WorkSession};
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+use crate::scenario::Scenario;
+
+/// Session lengths examined.
+pub const SESSION_MINUTES: [u64; 3] = [10, 60, 180];
+
+/// Switches sampled per session length.
+const SAMPLES: u64 = 2_000;
+
+/// One (policy, session length) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuityRow {
+    /// Where state lives.
+    pub location: StateLocation,
+    /// Session length in minutes.
+    pub session_minutes: u64,
+    /// Mean fraction of work present on the new device.
+    pub mean_continuity: f64,
+    /// Mean minutes of work re-done after the switch.
+    pub mean_redo_minutes: f64,
+}
+
+/// E5 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One row per (policy, length).
+    pub rows: Vec<ContinuityRow>,
+}
+
+/// Runs the device-switch samples: a switch happens at a uniformly random
+/// instant within the session.
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let rng = SimRng::seed(scenario.seed()).derive("e05");
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("cloud", SessionPolicy::cloud_default()),
+        ("device", SessionPolicy::desktop_default()),
+    ] {
+        for &minutes in &SESSION_MINUTES {
+            let mut r = rng.derive(label).derive_u64(minutes);
+            let len = SimDuration::from_mins(minutes);
+            let mut continuity = Vec::with_capacity(SAMPLES as usize);
+            let mut redo = Vec::with_capacity(SAMPLES as usize);
+            for _ in 0..SAMPLES {
+                let session = WorkSession::new(SimTime::ZERO, policy);
+                let switch_at = SimTime::ZERO
+                    + SimDuration::from_nanos(r.range_u64(1, len.as_nanos()));
+                let c = session.continuity_after_switch(switch_at);
+                continuity.push(c);
+                let worked = switch_at.saturating_since(SimTime::ZERO).as_secs_f64() / 60.0;
+                redo.push(worked * (1.0 - c));
+            }
+            rows.push(ContinuityRow {
+                location: policy.location,
+                session_minutes: minutes,
+                mean_continuity: mean(&continuity),
+                mean_redo_minutes: mean(&redo),
+            });
+        }
+    }
+    Output { rows }
+}
+
+impl Output {
+    /// Mean continuity across lengths for a location.
+    #[must_use]
+    pub fn mean_continuity(&self, location: StateLocation) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.location == location)
+            .map(|r| r.mean_continuity)
+            .collect();
+        mean(&vals)
+    }
+
+    /// Renders the E5 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "state location",
+            "session (min)",
+            "continuity (%)",
+            "work redone (min)",
+        ]);
+        for r in &self.rows {
+            let loc = match r.location {
+                StateLocation::Cloud => "cloud",
+                StateLocation::Device => "device",
+            };
+            t.row([
+                loc.to_string(),
+                r.session_minutes.to_string(),
+                fmt_f64(r.mean_continuity * 100.0),
+                fmt_f64(r.mean_redo_minutes),
+            ]);
+        }
+        let mut s = Section::new("E5", "Device-switch continuity", t);
+        s.note("paper §III.5: documents \"follow you through the cloud\"");
+        s.note(format!(
+            "measured: cloud sessions carry {:.1}% of work to the new device; device-local state carries 0%",
+            self.mean_continuity(StateLocation::Cloud) * 100.0
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(13))
+    }
+
+    #[test]
+    fn cloud_continuity_is_near_total() {
+        let out = output();
+        assert!(out.mean_continuity(StateLocation::Cloud) > 0.9);
+    }
+
+    #[test]
+    fn device_continuity_is_zero() {
+        let out = output();
+        assert_eq!(out.mean_continuity(StateLocation::Device), 0.0);
+        for r in out.rows.iter().filter(|r| r.location == StateLocation::Device) {
+            // Everything worked so far must be redone.
+            assert!(r.mean_redo_minutes > 0.0);
+        }
+    }
+
+    #[test]
+    fn longer_cloud_sessions_have_higher_relative_continuity() {
+        let out = output();
+        let cloud: Vec<&ContinuityRow> = out
+            .rows
+            .iter()
+            .filter(|r| r.location == StateLocation::Cloud)
+            .collect();
+        // The 30s autosave bound matters less as sessions grow.
+        assert!(cloud[0].mean_continuity < cloud[2].mean_continuity);
+    }
+
+    #[test]
+    fn cloud_redo_is_bounded_by_autosave() {
+        let out = output();
+        for r in out.rows.iter().filter(|r| r.location == StateLocation::Cloud) {
+            assert!(
+                r.mean_redo_minutes <= 0.5,
+                "redo {} min exceeds the 30s autosave bound",
+                r.mean_redo_minutes
+            );
+        }
+    }
+
+    #[test]
+    fn section_shape() {
+        let s = output().section();
+        assert_eq!(s.id(), "E5");
+        assert_eq!(s.table().len(), SESSION_MINUTES.len() * 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Scenario::university(9)), run(&Scenario::university(9)));
+    }
+}

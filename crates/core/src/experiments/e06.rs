@@ -1,0 +1,175 @@
+//! E6 — Security: unauthorized-access incidents per deployment model.
+//!
+//! Paper claims under test: §IV.A shared public infrastructure "increases
+//! the potential for unauthorized access and exposure"; §III.6 any cloud
+//! beats exam files on staff desktops. Expected shape: on confidential
+//! assets, private ≈ hybrid < public < desktop baseline.
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_deploy::model::{Deployment, DeploymentKind};
+use elc_deploy::security::{CampaignReport, ThreatModel};
+use elc_simcore::rng::SimRng;
+
+use crate::scenario::Scenario;
+
+/// Campaign horizon, years (long, for stable incident counts).
+pub const CAMPAIGN_YEARS: f64 = 50.0;
+
+/// One model's security measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityRow {
+    /// The deployment model.
+    pub kind: DeploymentKind,
+    /// Analytic incidents/year across all components.
+    pub incident_rate: f64,
+    /// Analytic incidents/year touching confidential assets.
+    pub confidential_rate: f64,
+    /// Simulated campaign over [`CAMPAIGN_YEARS`].
+    pub campaign: CampaignReport,
+}
+
+/// E6 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One row per model.
+    pub rows: Vec<SecurityRow>,
+    /// The desktop baseline's confidential compromise rate (per year).
+    pub desktop_baseline: f64,
+}
+
+/// Runs analytic rates plus a Monte-Carlo campaign.
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let threat = ThreatModel::standard();
+    let rng = SimRng::seed(scenario.seed()).derive("e06");
+    let rows = DeploymentKind::ALL
+        .iter()
+        .map(|&kind| {
+            let d = Deployment::canonical(kind);
+            let mut r = rng.derive(&kind.to_string());
+            SecurityRow {
+                kind,
+                incident_rate: threat.annual_incident_rate(&d),
+                confidential_rate: threat.annual_confidential_incident_rate(&d),
+                campaign: threat.simulate_campaign(&mut r, &d, CAMPAIGN_YEARS),
+            }
+        })
+        .collect();
+    Output {
+        rows,
+        desktop_baseline: threat.desktop_baseline_rate(),
+    }
+}
+
+impl Output {
+    /// The row for a model.
+    #[must_use]
+    pub fn row(&self, kind: DeploymentKind) -> &SecurityRow {
+        self.rows
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all models measured")
+    }
+
+    /// Renders the E6 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "model",
+            "incidents/yr",
+            "confidential/yr",
+            "sim attempts (50y)",
+            "sim breaches (50y)",
+            "sim confidential (50y)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.kind.to_string(),
+                fmt_f64(r.incident_rate),
+                fmt_f64(r.confidential_rate),
+                r.campaign.attempts.to_string(),
+                r.campaign.breaches.to_string(),
+                r.campaign.confidential_breaches.to_string(),
+            ]);
+        }
+        t.row([
+            "desktop-files".to_string(),
+            fmt_f64(self.desktop_baseline),
+            fmt_f64(self.desktop_baseline),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        let mut s = Section::new("E6", "Unauthorized-access incidents", t);
+        s.note("paper §IV.A: shared infrastructure raises exposure; §III.6: any cloud beats desktop files");
+        s.note("measured: private = hybrid < public on confidential incidents; all far below the desktop baseline");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(17))
+    }
+
+    #[test]
+    fn public_has_most_incidents() {
+        let out = output();
+        let public = out.row(DeploymentKind::Public);
+        let private = out.row(DeploymentKind::Private);
+        let hybrid = out.row(DeploymentKind::Hybrid);
+        assert!(public.incident_rate > hybrid.incident_rate);
+        assert!(hybrid.incident_rate > private.incident_rate);
+    }
+
+    #[test]
+    fn hybrid_protects_confidential_like_private() {
+        let out = output();
+        assert_eq!(
+            out.row(DeploymentKind::Hybrid).confidential_rate,
+            out.row(DeploymentKind::Private).confidential_rate
+        );
+        assert!(
+            out.row(DeploymentKind::Public).confidential_rate
+                > out.row(DeploymentKind::Hybrid).confidential_rate
+        );
+    }
+
+    #[test]
+    fn every_model_beats_desktop() {
+        let out = output();
+        for r in &out.rows {
+            assert!(r.confidential_rate < out.desktop_baseline);
+        }
+    }
+
+    #[test]
+    fn campaigns_track_analytic_rates() {
+        let out = output();
+        for r in &out.rows {
+            let expected = r.incident_rate * CAMPAIGN_YEARS;
+            let got = r.campaign.breaches as f64;
+            assert!(
+                (got - expected).abs() < expected.mul_add(0.8, 6.0),
+                "{}: sim {got} vs analytic {expected}",
+                r.kind
+            );
+        }
+    }
+
+    #[test]
+    fn section_has_baseline_row() {
+        let s = output().section();
+        assert_eq!(s.id(), "E6");
+        assert_eq!(s.table().len(), 4); // 3 models + desktop baseline
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Scenario::university(2)), run(&Scenario::university(2)));
+    }
+}

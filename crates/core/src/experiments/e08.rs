@@ -1,0 +1,144 @@
+//! E8 — Portability: the cost and time of leaving.
+//!
+//! Paper claims under test: §III risk 3 (proprietary interfaces limit the
+//! "ability to bring systems back in-house or choose another cloud
+//! provider") and §IV.A ("bringing that system back in-house will be
+//! relatively difficult and expensive"). Expected shape: exit cost and
+//! duration are worst for public, zero for private, and materially reduced
+//! by the hybrid's portability layer.
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_cloud::billing::PriceSheet;
+use elc_deploy::cost::CostInputs;
+use elc_deploy::migration::{exit_plan, ExitPlan};
+use elc_deploy::model::{Deployment, DeploymentKind};
+use elc_net::link::{Link, LinkProfile};
+
+use crate::scenario::Scenario;
+
+/// One model's exit assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitRow {
+    /// The deployment model.
+    pub kind: DeploymentKind,
+    /// The priced plan.
+    pub plan: ExitPlan,
+}
+
+/// E8 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One row per model.
+    pub rows: Vec<ExitRow>,
+}
+
+/// Prices exits for the scenario's data volume.
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let inputs = CostInputs::standard(scenario.workload());
+    let prices = PriceSheet::public_2013();
+    let link = Link::from_profile(LinkProfile::InterDatacenter);
+    let rows = DeploymentKind::ALL
+        .iter()
+        .map(|&kind| ExitRow {
+            kind,
+            plan: exit_plan(
+                &Deployment::canonical(kind),
+                inputs.stored_bytes,
+                &prices,
+                &link,
+            ),
+        })
+        .collect();
+    Output { rows }
+}
+
+impl Output {
+    /// The row for a model.
+    #[must_use]
+    pub fn row(&self, kind: DeploymentKind) -> &ExitRow {
+        self.rows
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all models measured")
+    }
+
+    /// Renders the E8 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "model",
+            "egress ($)",
+            "rework ($)",
+            "total ($)",
+            "duration (days)",
+            "downtime (h)",
+            "APIs reworked",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.kind.to_string(),
+                fmt_f64(r.plan.egress_cost.amount()),
+                fmt_f64(r.plan.rework_cost.amount()),
+                fmt_f64(r.plan.total_cost.amount()),
+                fmt_f64(r.plan.duration.as_secs_f64() / 86_400.0),
+                fmt_f64(r.plan.downtime.as_secs_f64() / 3_600.0),
+                r.plan.apis_reworked.to_string(),
+            ]);
+        }
+        let mut s = Section::new("E8", "Exit cost (vendor lock-in)", t);
+        s.note("paper §IV.A: leaving a public provider is \"relatively difficult and expensive\"");
+        s.note("measured: public exit is the most expensive; hybrid's portability layer halves the rework; private exits free");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_cloud::billing::Usd;
+
+    fn output() -> Output {
+        run(&Scenario::university(29))
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let out = output();
+        let public = out.row(DeploymentKind::Public).plan.total_cost;
+        let hybrid = out.row(DeploymentKind::Hybrid).plan.total_cost;
+        let private = out.row(DeploymentKind::Private).plan.total_cost;
+        assert_eq!(private, Usd::ZERO);
+        assert!(hybrid > private && hybrid < public);
+    }
+
+    #[test]
+    fn public_exit_takes_weeks() {
+        let out = output();
+        let d = out.row(DeploymentKind::Public).plan.duration;
+        assert!(d.as_secs() > 30 * 86_400, "duration {d}");
+    }
+
+    #[test]
+    fn exit_scales_with_population() {
+        let small = run(&Scenario::small_college(1));
+        let big = run(&Scenario::national_platform(1));
+        assert!(
+            big.row(DeploymentKind::Public).plan.egress_cost
+                > small.row(DeploymentKind::Public).plan.egress_cost * 10.0
+        );
+    }
+
+    #[test]
+    fn section_shape() {
+        let s = output().section();
+        assert_eq!(s.id(), "E8");
+        assert_eq!(s.table().len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Scenario::university(1)), run(&Scenario::university(9)));
+    }
+}

@@ -1,0 +1,114 @@
+//! E9 — Time to first service.
+//!
+//! Paper claim under test: §IV.A the public cloud is "the most practical
+//! approach to get the quickest solution … in a quickest and lowest cost".
+//! Expected shape: public in days, private in weeks (procurement-gated),
+//! hybrid slowest (procurement plus integration).
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_deploy::model::{Deployment, DeploymentKind};
+use elc_deploy::provisioning::{schedule, ProvisioningSchedule};
+
+use crate::scenario::Scenario;
+
+/// One model's provisioning timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvisionRow {
+    /// The deployment model.
+    pub kind: DeploymentKind,
+    /// Phase-by-phase schedule.
+    pub schedule: ProvisioningSchedule,
+}
+
+/// E9 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One row per model.
+    pub rows: Vec<ProvisionRow>,
+}
+
+/// Computes the three schedules (closed-form; the scenario only names the
+/// report).
+#[must_use]
+pub fn run(_scenario: &Scenario) -> Output {
+    Output {
+        rows: DeploymentKind::ALL
+            .iter()
+            .map(|&kind| ProvisionRow {
+                kind,
+                schedule: schedule(&Deployment::canonical(kind)),
+            })
+            .collect(),
+    }
+}
+
+impl Output {
+    /// The row for a model.
+    #[must_use]
+    pub fn row(&self, kind: DeploymentKind) -> &ProvisionRow {
+        self.rows
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all models measured")
+    }
+
+    /// Renders the E9 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let days = |d: elc_simcore::SimDuration| fmt_f64(d.as_secs_f64() / 86_400.0);
+        let mut t = Table::new([
+            "model",
+            "acquisition (days)",
+            "installation (days)",
+            "integration (days)",
+            "time to service (days)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.kind.to_string(),
+                days(r.schedule.acquisition),
+                days(r.schedule.installation),
+                days(r.schedule.integration),
+                days(r.schedule.time_to_service()),
+            ]);
+        }
+        let mut s = Section::new("E9", "Time to first service", t);
+        s.note("paper §IV.A: public cloud is the \"quickest solution\"");
+        s.note("measured: public serves in ~2 days; private waits ~8 weeks on procurement; hybrid adds integration on top");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(1))
+    }
+
+    #[test]
+    fn public_is_order_of_magnitude_faster() {
+        let out = output();
+        let public = out.row(DeploymentKind::Public).schedule.time_to_service();
+        let private = out.row(DeploymentKind::Private).schedule.time_to_service();
+        assert!(public.as_secs() * 10 < private.as_secs());
+    }
+
+    #[test]
+    fn hybrid_is_slowest() {
+        let out = output();
+        let hybrid = out.row(DeploymentKind::Hybrid).schedule.time_to_service();
+        for kind in [DeploymentKind::Public, DeploymentKind::Private] {
+            assert!(hybrid > out.row(kind).schedule.time_to_service());
+        }
+    }
+
+    #[test]
+    fn section_shape() {
+        let s = output().section();
+        assert_eq!(s.id(), "E9");
+        assert_eq!(s.table().len(), 3);
+    }
+}

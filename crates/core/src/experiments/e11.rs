@@ -1,0 +1,136 @@
+//! E11 — Governance and management overhead vs platform count.
+//!
+//! Paper claim under test: §IV.C hybrid governance is harder "inasmuch as
+//! there are two different models in use. It means that more expertise and
+//! increased consultancy costs are needed". Expected shape: one-time
+//! consultancy grows superlinearly with platform count (pairwise
+//! integration), ongoing governance linearly.
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_cloud::billing::Usd;
+use elc_deploy::calib;
+use elc_deploy::governance::{governance_fte, overhead, setup_consultancy};
+use elc_deploy::model::{Deployment, DeploymentKind};
+
+use crate::scenario::Scenario;
+
+/// One platform-count row (1 and 2 correspond to the paper's pure and
+/// hybrid models; 3–4 extrapolate to multi-provider hybrids).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernanceRow {
+    /// Number of distinct platforms operated.
+    pub platforms: u32,
+    /// One-time setup consultancy.
+    pub consultancy: Usd,
+    /// Ongoing governance staffing, FTE.
+    pub governance_fte: f64,
+    /// Annualized governance staffing cost.
+    pub annual_cost: Usd,
+}
+
+/// E11 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// Rows for 1..=4 platforms.
+    pub rows: Vec<GovernanceRow>,
+    /// Total ops FTE per canonical deployment model.
+    pub model_fte: [f64; 3],
+}
+
+/// Computes the overhead curve (closed-form).
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let rows = (1..=4)
+        .map(|platforms| {
+            let fte = governance_fte(platforms);
+            GovernanceRow {
+                platforms,
+                consultancy: setup_consultancy(platforms),
+                governance_fte: fte,
+                annual_cost: calib::SYSADMIN_FTE_PER_YEAR * fte,
+            }
+        })
+        .collect();
+
+    // Size private fleets roughly to the scenario for the FTE comparison.
+    let servers = (scenario.students() / 10_000).max(2);
+    let mut model_fte = [0.0; 3];
+    for (i, kind) in DeploymentKind::ALL.iter().enumerate() {
+        let d = Deployment::canonical(*kind);
+        let private_servers = if *kind == DeploymentKind::Public { 0 } else { servers };
+        let o = overhead(&d, private_servers);
+        model_fte[i] = o.admin_fte + o.governance_fte;
+    }
+    Output { rows, model_fte }
+}
+
+impl Output {
+    /// Renders the E11 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "platforms",
+            "setup consultancy ($)",
+            "governance (FTE)",
+            "governance cost ($/yr)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.platforms.to_string(),
+                fmt_f64(r.consultancy.amount()),
+                fmt_f64(r.governance_fte),
+                fmt_f64(r.annual_cost.amount()),
+            ]);
+        }
+        let mut s = Section::new("E11", "Governance overhead vs platform count", t);
+        s.note("paper §IV.C: two models in use ⇒ \"more expertise and increased consultancy costs\"");
+        s.note(format!(
+            "measured ops FTE (public/private/hybrid): {:.2} / {:.2} / {:.2}",
+            self.model_fte[0], self.model_fte[1], self.model_fte[2]
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(37))
+    }
+
+    #[test]
+    fn consultancy_grows_superlinearly() {
+        let out = output();
+        let c: Vec<f64> = out.rows.iter().map(|r| r.consultancy.amount()).collect();
+        // Marginal cost of each extra platform increases.
+        assert!(c[1] - c[0] < c[2] - c[1]);
+        assert!(c[2] - c[1] < c[3] - c[2]);
+    }
+
+    #[test]
+    fn governance_fte_grows_linearly() {
+        let out = output();
+        let g: Vec<f64> = out.rows.iter().map(|r| r.governance_fte).collect();
+        let d1 = g[1] - g[0];
+        for w in g.windows(2) {
+            assert!((w[1] - w[0] - d1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_has_highest_ops_fte() {
+        let out = output();
+        assert!(out.model_fte[2] > out.model_fte[0]);
+        assert!(out.model_fte[2] > out.model_fte[1]);
+    }
+
+    #[test]
+    fn section_shape() {
+        let s = output().section();
+        assert_eq!(s.id(), "E11");
+        assert_eq!(s.table().len(), 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! E13 (extension) — Community cloud: the consortium alternative.
+//!
+//! The paper stops at three models, but §IV.C explicitly imagines the
+//! hybrid as a path to "a national private cloud system", and its NIST
+//! source defines that fourth model: the community cloud. This experiment
+//! sweeps consortium size for a fixed member profile and compares the
+//! per-member outcome against going it alone (private) and going public.
+//!
+//! Expected shape: per-member TCO falls steeply over the first few
+//! members (shared fixed costs + exam-calendar diversity), then saturates
+//! as coordination overhead grows; security sits between private and
+//! public; joining an established community is weeks faster than building
+//! a private cloud.
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_cloud::billing::Usd;
+use elc_deploy::community::{sweep_members, CommunityAssessment};
+use elc_deploy::cost::{tco, CostInputs};
+use elc_deploy::model::Deployment;
+
+use crate::scenario::Scenario;
+
+/// Largest consortium swept.
+pub const MAX_MEMBERS: u32 = 16;
+
+/// E13 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One assessment per consortium size `1..=MAX_MEMBERS`.
+    pub sweep: Vec<CommunityAssessment>,
+    /// Per-institution TCO of the pure private model (the "go it alone"
+    /// baseline).
+    pub private_baseline: Usd,
+    /// Per-institution TCO of the public model.
+    pub public_baseline: Usd,
+}
+
+/// Runs the consortium sweep. Each member has the scenario's population.
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let mut inputs = CostInputs::standard(scenario.workload());
+    inputs.years = scenario.years();
+    Output {
+        sweep: sweep_members(&inputs, MAX_MEMBERS),
+        private_baseline: tco(&Deployment::private(), &inputs).total(),
+        public_baseline: tco(&Deployment::public(), &inputs).total(),
+    }
+}
+
+impl Output {
+    /// Smallest consortium whose per-member TCO undercuts going private
+    /// alone, if any.
+    #[must_use]
+    pub fn breakeven_members(&self) -> Option<u32> {
+        self.sweep
+            .iter()
+            .find(|a| a.per_member_tco < self.private_baseline)
+            .map(|a| a.members)
+    }
+
+    /// Renders the E13 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "members",
+            "shared servers",
+            "per-member TCO ($)",
+            "consortium FTE",
+            "confidential incidents/yr",
+            "time to join (days)",
+        ]);
+        for a in &self.sweep {
+            t.row([
+                a.members.to_string(),
+                a.servers.to_string(),
+                fmt_f64(a.per_member_tco.amount()),
+                fmt_f64(a.total_fte),
+                fmt_f64(a.confidential_incident_rate),
+                fmt_f64(a.time_to_join.as_secs_f64() / 86_400.0),
+            ]);
+        }
+        let mut s = Section::new(
+            "E13",
+            "Community cloud: per-member economics vs consortium size (extension)",
+            t,
+        );
+        s.note("paper §IV.C imagines a \"national private cloud\"; NIST [3] names it: the community model");
+        s.note(format!(
+            "baselines (per institution): private alone ${}, public ${}; consortium beats private from {} members",
+            fmt_f64(self.private_baseline.amount()),
+            fmt_f64(self.public_baseline.amount()),
+            self.breakeven_members()
+                .map_or_else(|| "n/a".to_string(), |m| m.to_string())
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(19))
+    }
+
+    #[test]
+    fn sweep_is_complete() {
+        let out = output();
+        assert_eq!(out.sweep.len(), MAX_MEMBERS as usize);
+    }
+
+    #[test]
+    fn consortium_beats_going_alone() {
+        let out = output();
+        let m = out.breakeven_members().expect("a break-even exists");
+        assert!(m <= 4, "break-even at {m} members, expected early");
+    }
+
+    #[test]
+    fn per_member_cost_is_monotone_decreasing_early() {
+        let out = output();
+        for w in out.sweep.windows(2).take(6) {
+            assert!(
+                w[1].per_member_tco <= w[0].per_member_tco,
+                "cost rose from {} to {} members",
+                w[0].members,
+                w[1].members
+            );
+        }
+    }
+
+    #[test]
+    fn solo_community_is_just_a_private_cloud_plus_overhead() {
+        let out = output();
+        let solo = out.sweep[0].per_member_tco;
+        // Within 25% of the private baseline (shared model adds small
+        // membership overhead and sizes servers slightly differently).
+        let ratio = solo.ratio(out.private_baseline);
+        assert!((0.75..=1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn section_shape() {
+        let out = output();
+        let s = out.section();
+        assert_eq!(s.id(), "E13");
+        assert_eq!(s.table().len(), MAX_MEMBERS as usize);
+        assert!(s.notes().iter().any(|n| n.contains("national private cloud")));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Scenario::university(1)), run(&Scenario::university(2)));
+    }
+}

@@ -1,0 +1,147 @@
+//! E14 (extension) — Service models: IaaS vs PaaS vs SaaS on the public
+//! cloud.
+//!
+//! §III notes that "the biggest players in the field of e-learning
+//! software have now versions of the base applications that are cloud
+//! oriented" — LMS-as-SaaS. The deployment model fixes *where*; the
+//! service model fixes *how much stack the institution still runs*. This
+//! experiment prices the three rungs against the scenario's own usage.
+//!
+//! Expected shape: SaaS is fastest to service and cheapest to operate but
+//! deepest in lock-in and least customizable; IaaS is the reverse; the
+//! cost ranking flips with usage volume (staff savings vs price premium).
+
+use elc_analysis::report::Section;
+use elc_analysis::table::{fmt_f64, Table};
+use elc_deploy::cost::{tco, CostInputs};
+use elc_deploy::model::Deployment;
+use elc_deploy::service_model::{assess_all, ServiceAssessment, ServiceModel};
+
+use crate::scenario::Scenario;
+
+/// E14 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// One assessment per service model, least managed first.
+    pub rows: Vec<ServiceAssessment>,
+}
+
+/// Runs the assessment against the scenario's public-cloud usage bill.
+#[must_use]
+pub fn run(scenario: &Scenario) -> Output {
+    let mut inputs = CostInputs::standard(scenario.workload());
+    inputs.years = scenario.years();
+    let iaas_usage = tco(&Deployment::public(), &inputs).cloud_usage;
+    Output {
+        rows: assess_all(iaas_usage, scenario.years()),
+    }
+}
+
+impl Output {
+    /// The assessment for one model.
+    #[must_use]
+    pub fn row(&self, model: ServiceModel) -> &ServiceAssessment {
+        self.rows
+            .iter()
+            .find(|r| r.model == model)
+            .expect("all models assessed")
+    }
+
+    /// Renders the E14 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut t = Table::new([
+            "service model",
+            "time to service (days)",
+            "ops (FTE)",
+            "usage ($)",
+            "staff ($)",
+            "total ($)",
+            "exit rework ($)",
+            "customization",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.model.to_string(),
+                fmt_f64(r.time_to_service.as_secs_f64() / 86_400.0),
+                fmt_f64(r.ops_fte),
+                fmt_f64(r.usage_cost.amount()),
+                fmt_f64(r.staff_cost.amount()),
+                fmt_f64(r.total_cost().amount()),
+                fmt_f64(r.exit_rework.amount()),
+                fmt_f64(r.customization),
+            ]);
+        }
+        let mut s = Section::new(
+            "E14",
+            "Service models on the public cloud: IaaS / PaaS / SaaS (extension)",
+            t,
+        );
+        s.note("paper §III: LMS vendors ship \"cloud oriented\" versions — the SaaS rung of NIST's service models");
+        s.note("measured: SaaS trades the deepest lock-in and least customization for the fastest start and lowest ops");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> Output {
+        run(&Scenario::university(23))
+    }
+
+    #[test]
+    fn ordering_claims_hold() {
+        let out = output();
+        let iaas = out.row(ServiceModel::Iaas);
+        let saas = out.row(ServiceModel::Saas);
+        assert!(saas.time_to_service < iaas.time_to_service);
+        assert!(saas.ops_fte < iaas.ops_fte);
+        assert!(saas.exit_rework > iaas.exit_rework);
+        assert!(saas.customization < iaas.customization);
+        assert!(saas.usage_cost > iaas.usage_cost);
+    }
+
+    #[test]
+    fn cost_ranking_flips_with_scale() {
+        // Small college: staff savings dominate → SaaS total wins.
+        let small = run(&Scenario::small_college(1));
+        assert!(
+            small.row(ServiceModel::Saas).total_cost()
+                < small.row(ServiceModel::Iaas).total_cost()
+        );
+        // National platform: the usage premium dominates → IaaS wins.
+        let big = run(&Scenario::national_platform(1));
+        assert!(
+            big.row(ServiceModel::Iaas).total_cost()
+                < big.row(ServiceModel::Saas).total_cost()
+        );
+    }
+
+    #[test]
+    fn paas_sits_between() {
+        let out = output();
+        let [iaas, paas, saas] = [
+            out.row(ServiceModel::Iaas),
+            out.row(ServiceModel::Paas),
+            out.row(ServiceModel::Saas),
+        ];
+        assert!(paas.ops_fte < iaas.ops_fte && paas.ops_fte > saas.ops_fte);
+        assert!(
+            paas.exit_rework > iaas.exit_rework && paas.exit_rework < saas.exit_rework
+        );
+    }
+
+    #[test]
+    fn section_shape() {
+        let s = output().section();
+        assert_eq!(s.id(), "E14");
+        assert_eq!(s.table().len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Scenario::university(4)), run(&Scenario::university(5)));
+    }
+}

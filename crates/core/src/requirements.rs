@@ -1,0 +1,141 @@
+//! Institutional requirement profiles.
+//!
+//! §II: "customers can choose one of cloud deployment models, depending on
+//! their requirements", and the abstract names the axes: scalability,
+//! portability, security — plus cost and time pressure, which §IV argues
+//! about. A [`Requirements`] profile weights those axes; the advisor turns
+//! the weights plus measured metrics into a recommendation.
+
+/// Weighted priorities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Requirements {
+    /// How much the budget binds (1 = every dollar matters).
+    pub cost_sensitivity: f64,
+    /// Mandate to protect exam/grade confidentiality.
+    pub security_sensitivity: f64,
+    /// How bursty the expected load is (exam surges, enrollment spikes).
+    pub elasticity_need: f64,
+    /// Fear of vendor lock-in / need to move later.
+    pub portability_concern: f64,
+    /// How fast the system must exist (1 = next month).
+    pub time_pressure: f64,
+    /// Tolerance for operating hardware in-house (staff, space).
+    pub ops_capacity: f64,
+}
+
+impl Requirements {
+    /// Validates all weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending field name if any weight is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let fields = [
+            (self.cost_sensitivity, "cost_sensitivity"),
+            (self.security_sensitivity, "security_sensitivity"),
+            (self.elasticity_need, "elasticity_need"),
+            (self.portability_concern, "portability_concern"),
+            (self.time_pressure, "time_pressure"),
+            (self.ops_capacity, "ops_capacity"),
+        ];
+        for (v, name) in fields {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(name);
+            }
+        }
+        Ok(())
+    }
+
+    /// A cash-strapped startup program: cost and speed dominate (§IV.A's
+    /// "quickest and lowest cost" customer).
+    #[must_use]
+    pub fn startup_program() -> Self {
+        Requirements {
+            cost_sensitivity: 0.9,
+            security_sensitivity: 0.3,
+            elasticity_need: 0.6,
+            portability_concern: 0.2,
+            time_pressure: 0.9,
+            ops_capacity: 0.1,
+        }
+    }
+
+    /// A regulated national exam authority: confidentiality above all
+    /// (§IV.B's customer).
+    #[must_use]
+    pub fn exam_authority() -> Self {
+        Requirements {
+            cost_sensitivity: 0.3,
+            security_sensitivity: 1.0,
+            // Exam schedules are under the authority's own control, so
+            // surges are planned, not elastic-demand events.
+            elasticity_need: 0.2,
+            portability_concern: 0.6,
+            time_pressure: 0.2,
+            ops_capacity: 0.8,
+        }
+    }
+
+    /// A large university balancing everything (§IV.C's customer).
+    #[must_use]
+    pub fn balanced_university() -> Self {
+        Requirements {
+            cost_sensitivity: 0.6,
+            security_sensitivity: 0.7,
+            elasticity_need: 0.8,
+            portability_concern: 0.7,
+            time_pressure: 0.4,
+            ops_capacity: 0.6,
+        }
+    }
+}
+
+impl Default for Requirements {
+    fn default() -> Self {
+        Requirements::balanced_university()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for r in [
+            Requirements::startup_program(),
+            Requirements::exam_authority(),
+            Requirements::balanced_university(),
+        ] {
+            assert_eq!(r.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validation_catches_out_of_range() {
+        let mut r = Requirements::default();
+        r.elasticity_need = 1.5;
+        assert_eq!(r.validate(), Err("elasticity_need"));
+        r.elasticity_need = 0.5;
+        r.cost_sensitivity = -0.1;
+        assert_eq!(r.validate(), Err("cost_sensitivity"));
+    }
+
+    #[test]
+    fn presets_emphasize_their_axis() {
+        assert!(
+            Requirements::startup_program().cost_sensitivity
+                > Requirements::exam_authority().cost_sensitivity
+        );
+        assert!(
+            Requirements::exam_authority().security_sensitivity
+                > Requirements::startup_program().security_sensitivity
+        );
+    }
+
+    #[test]
+    fn default_is_balanced() {
+        assert_eq!(Requirements::default(), Requirements::balanced_university());
+    }
+}

@@ -1,0 +1,216 @@
+//! Evaluation scenarios.
+//!
+//! A [`Scenario`] bundles everything an experiment needs: the institution's
+//! size, its semester calendar, the learners' connectivity, a seed and a
+//! planning horizon. Presets cover the populations the paper's introduction
+//! motivates, from a small college to a national platform reaching rural
+//! learners.
+
+use elc_elearn::calendar::AcademicCalendar;
+use elc_elearn::workload::WorkloadModel;
+use elc_net::link::LinkProfile;
+use elc_net::outage::OutageModel;
+use elc_simcore::time::{SimDuration, SimTime};
+
+/// A named evaluation context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    students: u32,
+    seed: u64,
+    years: f64,
+    link: LinkProfile,
+    outages: OutageModel,
+    calendar: AcademicCalendar,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `students` is zero or `years` is not positive.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        students: u32,
+        seed: u64,
+        years: f64,
+        link: LinkProfile,
+        outages: OutageModel,
+    ) -> Self {
+        assert!(students > 0, "need students");
+        assert!(years > 0.0, "need a horizon");
+        Scenario {
+            name: name.into(),
+            students,
+            seed,
+            years,
+            link,
+            outages,
+            calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
+        }
+    }
+
+    /// A 2 000-student college on metro broadband.
+    #[must_use]
+    pub fn small_college(seed: u64) -> Self {
+        Scenario::new(
+            "small-college",
+            2_000,
+            seed,
+            3.0,
+            LinkProfile::MetroInternet,
+            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
+        )
+    }
+
+    /// A 25 000-student university on metro broadband.
+    #[must_use]
+    pub fn university(seed: u64) -> Self {
+        Scenario::new(
+            "university",
+            25_000,
+            seed,
+            3.0,
+            LinkProfile::MetroInternet,
+            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
+        )
+    }
+
+    /// A 150 000-learner national platform.
+    #[must_use]
+    pub fn national_platform(seed: u64) -> Self {
+        Scenario::new(
+            "national-platform",
+            150_000,
+            seed,
+            3.0,
+            LinkProfile::MetroInternet,
+            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
+        )
+    }
+
+    /// Rural learners (the paper's closing motivation): degraded links,
+    /// frequent outages.
+    #[must_use]
+    pub fn rural_learners(seed: u64) -> Self {
+        Scenario::new(
+            "rural-learners",
+            10_000,
+            seed,
+            3.0,
+            LinkProfile::RuralInternet,
+            OutageModel::new(SimDuration::from_hours(30), SimDuration::from_mins(12)),
+        )
+    }
+
+    /// The scenario name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enrolled students.
+    #[must_use]
+    pub fn students(&self) -> u32 {
+        self.students
+    }
+
+    /// Root seed; experiments derive their own streams from it.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Planning horizon in years.
+    #[must_use]
+    pub fn years(&self) -> f64 {
+        self.years
+    }
+
+    /// Learner access-link profile.
+    #[must_use]
+    pub fn link(&self) -> LinkProfile {
+        self.link
+    }
+
+    /// Learner connectivity outage process.
+    #[must_use]
+    pub fn outages(&self) -> OutageModel {
+        self.outages
+    }
+
+    /// The semester calendar.
+    #[must_use]
+    pub fn calendar(&self) -> AcademicCalendar {
+        self.calendar
+    }
+
+    /// The institutional workload model.
+    #[must_use]
+    pub fn workload(&self) -> WorkloadModel {
+        WorkloadModel::standard(self.students, self.calendar)
+    }
+
+    /// A copy with a different population (for sweeps).
+    #[must_use]
+    pub fn with_students(&self, students: u32) -> Scenario {
+        let mut s = self.clone();
+        assert!(students > 0, "need students");
+        s.students = students;
+        s.name = format!("{}@{}", self.name, students);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let small = Scenario::small_college(1);
+        let uni = Scenario::university(1);
+        let national = Scenario::national_platform(1);
+        assert!(small.students() < uni.students());
+        assert!(uni.students() < national.students());
+    }
+
+    #[test]
+    fn rural_is_harsher() {
+        let rural = Scenario::rural_learners(1);
+        let uni = Scenario::university(1);
+        assert_eq!(rural.link(), LinkProfile::RuralInternet);
+        assert!(rural.outages().availability() < uni.outages().availability());
+    }
+
+    #[test]
+    fn workload_matches_population() {
+        let s = Scenario::university(1);
+        assert_eq!(s.workload().students(), 25_000);
+    }
+
+    #[test]
+    fn with_students_renames() {
+        let s = Scenario::university(1).with_students(5_000);
+        assert_eq!(s.students(), 5_000);
+        assert!(s.name().contains("5000"));
+        assert_eq!(s.seed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need students")]
+    fn zero_students_rejected() {
+        let _ = Scenario::university(1).with_students(0);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Scenario::small_college(7);
+        assert_eq!(s.seed(), 7);
+        assert_eq!(s.years(), 3.0);
+        assert_eq!(s.name(), "small-college");
+        assert_eq!(s.calendar().term_start(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,114 @@
+//! Calibrated constants for the deployment models.
+//!
+//! All values are synthetic but order-of-magnitude faithful to the paper's
+//! era (2013). Experiments report *ratios between deployment models*, which
+//! are robust to the absolute calibration (DESIGN.md §4). Every constant is
+//! documented with the reasoning behind its magnitude so a user can re-run
+//! the suite with their own numbers.
+
+use elc_cloud::billing::Usd;
+use elc_simcore::time::SimDuration;
+
+/// Purchase price of one commodity 2-socket server (≈ a public-cloud
+/// XLarge's worth of capacity) — 2013 list prices hovered around $6–8k.
+pub const SERVER_CAPEX: Usd = Usd_const(7_000.0);
+
+/// Years over which server capex is amortized (typical refresh cycle).
+pub const SERVER_AMORTIZATION_YEARS: f64 = 4.0;
+
+/// Annual power + cooling per server: ~500 W at ~$0.12/kWh with PUE ≈ 1.8.
+pub const SERVER_POWER_COOLING_PER_YEAR: Usd = Usd_const(950.0);
+
+/// Annual rack space, insurance and maintenance contracts per server.
+pub const SERVER_FACILITIES_PER_YEAR: Usd = Usd_const(600.0);
+
+/// Fully loaded annual cost of one sysadmin FTE (2013 mid-level, with
+/// overheads).
+pub const SYSADMIN_FTE_PER_YEAR: Usd = Usd_const(95_000.0);
+
+/// Servers one sysadmin can operate in a small on-premise shop (no fleet
+/// automation; hyperscalers manage thousands, campuses manage tens).
+pub const SERVERS_PER_ADMIN: f64 = 25.0;
+
+/// Minimum admin staffing for any on-premise hardware (you cannot hire a
+/// quarter of a person on call).
+pub const MIN_ADMIN_FTE: f64 = 0.5;
+
+/// Admin attention needed per cloud platform in use, in FTEs — account
+/// management, billing review, deployment tooling.
+pub const CLOUD_OPS_FTE: f64 = 0.25;
+
+/// One-time consultancy to set up a deployment, per *distinct platform*
+/// (the paper: hybrid "means that more expertise and increased consultancy
+/// costs are needed to install and maintain the system").
+pub const CONSULTANCY_PER_PLATFORM: Usd = Usd_const(18_000.0);
+
+/// Extra integration consultancy per *pair* of platforms that must
+/// interoperate (identity, data sync, network plumbing).
+pub const CONSULTANCY_PER_INTEGRATION: Usd = Usd_const(24_000.0);
+
+/// Annual governance overhead per platform (audits, compliance, vendor
+/// management), as a fraction of one FTE.
+pub const GOVERNANCE_FTE_PER_PLATFORM: f64 = 0.1;
+
+/// Procurement lead time for on-premise hardware: quotes, purchase order,
+/// delivery, racking. Weeks, not minutes — the heart of E9.
+pub const HARDWARE_PROCUREMENT: SimDuration = SimDuration::from_days(45);
+
+/// Time to install and harden the LMS stack on ready hardware.
+pub const ONPREM_INSTALL: SimDuration = SimDuration::from_days(10);
+
+/// Public-cloud account signup + first environment bring-up.
+pub const CLOUD_SIGNUP: SimDuration = SimDuration::from_hours(4);
+
+/// Time to deploy the LMS stack onto provisioned cloud instances
+/// (images + configuration management).
+pub const CLOUD_INSTALL: SimDuration = SimDuration::from_days(2);
+
+/// Extra integration time when wiring private and public halves together
+/// (VPN, identity federation, data replication).
+pub const HYBRID_INTEGRATION: SimDuration = SimDuration::from_days(15);
+
+/// Engineering cost of reworking one proprietary-interface dependency
+/// during a migration (the lock-in unit price).
+pub const REWORK_PER_PROPRIETARY_API: Usd = Usd_const(9_000.0);
+
+/// Downtime per component cut over during a migration.
+pub const CUTOVER_DOWNTIME_PER_COMPONENT: SimDuration = SimDuration::from_hours(4);
+
+/// A `const fn` constructor for money so the constants above stay `const`.
+#[allow(non_snake_case)]
+const fn Usd_const(amount: f64) -> Usd {
+    // Usd::new validates at runtime; constants here are finite by
+    // construction.
+    Usd::from_const(amount)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn constants_are_positive() {
+        assert!(SERVER_CAPEX > Usd::ZERO);
+        assert!(SERVER_POWER_COOLING_PER_YEAR > Usd::ZERO);
+        assert!(SERVER_FACILITIES_PER_YEAR > Usd::ZERO);
+        assert!(SYSADMIN_FTE_PER_YEAR > Usd::ZERO);
+        assert!(SERVER_AMORTIZATION_YEARS > 0.0);
+        assert!(SERVERS_PER_ADMIN > 0.0);
+    }
+
+    #[test]
+    fn procurement_dwarfs_cloud_signup() {
+        // The structural fact behind E9: weeks vs hours.
+        assert!(HARDWARE_PROCUREMENT.as_secs() > 50 * CLOUD_SIGNUP.as_secs());
+    }
+
+    #[test]
+    fn annual_server_opex_is_fraction_of_capex() {
+        let opex = SERVER_POWER_COOLING_PER_YEAR + SERVER_FACILITIES_PER_YEAR;
+        assert!(opex.amount() < SERVER_CAPEX.amount());
+        assert!(opex.amount() > SERVER_CAPEX.amount() * 0.1);
+    }
+}

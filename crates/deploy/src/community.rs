@@ -1,0 +1,242 @@
+//! Community cloud — the fourth NIST model (E13, extension).
+//!
+//! The paper adopts three deployment models, but its own §IV.C points
+//! further: the hybrid "provides an environment to build a *national
+//! private cloud* system", and its definitional source (NIST SP 800-145,
+//! the paper's ref.\[3\]) names that fourth model: a **community cloud**, shared
+//! by several organizations with common concerns. For e-learning this is
+//! the inter-university consortium: member institutions share a
+//! private-grade datacenter, its staff, and its governance.
+//!
+//! The model captures the two opposing forces:
+//!
+//! * **sharing gains** — fixed costs (minimum staffing, facilities) split
+//!   across members, and statistical multiplexing: exam calendars differ,
+//!   so the shared fleet is sized below the sum of individual peaks;
+//! * **coordination losses** — each member adds governance and
+//!   membership-agreement overhead (the §IV.C "more expertise" argument,
+//!   scaled to N organizations).
+
+use elc_cloud::billing::Usd;
+use elc_cloud::resources::VmSize;
+use elc_simcore::time::SimDuration;
+
+use crate::calib;
+use crate::cost::CostInputs;
+
+/// Exposure factor of community tenancy: vetted peer institutions, above
+/// the campus perimeter (0.8) but far below the open public cloud (2.5).
+pub const COMMUNITY_EXPOSURE_FACTOR: f64 = 1.2;
+
+/// Coordination staffing each member adds to the consortium, in FTE
+/// (committees, billing allocation, change management).
+pub const COORDINATION_FTE_PER_MEMBER: f64 = 0.06;
+
+/// One-time legal/membership setup per member.
+pub const MEMBERSHIP_SETUP: Usd = Usd::from_const(6_000.0);
+
+/// Peak-diversity floor: with many members whose exam calendars differ,
+/// the shared fleet sizes to this fraction of the summed peaks.
+pub const DIVERSITY_FLOOR: f64 = 0.65;
+
+/// A consortium of identical member institutions.
+#[derive(Debug, Clone)]
+pub struct CommunityCloud {
+    members: u32,
+    per_member: CostInputs,
+}
+
+/// Per-member outcome of a consortium assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunityAssessment {
+    /// Members in the consortium.
+    pub members: u32,
+    /// Shared fleet size, servers.
+    pub servers: u32,
+    /// Per-member TCO over the horizon.
+    pub per_member_tco: Usd,
+    /// Consortium-wide staffing, FTE (admin + coordination).
+    pub total_fte: f64,
+    /// Expected confidential incidents per member per year.
+    pub confidential_incident_rate: f64,
+    /// Time for a *new member* to join an established community.
+    pub time_to_join: SimDuration,
+}
+
+impl CommunityCloud {
+    /// Creates a consortium of `members` identical institutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero.
+    #[must_use]
+    pub fn new(members: u32, per_member: CostInputs) -> Self {
+        assert!(members >= 1, "a community needs at least one member");
+        CommunityCloud {
+            members,
+            per_member,
+        }
+    }
+
+    /// Members in the consortium.
+    #[must_use]
+    pub fn members(&self) -> u32 {
+        self.members
+    }
+
+    /// Peak-diversity factor for this consortium size: 1.0 for a single
+    /// member, approaching [`DIVERSITY_FLOOR`] as calendars decorrelate.
+    #[must_use]
+    pub fn diversity_factor(&self) -> f64 {
+        DIVERSITY_FLOOR + (1.0 - DIVERSITY_FLOOR) / f64::from(self.members)
+    }
+
+    /// Assesses the consortium.
+    #[must_use]
+    pub fn assess(&self) -> CommunityAssessment {
+        let m = f64::from(self.members);
+        let years = self.per_member.years;
+
+        // ---- Shared fleet, sized to the diversified aggregate peak. ----
+        let member_peak = self.per_member.workload.peak_rate();
+        let aggregate_peak = member_peak * m * self.diversity_factor();
+        let server_rps = VmSize::XLarge.requests_per_sec();
+        let servers = (((aggregate_peak / 0.7) / server_rps).ceil() as u32).max(2);
+
+        let capex = calib::SERVER_CAPEX
+            * (f64::from(servers) * years / calib::SERVER_AMORTIZATION_YEARS);
+        let facilities = (calib::SERVER_POWER_COOLING_PER_YEAR
+            + calib::SERVER_FACILITIES_PER_YEAR)
+            * (f64::from(servers) * years);
+
+        // ---- Staffing: one shared admin team plus per-member coordination.
+        let admin_fte =
+            (f64::from(servers) / calib::SERVERS_PER_ADMIN).max(calib::MIN_ADMIN_FTE);
+        let coordination_fte = COORDINATION_FTE_PER_MEMBER * m;
+        let governance_fte = calib::GOVERNANCE_FTE_PER_PLATFORM;
+        let total_fte = admin_fte + coordination_fte + governance_fte;
+        let staff = calib::SYSADMIN_FTE_PER_YEAR * (total_fte * years);
+
+        // ---- One-time setup: one platform plus per-member agreements. ----
+        let consultancy =
+            calib::CONSULTANCY_PER_PLATFORM + MEMBERSHIP_SETUP * m;
+
+        let total = capex + facilities + staff + consultancy;
+        let per_member_tco = total * (1.0 / m);
+
+        // ---- Security: peer tenancy. Two confidential components. ----
+        let confidential_incident_rate =
+            2.0 * 60.0 * COMMUNITY_EXPOSURE_FACTOR * 0.001;
+
+        CommunityAssessment {
+            members: self.members,
+            servers,
+            per_member_tco,
+            total_fte,
+            confidential_incident_rate,
+            // Joining an established community: agreements + federation
+            // integration, no procurement.
+            time_to_join: SimDuration::from_days(7) + calib::CLOUD_INSTALL,
+        }
+    }
+}
+
+/// Sweeps consortium sizes `1..=max_members` for one member profile.
+#[must_use]
+pub fn sweep_members(per_member: &CostInputs, max_members: u32) -> Vec<CommunityAssessment> {
+    (1..=max_members.max(1))
+        .map(|m| CommunityCloud::new(m, per_member.clone()).assess())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_elearn::calendar::AcademicCalendar;
+    use elc_elearn::workload::WorkloadModel;
+    use elc_simcore::SimTime;
+
+    fn member_inputs() -> CostInputs {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        CostInputs::standard(WorkloadModel::standard(10_000, cal))
+    }
+
+    #[test]
+    fn per_member_cost_falls_with_membership() {
+        let sweep = sweep_members(&member_inputs(), 12);
+        let solo = sweep[0].per_member_tco;
+        let four = sweep[3].per_member_tco;
+        let twelve = sweep[11].per_member_tco;
+        assert!(four < solo, "4 members {four} should beat solo {solo}");
+        assert!(twelve < four, "12 members {twelve} should beat 4 {four}");
+        // Sharing gains saturate: the marginal saving shrinks.
+        let d1 = solo.amount() - four.amount();
+        let d2 = four.amount() - twelve.amount();
+        assert!(d2 < d1, "savings should saturate: {d1} then {d2}");
+    }
+
+    #[test]
+    fn diversity_shrinks_the_shared_fleet() {
+        let solo = CommunityCloud::new(1, member_inputs()).assess();
+        let eight = CommunityCloud::new(8, member_inputs()).assess();
+        // Eight members share fewer than eight times the solo fleet.
+        assert!(
+            eight.servers < solo.servers * 8,
+            "no multiplexing gain: {} vs 8x{}",
+            eight.servers,
+            solo.servers
+        );
+    }
+
+    #[test]
+    fn diversity_factor_bounds() {
+        assert_eq!(CommunityCloud::new(1, member_inputs()).diversity_factor(), 1.0);
+        let big = CommunityCloud::new(100, member_inputs()).diversity_factor();
+        assert!(big > DIVERSITY_FLOOR && big < 0.7);
+    }
+
+    #[test]
+    fn coordination_fte_grows_linearly() {
+        let a = CommunityCloud::new(2, member_inputs()).assess();
+        let b = CommunityCloud::new(10, member_inputs()).assess();
+        let added = b.total_fte - a.total_fte;
+        // At least the coordination share of the 8 extra members.
+        assert!(added >= 8.0 * COORDINATION_FTE_PER_MEMBER - 1e-9);
+    }
+
+    #[test]
+    fn security_sits_between_private_and_public() {
+        let community = CommunityCloud::new(6, member_inputs())
+            .assess()
+            .confidential_incident_rate;
+        let threat = crate::security::ThreatModel::standard();
+        let private = threat
+            .annual_confidential_incident_rate(&crate::model::Deployment::private());
+        let public = threat
+            .annual_confidential_incident_rate(&crate::model::Deployment::public());
+        assert!(community > private, "community {community} vs private {private}");
+        assert!(community < public, "community {community} vs public {public}");
+    }
+
+    #[test]
+    fn joining_beats_building() {
+        let joined = CommunityCloud::new(4, member_inputs()).assess().time_to_join;
+        assert!(joined < calib::HARDWARE_PROCUREMENT);
+        assert!(joined > calib::CLOUD_SIGNUP);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_rejected() {
+        let _ = CommunityCloud::new(0, member_inputs());
+    }
+
+    #[test]
+    fn sweep_covers_range() {
+        let sweep = sweep_members(&member_inputs(), 5);
+        assert_eq!(sweep.len(), 5);
+        for (i, a) in sweep.iter().enumerate() {
+            assert_eq!(a.members, i as u32 + 1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Governance and operations overhead (E11).
+//!
+//! §IV.C: with a hybrid model "governance and management \[are\] the other
+//! issues, inasmuch as there are two different models in use. It means that
+//! more expertise and increased consultancy costs are needed to install and
+//! maintain the system." This module prices that claim: overhead grows with
+//! the number of platforms, plus a pairwise integration term.
+
+use elc_cloud::billing::Usd;
+
+use crate::calib;
+use crate::model::{Deployment, Site};
+
+/// The staffing and consultancy burden of operating a deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpsOverhead {
+    /// Ongoing admin staffing, in FTEs.
+    pub admin_fte: f64,
+    /// Ongoing governance overhead (audits, vendor management), in FTEs.
+    pub governance_fte: f64,
+    /// One-time consultancy to install the system.
+    pub setup_consultancy: Usd,
+}
+
+impl OpsOverhead {
+    /// Annual staffing cost at the calibrated FTE price.
+    #[must_use]
+    pub fn annual_staff_cost(&self) -> Usd {
+        calib::SYSADMIN_FTE_PER_YEAR * (self.admin_fte + self.governance_fte)
+    }
+}
+
+/// One-time consultancy for a deployment spanning `platforms` platforms:
+/// a per-platform setup fee plus a per-pair integration fee.
+#[must_use]
+pub fn setup_consultancy(platforms: u32) -> Usd {
+    let pairs = platforms.saturating_sub(1) * platforms / 2;
+    calib::CONSULTANCY_PER_PLATFORM * f64::from(platforms)
+        + calib::CONSULTANCY_PER_INTEGRATION * f64::from(pairs)
+}
+
+/// Ongoing governance FTEs for `platforms` platforms.
+#[must_use]
+pub fn governance_fte(platforms: u32) -> f64 {
+    calib::GOVERNANCE_FTE_PER_PLATFORM * f64::from(platforms)
+}
+
+/// Admin FTEs needed to run a deployment with `private_servers` machines
+/// on-premise.
+#[must_use]
+pub fn admin_fte(deployment: &Deployment, private_servers: u32) -> f64 {
+    let mut fte = 0.0;
+    if !deployment.components_on(Site::PrivateCloud).is_empty() {
+        fte += (f64::from(private_servers) / calib::SERVERS_PER_ADMIN).max(calib::MIN_ADMIN_FTE);
+    }
+    if !deployment.components_on(Site::PublicCloud).is_empty() {
+        fte += calib::CLOUD_OPS_FTE;
+    }
+    fte
+}
+
+/// Full overhead assessment for a deployment.
+#[must_use]
+pub fn overhead(deployment: &Deployment, private_servers: u32) -> OpsOverhead {
+    let platforms = deployment.platform_count();
+    OpsOverhead {
+        admin_fte: admin_fte(deployment, private_servers),
+        governance_fte: governance_fte(platforms),
+        setup_consultancy: setup_consultancy(platforms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Deployment;
+
+    #[test]
+    fn hybrid_consultancy_exceeds_sum_of_parts() {
+        let one = setup_consultancy(1);
+        let two = setup_consultancy(2);
+        // Two platforms cost more than twice one platform: the integration
+        // term is the paper's "increased consultancy costs".
+        assert!(two > one * 2.0, "two={two}, one={one}");
+    }
+
+    #[test]
+    fn consultancy_pairs_grow_quadratically() {
+        // 3 platforms → 3 pairs.
+        let three = setup_consultancy(3);
+        let expected = calib::CONSULTANCY_PER_PLATFORM * 3.0
+            + calib::CONSULTANCY_PER_INTEGRATION * 3.0;
+        assert_eq!(three, expected);
+        assert_eq!(setup_consultancy(0), Usd::ZERO);
+    }
+
+    #[test]
+    fn private_needs_minimum_admin() {
+        let d = Deployment::private();
+        assert_eq!(admin_fte(&d, 1), calib::MIN_ADMIN_FTE);
+        assert_eq!(admin_fte(&d, 100), 4.0);
+    }
+
+    #[test]
+    fn public_needs_only_cloud_ops() {
+        let d = Deployment::public();
+        assert_eq!(admin_fte(&d, 0), calib::CLOUD_OPS_FTE);
+    }
+
+    #[test]
+    fn hybrid_pays_both_staffing_terms() {
+        let d = Deployment::hybrid_default();
+        let fte = admin_fte(&d, 2);
+        assert_eq!(fte, calib::MIN_ADMIN_FTE + calib::CLOUD_OPS_FTE);
+    }
+
+    #[test]
+    fn hybrid_overhead_is_largest() {
+        let pb = overhead(&Deployment::public(), 0);
+        let pv = overhead(&Deployment::private(), 4);
+        let hy = overhead(&Deployment::hybrid_default(), 2);
+        assert!(hy.setup_consultancy > pb.setup_consultancy);
+        assert!(hy.setup_consultancy > pv.setup_consultancy);
+        assert!(hy.governance_fte > pb.governance_fte);
+        assert!(hy.admin_fte > pb.admin_fte);
+    }
+
+    #[test]
+    fn staff_cost_prices_both_fte_kinds() {
+        let o = OpsOverhead {
+            admin_fte: 1.0,
+            governance_fte: 0.5,
+            setup_consultancy: Usd::ZERO,
+        };
+        assert_eq!(
+            o.annual_staff_cost(),
+            calib::SYSADMIN_FTE_PER_YEAR * 1.5
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Hybrid unit-distribution sweep (E10).
+//!
+//! §IV.C: "distribution of units between these models is significant to
+//! address the requirements of the organization." This module enumerates
+//! every assignment of the six LMS components to the two sites (64
+//! placements), scores each on the three axes the paper weighs — cost,
+//! security, portability — and extracts the Pareto-efficient set.
+
+use std::collections::BTreeMap;
+
+use elc_cloud::billing::{PriceSheet, Usd};
+use elc_net::link::{Link, LinkProfile};
+use elc_net::units::Bytes;
+
+use crate::cost::{tco, CostInputs};
+use crate::migration::exit_plan;
+use crate::model::{Component, Deployment, Site};
+use crate::security::ThreatModel;
+
+/// One scored placement in the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPoint {
+    /// The placement.
+    pub deployment: Deployment,
+    /// Load-weighted fraction served from the public cloud.
+    pub public_fraction: f64,
+    /// TCO over the input horizon.
+    pub total_cost: Usd,
+    /// Expected confidential breaches per year.
+    pub confidential_incident_rate: f64,
+    /// Cost to exit to another provider / back in-house.
+    pub exit_cost: Usd,
+}
+
+/// Sweeps all `2^6` component placements.
+///
+/// `data` is the stored-content volume used for exit pricing.
+#[must_use]
+pub fn sweep(inputs: &CostInputs, threat: &ThreatModel, data: Bytes) -> Vec<SplitPoint> {
+    let prices = PriceSheet::public_2013();
+    let egress_link = Link::from_profile(LinkProfile::InterDatacenter);
+    let n = Component::ALL.len();
+    let mut points = Vec::with_capacity(1 << n);
+    for mask in 0u32..(1 << n) {
+        let placement: BTreeMap<Component, Site> = Component::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let site = if mask & (1 << i) != 0 {
+                    Site::PublicCloud
+                } else {
+                    Site::PrivateCloud
+                };
+                (c, site)
+            })
+            .collect();
+        let deployment = Deployment::with_placement(placement);
+        let cost = tco(&deployment, inputs);
+        let exit = exit_plan(&deployment, data, &prices, &egress_link);
+        points.push(SplitPoint {
+            public_fraction: deployment.public_load_fraction(),
+            total_cost: cost.total(),
+            confidential_incident_rate: threat.annual_confidential_incident_rate(&deployment),
+            exit_cost: exit.total_cost,
+            deployment,
+        });
+    }
+    points
+}
+
+/// True if `a` dominates `b`: no worse on every axis, strictly better on
+/// at least one (all axes are minimized).
+#[must_use]
+pub fn dominates(a: &SplitPoint, b: &SplitPoint) -> bool {
+    let le = a.total_cost <= b.total_cost
+        && a.confidential_incident_rate <= b.confidential_incident_rate
+        && a.exit_cost <= b.exit_cost;
+    let lt = a.total_cost < b.total_cost
+        || a.confidential_incident_rate < b.confidential_incident_rate
+        || a.exit_cost < b.exit_cost;
+    le && lt
+}
+
+/// Extracts the Pareto-efficient placements (none dominated by another).
+#[must_use]
+pub fn pareto(points: &[SplitPoint]) -> Vec<SplitPoint> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_elearn::calendar::AcademicCalendar;
+    use elc_elearn::workload::WorkloadModel;
+    use elc_simcore::SimTime;
+
+    fn sweep_points() -> Vec<SplitPoint> {
+        // Large enough that cloudbursting the exam surge pays for the
+        // hybrid's overhead (see E10 in EXPERIMENTS.md for the full sweep
+        // over scale).
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        let inputs = CostInputs::standard(WorkloadModel::standard(150_000, cal));
+        sweep(&inputs, &ThreatModel::standard(), Bytes::from_gib(30_000))
+    }
+
+    #[test]
+    fn sweep_covers_all_placements() {
+        let points = sweep_points();
+        assert_eq!(points.len(), 64);
+        // Fractions span [0, 1].
+        let min = points.iter().map(|p| p.public_fraction).fold(1.0, f64::min);
+        let max = points.iter().map(|p| p.public_fraction).fold(0.0, f64::max);
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn extremes_match_pure_models() {
+        let points = sweep_points();
+        let all_private = points
+            .iter()
+            .find(|p| p.public_fraction == 0.0)
+            .expect("private placement present");
+        assert_eq!(all_private.exit_cost, Usd::ZERO);
+        let all_public = points
+            .iter()
+            .find(|p| p.public_fraction == 1.0)
+            .expect("public placement present");
+        assert!(all_public.exit_cost > Usd::ZERO);
+        assert!(
+            all_public.confidential_incident_rate > all_private.confidential_incident_rate
+        );
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_undominated() {
+        let points = sweep_points();
+        let front = pareto(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() < points.len());
+        for p in &front {
+            assert!(!points.iter().any(|q| dominates(q, p)));
+        }
+    }
+
+    #[test]
+    fn front_contains_an_interior_hybrid() {
+        // §IV.C's point: a split can be worth it — some hybrid placement
+        // survives the Pareto filter.
+        let front = pareto(&sweep_points());
+        assert!(
+            front
+                .iter()
+                .any(|p| p.public_fraction > 0.0 && p.public_fraction < 1.0),
+            "no interior hybrid on the frontier"
+        );
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let points = sweep_points();
+        for p in points.iter().take(8) {
+            assert!(!dominates(p, p));
+        }
+        for a in points.iter().take(8) {
+            for b in points.iter().take(8) {
+                assert!(!(dominates(a, b) && dominates(b, a)));
+            }
+        }
+    }
+
+    #[test]
+    fn security_improves_monotonically_with_private_confidential() {
+        let points = sweep_points();
+        // Any placement with all confidential components private has the
+        // minimum confidential incident rate.
+        let min_rate = points
+            .iter()
+            .map(|p| p.confidential_incident_rate)
+            .fold(f64::INFINITY, f64::min);
+        for p in &points {
+            if !p.deployment.confidential_exposed() {
+                assert!((p.confidential_incident_rate - min_rate).abs() < 1e-12);
+            } else {
+                assert!(p.confidential_incident_rate > min_rate);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # elc-deploy — the paper's subject: cloud deployment models
+//!
+//! Encodes the public / private / hybrid alternatives of Leloğlu et al.
+//! (§IV) and prices every claim the survey makes about them:
+//!
+//! * [`model`] — deployments as component-to-site placements,
+//! * [`cost`] — TCO: pay-as-you-go vs capex/opex/staff (E1),
+//! * [`security`] — attack-surface threat model (E6),
+//! * [`migration`] — lock-in and exit pricing (E8),
+//! * [`updates`] — SaaS push vs admin-managed rollout (E3),
+//! * [`reliability`] — replication profiles and disaster survival (E4),
+//! * [`provisioning`] — time to first service (E9),
+//! * [`governance`] — multi-platform ops overhead (E11),
+//! * [`hybrid`] — the §IV.C unit-distribution sweep (E10),
+//! * [`community`] — the NIST fourth model: consortium clouds (E13),
+//! * [`service_model`] — IaaS/PaaS/SaaS on top of a deployment (E14),
+//! * [`calib`] — documented calibration constants.
+//!
+//! # Examples
+//!
+//! ```
+//! use elc_deploy::model::Deployment;
+//! use elc_deploy::provisioning::schedule;
+//!
+//! let public = schedule(&Deployment::public()).time_to_service();
+//! let private = schedule(&Deployment::private()).time_to_service();
+//! assert!(public.as_secs() * 10 < private.as_secs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod community;
+pub mod cost;
+pub mod governance;
+pub mod hybrid;
+pub mod migration;
+pub mod model;
+pub mod provisioning;
+pub mod reliability;
+pub mod security;
+pub mod service_model;
+pub mod updates;
+
+pub use community::{sweep_members, CommunityAssessment, CommunityCloud};
+pub use cost::{tco, CostBreakdown, CostInputs};
+pub use governance::OpsOverhead;
+pub use hybrid::{pareto, sweep, SplitPoint};
+pub use migration::{exit_plan, ExitPlan};
+pub use model::{Component, Deployment, DeploymentKind, Site};
+pub use provisioning::{schedule, ProvisioningSchedule};
+pub use reliability::StorageProfile;
+pub use security::{CampaignReport, ThreatModel};
+pub use service_model::{assess_all, ServiceAssessment, ServiceModel};
+pub use updates::{simulate_updates, UpdateChannel, UpdateReport};

@@ -1,0 +1,214 @@
+//! Portability and exit cost (E8).
+//!
+//! §III risk 3: "The ability to bring systems back in-house or choose
+//! another cloud provider will be limited by proprietary interfaces."
+//! §IV.A: once on a public provider, "bringing that system back in-house
+//! will be relatively difficult and expensive." §IV.C credits the hybrid
+//! with "decreasing platform dependence".
+//!
+//! An exit is priced as: data egress fees + engineering rework of every
+//! proprietary-interface dependency + cutover downtime, and timed as:
+//! bulk transfer + rework calendar time.
+
+use elc_cloud::billing::{PriceSheet, Usd};
+use elc_net::link::Link;
+use elc_net::units::Bytes;
+use elc_simcore::time::SimDuration;
+
+use crate::calib;
+use crate::model::{Component, Deployment, DeploymentKind, Site};
+
+/// Calendar days of engineering to rework one proprietary dependency
+/// (assuming one team working serially).
+const REWORK_DAYS_PER_API: u64 = 5;
+
+/// How many proprietary provider interfaces a component accumulates when it
+/// runs on the public cloud without an abstraction layer: managed queues,
+/// identity, blob APIs, monitoring hooks.
+fn proprietary_apis(c: Component) -> u32 {
+    match c {
+        Component::WebPortal => 2,
+        Component::Database => 3,
+        Component::ContentStore => 2,
+        Component::VideoStreaming => 3,
+        Component::AssessmentEngine => 2,
+        Component::GradeBook => 1,
+    }
+}
+
+/// A priced and scheduled exit from the current deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitPlan {
+    /// Egress fees for moving the data out.
+    pub egress_cost: Usd,
+    /// Engineering cost of reworking proprietary interfaces.
+    pub rework_cost: Usd,
+    /// Total money to leave.
+    pub total_cost: Usd,
+    /// Calendar time: transfer plus rework plus cutover.
+    pub duration: SimDuration,
+    /// Service downtime during cutover.
+    pub downtime: SimDuration,
+    /// Number of proprietary interfaces reworked.
+    pub apis_reworked: u32,
+}
+
+/// Prices the exit of a deployment: moving every public-hosted component
+/// (data and code) off the provider.
+///
+/// `data` is the total stored content; each public component owns its
+/// `storage_share` of it. `egress_link` is the path the bulk transfer
+/// takes. Hybrid deployments pay half the per-API rework: the integration
+/// layer §IV.C requires ("standardized or proprietary technology that
+/// enables data and application portability") already abstracts the
+/// provider.
+#[must_use]
+pub fn exit_plan(
+    deployment: &Deployment,
+    data: Bytes,
+    prices: &PriceSheet,
+    egress_link: &Link,
+) -> ExitPlan {
+    let public_components = deployment.components_on(Site::PublicCloud);
+
+    let public_bytes = data.mul_f64(
+        public_components
+            .iter()
+            .map(|c| c.storage_share())
+            .sum::<f64>(),
+    );
+    let egress_cost = prices.egress_per_gib() * public_bytes.as_gib_f64();
+
+    let mut apis: u32 = public_components.iter().map(|&c| proprietary_apis(c)).sum();
+    let rework_discount = match deployment.kind() {
+        // The hybrid's portability layer halves the per-interface rework.
+        DeploymentKind::Hybrid => 0.5,
+        _ => 1.0,
+    };
+    let rework_cost =
+        calib::REWORK_PER_PROPRIETARY_API * (f64::from(apis) * rework_discount);
+    if deployment.kind() == DeploymentKind::Hybrid {
+        apis = apis.div_ceil(2);
+    }
+
+    let transfer = if public_bytes.is_zero() {
+        SimDuration::ZERO
+    } else {
+        egress_link.transfer_time(public_bytes)
+    };
+    let rework_time = SimDuration::from_days(u64::from(apis) * REWORK_DAYS_PER_API);
+    let downtime =
+        calib::CUTOVER_DOWNTIME_PER_COMPONENT * (public_components.len() as u64);
+
+    ExitPlan {
+        egress_cost,
+        rework_cost,
+        total_cost: egress_cost + rework_cost,
+        duration: transfer + rework_time + downtime,
+        downtime,
+        apis_reworked: apis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_net::link::LinkProfile;
+
+    fn plan_for(d: &Deployment) -> ExitPlan {
+        exit_plan(
+            d,
+            Bytes::from_gib(2_000),
+            &PriceSheet::public_2013(),
+            &Link::from_profile(LinkProfile::InterDatacenter),
+        )
+    }
+
+    #[test]
+    fn private_exit_is_free_of_provider_costs() {
+        let p = plan_for(&Deployment::private());
+        assert_eq!(p.egress_cost, Usd::ZERO);
+        assert_eq!(p.rework_cost, Usd::ZERO);
+        assert_eq!(p.total_cost, Usd::ZERO);
+        assert_eq!(p.downtime, SimDuration::ZERO);
+        assert_eq!(p.apis_reworked, 0);
+    }
+
+    #[test]
+    fn public_exit_is_expensive_and_slow() {
+        let p = plan_for(&Deployment::public());
+        assert!(p.egress_cost > Usd::ZERO);
+        assert!(p.rework_cost > Usd::new(50_000.0));
+        assert!(p.duration > SimDuration::from_days(30));
+        assert!(p.downtime > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hybrid_exit_is_cheaper_than_public() {
+        // §IV.C: the hybrid decreases platform dependence.
+        let hy = plan_for(&Deployment::hybrid_default());
+        let pb = plan_for(&Deployment::public());
+        assert!(hy.total_cost < pb.total_cost);
+        assert!(hy.duration < pb.duration);
+        assert!(hy.apis_reworked < pb.apis_reworked);
+    }
+
+    #[test]
+    fn egress_scales_with_data() {
+        let small = exit_plan(
+            &Deployment::public(),
+            Bytes::from_gib(100),
+            &PriceSheet::public_2013(),
+            &Link::from_profile(LinkProfile::InterDatacenter),
+        );
+        let large = exit_plan(
+            &Deployment::public(),
+            Bytes::from_gib(10_000),
+            &PriceSheet::public_2013(),
+            &Link::from_profile(LinkProfile::InterDatacenter),
+        );
+        assert!(large.egress_cost > small.egress_cost * 50.0);
+        assert!(large.duration > small.duration);
+    }
+
+    #[test]
+    fn exit_cost_ordering_matches_paper() {
+        // private (free) < hybrid < public.
+        let pv = plan_for(&Deployment::private()).total_cost;
+        let hy = plan_for(&Deployment::hybrid_default()).total_cost;
+        let pb = plan_for(&Deployment::public()).total_cost;
+        assert!(pv < hy && hy < pb, "pv={pv} hy={hy} pb={pb}");
+    }
+
+    #[test]
+    fn rework_counts_public_components_only() {
+        let hy = plan_for(&Deployment::hybrid_default());
+        let pb = plan_for(&Deployment::public());
+        // Hybrid reworks fewer interfaces (fewer public components, halved
+        // by the abstraction layer).
+        assert!(hy.apis_reworked * 2 <= pb.apis_reworked);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let p = plan_for(&Deployment::public());
+        assert_eq!(p.total_cost, p.egress_cost + p.rework_cost);
+    }
+
+    #[test]
+    fn slow_link_lengthens_exit() {
+        let fast = exit_plan(
+            &Deployment::public(),
+            Bytes::from_gib(2_000),
+            &PriceSheet::public_2013(),
+            &Link::from_profile(LinkProfile::InterDatacenter),
+        );
+        let slow = exit_plan(
+            &Deployment::public(),
+            Bytes::from_gib(2_000),
+            &PriceSheet::public_2013(),
+            &Link::from_profile(LinkProfile::MetroInternet),
+        );
+        assert!(slow.duration > fast.duration);
+    }
+}

@@ -1,0 +1,135 @@
+//! Time to first service (E9).
+//!
+//! §IV.A: the public model is "the most practical approach to get the
+//! quickest solution". The clock from decision to a serving LMS differs by
+//! orders of magnitude: a cloud signup is hours, hardware procurement is
+//! weeks, and a hybrid pays the slower path plus integration.
+
+use elc_simcore::time::SimDuration;
+
+use crate::calib;
+use crate::model::{Deployment, DeploymentKind, Site};
+
+/// The provisioning schedule of a deployment, phase by phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvisioningSchedule {
+    /// Acquiring the platform: signup (public) and/or procurement
+    /// (private). Parallel tracks take their maximum.
+    pub acquisition: SimDuration,
+    /// Installing and hardening the LMS stack.
+    pub installation: SimDuration,
+    /// Cross-platform integration (hybrid only).
+    pub integration: SimDuration,
+}
+
+impl ProvisioningSchedule {
+    /// End-to-end time from decision to first login.
+    #[must_use]
+    pub fn time_to_service(&self) -> SimDuration {
+        self.acquisition + self.installation + self.integration
+    }
+}
+
+/// Computes the provisioning schedule for a deployment.
+#[must_use]
+pub fn schedule(deployment: &Deployment) -> ProvisioningSchedule {
+    let has_public = !deployment.components_on(Site::PublicCloud).is_empty();
+    let has_private = !deployment.components_on(Site::PrivateCloud).is_empty();
+
+    // Acquisition tracks run in parallel; the slower one gates.
+    let mut acquisition = SimDuration::ZERO;
+    if has_public {
+        acquisition = acquisition.max(calib::CLOUD_SIGNUP);
+    }
+    if has_private {
+        acquisition = acquisition.max(calib::HARDWARE_PROCUREMENT);
+    }
+
+    // Installation happens per platform, but teams work concurrently; the
+    // slower install gates.
+    let mut installation = SimDuration::ZERO;
+    if has_public {
+        installation = installation.max(calib::CLOUD_INSTALL);
+    }
+    if has_private {
+        installation = installation.max(calib::ONPREM_INSTALL);
+    }
+
+    let integration = if deployment.kind() == DeploymentKind::Hybrid {
+        calib::HYBRID_INTEGRATION
+    } else {
+        SimDuration::ZERO
+    };
+
+    ProvisioningSchedule {
+        acquisition,
+        installation,
+        integration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Deployment;
+
+    #[test]
+    fn public_is_fastest() {
+        let pb = schedule(&Deployment::public()).time_to_service();
+        let pv = schedule(&Deployment::private()).time_to_service();
+        let hy = schedule(&Deployment::hybrid_default()).time_to_service();
+        assert!(pb < pv, "public {pb} < private {pv}");
+        assert!(pb < hy, "public {pb} < hybrid {hy}");
+    }
+
+    #[test]
+    fn public_is_days_private_is_weeks() {
+        let pb = schedule(&Deployment::public()).time_to_service();
+        let pv = schedule(&Deployment::private()).time_to_service();
+        assert!(pb < SimDuration::from_days(4), "public took {pb}");
+        assert!(pv > SimDuration::from_days(40), "private took {pv}");
+    }
+
+    #[test]
+    fn hybrid_is_slowest() {
+        // The hybrid waits for procurement *and* pays integration.
+        let pv = schedule(&Deployment::private()).time_to_service();
+        let hy = schedule(&Deployment::hybrid_default()).time_to_service();
+        assert!(hy > pv, "hybrid {hy} > private {pv}");
+    }
+
+    #[test]
+    fn hybrid_integration_only_for_hybrid() {
+        assert_eq!(
+            schedule(&Deployment::public()).integration,
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            schedule(&Deployment::private()).integration,
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            schedule(&Deployment::hybrid_default()).integration,
+            calib::HYBRID_INTEGRATION
+        );
+    }
+
+    #[test]
+    fn acquisition_gated_by_slowest_track() {
+        let hy = schedule(&Deployment::hybrid_default());
+        assert_eq!(hy.acquisition, calib::HARDWARE_PROCUREMENT);
+        let pb = schedule(&Deployment::public());
+        assert_eq!(pb.acquisition, calib::CLOUD_SIGNUP);
+    }
+
+    #[test]
+    fn schedule_sums_to_time_to_service() {
+        for kind in DeploymentKind::ALL {
+            let s = schedule(&Deployment::canonical(kind));
+            assert_eq!(
+                s.time_to_service(),
+                s.acquisition + s.installation + s.integration
+            );
+        }
+    }
+}

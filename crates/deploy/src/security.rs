@@ -1,0 +1,237 @@
+//! Threat model and incident rates (E6).
+//!
+//! The paper argues both directions at once: moving to a *shared* public
+//! infrastructure "increases the potential for unauthorized access and
+//! exposure" (§IV.A), while moving off staff desktops makes it "almost
+//! impossible for any unauthorized person" to reach exam assets (§III.6).
+//! Both are statements about attack surface, encoded here as per-component
+//! attempt rates and per-attempt success probabilities:
+//!
+//! * an internet-facing component on **shared public infrastructure** sees
+//!   the most attempts (broad scanning, co-tenant side channels),
+//! * the same component behind the **campus perimeter** sees fewer,
+//! * the **desktop baseline** (exam files on staff PCs — what the paper's
+//!   §III.6 compares against) has the worst per-"attempt" odds: lost
+//!   laptops, uncontrolled copies, no audit trail.
+
+use elc_elearn::content::Sensitivity;
+use elc_simcore::dist::{Distribution, Poisson};
+use elc_simcore::rng::SimRng;
+
+use crate::model::{Component, Deployment, Site};
+
+/// Attack-surface parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreatModel {
+    /// Targeted attempts per internet-facing component per year.
+    pub attempts_per_component_year: f64,
+    /// Attempt multiplier for shared public infrastructure (§IV.A).
+    pub public_exposure_factor: f64,
+    /// Attempt multiplier behind the campus perimeter.
+    pub private_exposure_factor: f64,
+    /// Per-attempt breach probability on hardened server infrastructure.
+    pub breach_probability: f64,
+    /// Annual compromise rate of a desktop holding assets (theft, malware,
+    /// uncontrolled copies) — the §III.6 baseline.
+    pub desktop_compromise_per_year: f64,
+}
+
+impl ThreatModel {
+    /// Calibrated 2013-ish defaults.
+    #[must_use]
+    pub fn standard() -> Self {
+        ThreatModel {
+            attempts_per_component_year: 60.0,
+            public_exposure_factor: 2.5,
+            private_exposure_factor: 0.8,
+            breach_probability: 0.001,
+            desktop_compromise_per_year: 0.35,
+        }
+    }
+
+    /// Annual attempt rate against one component of a deployment.
+    #[must_use]
+    pub fn attempt_rate(&self, deployment: &Deployment, c: Component) -> f64 {
+        let factor = match deployment.site_of(c) {
+            Site::PublicCloud => self.public_exposure_factor,
+            Site::PrivateCloud => self.private_exposure_factor,
+        };
+        self.attempts_per_component_year * factor
+    }
+
+    /// Expected successful breaches per year across all components.
+    #[must_use]
+    pub fn annual_incident_rate(&self, deployment: &Deployment) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.attempt_rate(deployment, c) * self.breach_probability)
+            .sum()
+    }
+
+    /// Expected breaches per year that reach confidential assets (exam
+    /// questions, grades) — the paper's critical metric.
+    #[must_use]
+    pub fn annual_confidential_incident_rate(&self, deployment: &Deployment) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.sensitivity() >= Sensitivity::Confidential)
+            .map(|&c| self.attempt_rate(deployment, c) * self.breach_probability)
+            .sum()
+    }
+
+    /// The non-cloud baseline: expected annual compromises of confidential
+    /// assets kept on staff desktops.
+    #[must_use]
+    pub fn desktop_baseline_rate(&self) -> f64 {
+        self.desktop_compromise_per_year
+    }
+
+    /// Monte-Carlo campaign over `years`.
+    #[must_use]
+    pub fn simulate_campaign(
+        &self,
+        rng: &mut SimRng,
+        deployment: &Deployment,
+        years: f64,
+    ) -> CampaignReport {
+        assert!(years > 0.0, "campaign needs a positive horizon");
+        let mut report = CampaignReport::default();
+        for c in Component::ALL {
+            let lambda = self.attempt_rate(deployment, c) * years;
+            let attempts = Poisson::new(lambda)
+                .expect("rates are finite and non-negative")
+                .sample(rng);
+            report.attempts += attempts;
+            for _ in 0..attempts {
+                if rng.chance(self.breach_probability) {
+                    report.breaches += 1;
+                    if c.sensitivity() >= Sensitivity::Confidential {
+                        report.confidential_breaches += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+impl Default for ThreatModel {
+    fn default() -> Self {
+        ThreatModel::standard()
+    }
+}
+
+/// Outcome of a simulated attack campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignReport {
+    /// Attack attempts observed.
+    pub attempts: u64,
+    /// Successful breaches.
+    pub breaches: u64,
+    /// Breaches that reached confidential assets.
+    pub confidential_breaches: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Deployment;
+
+    #[test]
+    fn public_faces_more_attempts() {
+        let t = ThreatModel::standard();
+        let pb = Deployment::public();
+        let pv = Deployment::private();
+        for c in Component::ALL {
+            assert!(t.attempt_rate(&pb, c) > t.attempt_rate(&pv, c));
+        }
+    }
+
+    #[test]
+    fn incident_rates_order_private_hybrid_public() {
+        let t = ThreatModel::standard();
+        let public = t.annual_incident_rate(&Deployment::public());
+        let hybrid = t.annual_incident_rate(&Deployment::hybrid_default());
+        let private = t.annual_incident_rate(&Deployment::private());
+        assert!(private < hybrid, "private {private} < hybrid {hybrid}");
+        assert!(hybrid < public, "hybrid {hybrid} < public {public}");
+    }
+
+    #[test]
+    fn hybrid_matches_private_on_confidential_assets() {
+        let t = ThreatModel::standard();
+        let hybrid = t.annual_confidential_incident_rate(&Deployment::hybrid_default());
+        let private = t.annual_confidential_incident_rate(&Deployment::private());
+        let public = t.annual_confidential_incident_rate(&Deployment::public());
+        assert_eq!(hybrid, private, "default hybrid keeps confidential private");
+        assert!(public > hybrid);
+    }
+
+    #[test]
+    fn every_server_model_beats_the_desktop_baseline() {
+        // §III.6: even the public cloud protects exam assets better than
+        // files on staff PCs.
+        let t = ThreatModel::standard();
+        for kind in crate::model::DeploymentKind::ALL {
+            let d = Deployment::canonical(kind);
+            assert!(
+                t.annual_confidential_incident_rate(&d) < t.desktop_baseline_rate(),
+                "{kind} should beat the desktop baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_tracks_analytic_rate() {
+        let t = ThreatModel::standard();
+        let d = Deployment::public();
+        let rng = SimRng::seed(1);
+        let runs = 400;
+        let years = 10.0;
+        let mut total = 0u64;
+        for i in 0..runs {
+            let mut r = rng.derive_u64(i);
+            total += t.simulate_campaign(&mut r, &d, years).breaches;
+        }
+        let mean = total as f64 / runs as f64;
+        let expect = t.annual_incident_rate(&d) * years;
+        assert!(
+            (mean - expect).abs() / expect < 0.15,
+            "simulated {mean} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn campaign_confidential_subset() {
+        let t = ThreatModel::standard();
+        let mut rng = SimRng::seed(2);
+        let rep = t.simulate_campaign(&mut rng, &Deployment::public(), 200.0);
+        assert!(rep.confidential_breaches <= rep.breaches);
+        assert!(rep.breaches <= rep.attempts);
+        assert!(rep.attempts > 0);
+    }
+
+    #[test]
+    fn private_campaign_has_zero_public_exposure_effect() {
+        // With the confidential components private, a hybrid's confidential
+        // incidents simulate like the private model's.
+        let t = ThreatModel::standard();
+        let mut a = SimRng::seed(3);
+        let rep = t.simulate_campaign(&mut a, &Deployment::hybrid_default(), 100.0);
+        // Expected confidential incidents = 2 comps * 60 * 0.8 * 0.001 * 100 = 9.6
+        assert!(rep.confidential_breaches < 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive horizon")]
+    fn campaign_rejects_zero_years() {
+        let t = ThreatModel::standard();
+        let mut rng = SimRng::seed(4);
+        let _ = t.simulate_campaign(&mut rng, &Deployment::public(), 0.0);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(ThreatModel::default(), ThreatModel::standard());
+    }
+}

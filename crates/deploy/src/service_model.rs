@@ -1,0 +1,226 @@
+//! Cloud service models: IaaS / PaaS / SaaS (E14, extension).
+//!
+//! The paper's §III observes that "the biggest players in the field of
+//! e-learning software have now versions of the base applications that are
+//! cloud oriented" — i.e. LMS-as-SaaS — while §II's provider list (Amazon,
+//! Google, Microsoft) spans the whole service-model spectrum of the NIST
+//! definition the paper cites. The *deployment* model decides where the
+//! infrastructure lives; the *service* model decides how much of the stack
+//! the institution still operates. The two compose: this module quantifies
+//! the service-model axis for a public deployment.
+
+use std::fmt;
+
+use elc_cloud::billing::Usd;
+use elc_simcore::time::SimDuration;
+
+use crate::calib;
+
+/// How much of the stack the provider manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceModel {
+    /// Raw instances; the institution installs and operates the LMS.
+    Iaas,
+    /// Managed runtime/database; the institution deploys LMS code.
+    Paas,
+    /// The LMS itself is the product; the institution configures it.
+    Saas,
+}
+
+impl ServiceModel {
+    /// All models, least managed first.
+    pub const ALL: [ServiceModel; 3] = [ServiceModel::Iaas, ServiceModel::Paas, ServiceModel::Saas];
+
+    /// Install-and-harden time on top of an existing account.
+    #[must_use]
+    pub fn install_time(self) -> SimDuration {
+        match self {
+            ServiceModel::Iaas => calib::CLOUD_INSTALL, // days: image + config
+            ServiceModel::Paas => SimDuration::from_hours(16),
+            ServiceModel::Saas => SimDuration::from_hours(6), // tenant setup
+        }
+    }
+
+    /// Ongoing operations staffing, FTE.
+    #[must_use]
+    pub fn ops_fte(self) -> f64 {
+        match self {
+            ServiceModel::Iaas => 0.25,
+            ServiceModel::Paas => 0.15,
+            ServiceModel::Saas => 0.05,
+        }
+    }
+
+    /// Multiplier on the raw infrastructure usage bill: managed layers
+    /// charge for the management.
+    #[must_use]
+    pub fn price_multiplier(self) -> f64 {
+        match self {
+            ServiceModel::Iaas => 1.0,
+            ServiceModel::Paas => 1.35,
+            ServiceModel::Saas => 1.8,
+        }
+    }
+
+    /// Proprietary interfaces accumulated per LMS component — the higher
+    /// the abstraction, the deeper the lock-in (a SaaS LMS *is* the
+    /// proprietary interface).
+    #[must_use]
+    pub fn lock_in_apis_per_component(self) -> u32 {
+        match self {
+            ServiceModel::Iaas => 1,
+            ServiceModel::Paas => 3,
+            ServiceModel::Saas => 5,
+        }
+    }
+
+    /// How freely the institution can customize the LMS, in `[0, 1]`
+    /// (plugin development, schema changes, integrations).
+    #[must_use]
+    pub fn customization(self) -> f64 {
+        match self {
+            ServiceModel::Iaas => 1.0,
+            ServiceModel::Paas => 0.7,
+            ServiceModel::Saas => 0.3,
+        }
+    }
+}
+
+impl fmt::Display for ServiceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServiceModel::Iaas => "iaas",
+            ServiceModel::Paas => "paas",
+            ServiceModel::Saas => "saas",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One service model's assessment against a usage baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceAssessment {
+    /// The service model.
+    pub model: ServiceModel,
+    /// Time from cloud signup to a serving LMS.
+    pub time_to_service: SimDuration,
+    /// Ongoing ops staffing, FTE.
+    pub ops_fte: f64,
+    /// Usage bill over the horizon after the management multiplier.
+    pub usage_cost: Usd,
+    /// Staff cost over the horizon.
+    pub staff_cost: Usd,
+    /// Exit rework cost (lock-in) for the whole six-component LMS.
+    pub exit_rework: Usd,
+    /// Customization freedom, `[0, 1]`.
+    pub customization: f64,
+}
+
+impl ServiceAssessment {
+    /// Total cost over the horizon (usage + staff).
+    #[must_use]
+    pub fn total_cost(&self) -> Usd {
+        self.usage_cost + self.staff_cost
+    }
+}
+
+/// Assesses one service model against a raw-IaaS usage baseline over
+/// `years`.
+#[must_use]
+pub fn assess(model: ServiceModel, iaas_usage: Usd, years: f64) -> ServiceAssessment {
+    assert!(years > 0.0, "horizon must be positive");
+    let components = crate::model::Component::ALL.len() as u32;
+    ServiceAssessment {
+        model,
+        time_to_service: calib::CLOUD_SIGNUP + model.install_time(),
+        ops_fte: model.ops_fte(),
+        usage_cost: iaas_usage * model.price_multiplier(),
+        staff_cost: calib::SYSADMIN_FTE_PER_YEAR * (model.ops_fte() * years),
+        exit_rework: calib::REWORK_PER_PROPRIETARY_API
+            * f64::from(components * model.lock_in_apis_per_component()),
+        customization: model.customization(),
+    }
+}
+
+/// Assesses all three service models.
+#[must_use]
+pub fn assess_all(iaas_usage: Usd, years: f64) -> Vec<ServiceAssessment> {
+    ServiceModel::ALL
+        .iter()
+        .map(|&m| assess(m, iaas_usage, years))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assessments() -> Vec<ServiceAssessment> {
+        assess_all(Usd::new(60_000.0), 3.0)
+    }
+
+    #[test]
+    fn saas_is_fastest_to_service() {
+        let a = assessments();
+        assert!(a[2].time_to_service < a[1].time_to_service);
+        assert!(a[1].time_to_service < a[0].time_to_service);
+        // SaaS serves within a day of signup.
+        assert!(a[2].time_to_service < SimDuration::from_days(1));
+    }
+
+    #[test]
+    fn saas_needs_least_staff_but_costs_most_usage() {
+        let a = assessments();
+        assert!(a[2].ops_fte < a[0].ops_fte);
+        assert!(a[2].usage_cost > a[0].usage_cost);
+        assert!(a[2].staff_cost < a[0].staff_cost);
+    }
+
+    #[test]
+    fn lock_in_grows_with_abstraction() {
+        let a = assessments();
+        assert!(a[0].exit_rework < a[1].exit_rework);
+        assert!(a[1].exit_rework < a[2].exit_rework);
+        // And customization falls.
+        assert!(a[0].customization > a[1].customization);
+        assert!(a[1].customization > a[2].customization);
+    }
+
+    #[test]
+    fn staff_savings_can_beat_the_premium() {
+        // At modest usage, SaaS's staff savings outweigh its price
+        // multiplier — the economics behind hosted LMS adoption.
+        let a = assess_all(Usd::new(30_000.0), 3.0);
+        assert!(
+            a[2].total_cost() < a[0].total_cost(),
+            "saas {} vs iaas {}",
+            a[2].total_cost(),
+            a[0].total_cost()
+        );
+    }
+
+    #[test]
+    fn premium_dominates_at_heavy_usage() {
+        // At heavy usage the multiplier wins and IaaS is cheaper.
+        let a = assess_all(Usd::new(400_000.0), 3.0);
+        assert!(
+            a[0].total_cost() < a[2].total_cost(),
+            "iaas {} vs saas {}",
+            a[0].total_cost(),
+            a[2].total_cost()
+        );
+    }
+
+    #[test]
+    fn displays_render() {
+        for m in ServiceModel::ALL {
+            assert!(!m.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let _ = assess(ServiceModel::Saas, Usd::new(1.0), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Software update propagation (E3).
+//!
+//! §III.3: "When the app is web-based, updates occur automatically and are
+//! available the next time you log on to the cloud." The on-premise
+//! counterpart is an admin-managed rollout: updates wait for validation and
+//! the next maintenance window. This module simulates a release stream
+//! against both channels and measures version staleness.
+
+use elc_simcore::dist::{Distribution, Exp};
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+/// How updates reach the running system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateChannel {
+    /// Provider pushes; a user has the new version at their next login.
+    SaasPush {
+        /// Mean gap between a user's logins.
+        mean_login_gap: SimDuration,
+    },
+    /// Admins validate, then apply in the next maintenance window.
+    AdminManaged {
+        /// Spacing of maintenance windows.
+        window_interval: SimDuration,
+        /// Validation/testing lag before an update is eligible.
+        validation_lag: SimDuration,
+    },
+}
+
+impl UpdateChannel {
+    /// The cloud default: users log in about daily.
+    #[must_use]
+    pub fn saas_default() -> Self {
+        UpdateChannel::SaasPush {
+            mean_login_gap: SimDuration::from_hours(24),
+        }
+    }
+
+    /// The on-premise default: monthly windows, two weeks of validation.
+    #[must_use]
+    pub fn onprem_default() -> Self {
+        UpdateChannel::AdminManaged {
+            window_interval: SimDuration::from_days(30),
+            validation_lag: SimDuration::from_days(14),
+        }
+    }
+
+    /// When a release published at `released` is actually running.
+    pub fn adoption_time(&self, released: SimTime, rng: &mut SimRng) -> SimTime {
+        match *self {
+            UpdateChannel::SaasPush { mean_login_gap } => {
+                // The system itself updates immediately; "available the
+                // next time you log on". The user-visible adoption is one
+                // login gap away, exponentially distributed.
+                let gap = Exp::new(1.0 / mean_login_gap.as_secs_f64())
+                    .expect("positive gap")
+                    .sample(rng);
+                released + SimDuration::from_secs_f64(gap)
+            }
+            UpdateChannel::AdminManaged {
+                window_interval,
+                validation_lag,
+            } => {
+                let eligible = released + validation_lag;
+                // Next maintenance window at a multiple of the interval.
+                let interval = window_interval.as_nanos();
+                let windows_passed = eligible.as_nanos() / interval;
+                SimTime::from_nanos((windows_passed + 1) * interval)
+            }
+        }
+    }
+}
+
+/// Staleness statistics over a simulated release stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateReport {
+    /// Releases simulated.
+    pub releases: u32,
+    /// Mean lag from release to adoption.
+    pub mean_staleness: SimDuration,
+    /// Worst lag observed.
+    pub max_staleness: SimDuration,
+    /// Fraction of the horizon spent on the latest available version.
+    pub fraction_on_latest: f64,
+}
+
+/// Simulates `releases_per_year` Poisson releases over `horizon` against a
+/// channel.
+///
+/// # Panics
+///
+/// Panics if `releases_per_year` is not positive or the horizon is zero.
+#[must_use]
+pub fn simulate_updates(
+    channel: UpdateChannel,
+    releases_per_year: f64,
+    horizon: SimTime,
+    rng: &mut SimRng,
+) -> UpdateReport {
+    assert!(releases_per_year > 0.0, "need a positive release rate");
+    assert!(horizon > SimTime::ZERO, "need a horizon");
+    let year_secs = 365.0 * 86_400.0;
+    let gap_dist = Exp::new(releases_per_year / year_secs).expect("positive rate");
+
+    // Generate the release stream.
+    let mut releases = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = SimDuration::from_secs_f64(gap_dist.sample(rng));
+        let Some(next) = t.checked_add(gap) else { break };
+        if next >= horizon {
+            break;
+        }
+        releases.push(next);
+        t = next;
+    }
+
+    let mut total_stale = SimDuration::ZERO;
+    let mut max_stale = SimDuration::ZERO;
+    let mut behind = SimDuration::ZERO;
+    for (i, &rel) in releases.iter().enumerate() {
+        let adopted = channel.adoption_time(rel, rng).min(horizon);
+        let staleness = adopted.saturating_since(rel);
+        total_stale += staleness;
+        max_stale = max_stale.max(staleness);
+        // Time "not on latest": from release until adoption, clipped by the
+        // next release (after which a newer version defines "latest").
+        let next_rel = releases.get(i + 1).copied().unwrap_or(horizon);
+        let lag_end = adopted.min(next_rel);
+        behind += lag_end.saturating_since(rel);
+    }
+
+    let n = releases.len().max(1) as u64;
+    UpdateReport {
+        releases: releases.len() as u32,
+        mean_staleness: total_stale / n,
+        max_staleness: max_stale,
+        fraction_on_latest: 1.0 - behind.ratio(horizon.saturating_since(SimTime::ZERO)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn years(n: u64) -> SimTime {
+        SimTime::from_secs(n * 365 * 86_400)
+    }
+
+    #[test]
+    fn saas_staleness_is_hours_not_weeks() {
+        let mut rng = SimRng::seed(1);
+        let rep = simulate_updates(UpdateChannel::saas_default(), 12.0, years(10), &mut rng);
+        assert!(rep.releases > 80, "releases {}", rep.releases);
+        assert!(
+            rep.mean_staleness < SimDuration::from_days(3),
+            "mean {}",
+            rep.mean_staleness
+        );
+    }
+
+    #[test]
+    fn onprem_staleness_is_weeks() {
+        let mut rng = SimRng::seed(2);
+        let rep = simulate_updates(UpdateChannel::onprem_default(), 12.0, years(10), &mut rng);
+        assert!(
+            rep.mean_staleness > SimDuration::from_days(14),
+            "mean {}",
+            rep.mean_staleness
+        );
+        assert!(rep.mean_staleness < SimDuration::from_days(60));
+    }
+
+    #[test]
+    fn saas_spends_more_time_on_latest() {
+        let mut rng = SimRng::seed(3);
+        let saas = simulate_updates(UpdateChannel::saas_default(), 12.0, years(10), &mut rng);
+        let onprem = simulate_updates(UpdateChannel::onprem_default(), 12.0, years(10), &mut rng);
+        assert!(
+            saas.fraction_on_latest > onprem.fraction_on_latest,
+            "saas {} vs onprem {}",
+            saas.fraction_on_latest,
+            onprem.fraction_on_latest
+        );
+        assert!(saas.fraction_on_latest > 0.9);
+    }
+
+    #[test]
+    fn admin_window_math() {
+        let channel = UpdateChannel::AdminManaged {
+            window_interval: SimDuration::from_days(30),
+            validation_lag: SimDuration::from_days(14),
+        };
+        let mut rng = SimRng::seed(4);
+        // Released on day 1: eligible day 15, adopted at the day-30 window.
+        let adopted = channel.adoption_time(SimTime::from_secs(86_400), &mut rng);
+        assert_eq!(adopted, SimTime::from_secs(30 * 86_400));
+        // Released day 20: eligible day 34, adopted at day 60.
+        let adopted = channel.adoption_time(SimTime::from_secs(20 * 86_400), &mut rng);
+        assert_eq!(adopted, SimTime::from_secs(60 * 86_400));
+    }
+
+    #[test]
+    fn saas_adoption_is_after_release() {
+        let channel = UpdateChannel::saas_default();
+        let mut rng = SimRng::seed(5);
+        for i in 0..100 {
+            let rel = SimTime::from_secs(i * 1_000);
+            assert!(channel.adoption_time(rel, &mut rng) >= rel);
+        }
+    }
+
+    #[test]
+    fn fraction_on_latest_in_unit_range() {
+        let mut rng = SimRng::seed(6);
+        for ch in [UpdateChannel::saas_default(), UpdateChannel::onprem_default()] {
+            let rep = simulate_updates(ch, 24.0, years(5), &mut rng);
+            assert!((0.0..=1.0).contains(&rep.fraction_on_latest));
+            assert!(rep.max_staleness >= rep.mean_staleness);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        let ra = simulate_updates(UpdateChannel::saas_default(), 12.0, years(3), &mut a);
+        let rb = simulate_updates(UpdateChannel::saas_default(), 12.0, years(3), &mut b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive release rate")]
+    fn zero_rate_rejected() {
+        let mut rng = SimRng::seed(8);
+        let _ = simulate_updates(UpdateChannel::saas_default(), 0.0, years(1), &mut rng);
+    }
+}

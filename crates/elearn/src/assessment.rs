@@ -1,0 +1,376 @@
+//! Exams, submissions and the gradebook.
+//!
+//! Assessments are the workload spike generator (everyone connects at the
+//! scheduled instant) and the confidentiality crown jewels (the paper's
+//! "tests, exam questions, results").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use elc_simcore::define_id;
+use elc_simcore::id::IdGen;
+use elc_simcore::time::{SimDuration, SimTime};
+
+use crate::model::{CourseId, UserId};
+
+define_id!(
+    /// Identifies an exam.
+    pub struct ExamId("exam")
+);
+
+/// A scheduled, timed exam.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exam {
+    id: ExamId,
+    course: CourseId,
+    opens_at: SimTime,
+    duration: SimDuration,
+    questions: u32,
+}
+
+impl Exam {
+    /// The exam id.
+    #[must_use]
+    pub fn id(&self) -> ExamId {
+        self.id
+    }
+
+    /// The owning course.
+    #[must_use]
+    pub fn course(&self) -> CourseId {
+        self.course
+    }
+
+    /// When the exam window opens.
+    #[must_use]
+    pub fn opens_at(&self) -> SimTime {
+        self.opens_at
+    }
+
+    /// Length of the exam window.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// When the window closes.
+    #[must_use]
+    pub fn closes_at(&self) -> SimTime {
+        self.opens_at + self.duration
+    }
+
+    /// Number of questions.
+    #[must_use]
+    pub fn questions(&self) -> u32 {
+        self.questions
+    }
+
+    /// True if a submission at `t` is within the window.
+    #[must_use]
+    pub fn accepts_at(&self, t: SimTime) -> bool {
+        t >= self.opens_at && t <= self.closes_at()
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No such exam.
+    UnknownExam(ExamId),
+    /// The submission arrived outside the exam window.
+    OutsideWindow {
+        /// The exam.
+        exam: ExamId,
+        /// When the submission arrived.
+        at: SimTime,
+    },
+    /// The student already has a graded submission.
+    AlreadySubmitted {
+        /// The exam.
+        exam: ExamId,
+        /// The student.
+        student: UserId,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownExam(e) => write!(f, "unknown exam {e}"),
+            SubmitError::OutsideWindow { exam, at } => {
+                write!(f, "submission to {exam} at {at} is outside the window")
+            }
+            SubmitError::AlreadySubmitted { exam, student } => {
+                write!(f, "{student} already submitted to {exam}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A graded submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Submission {
+    /// Who submitted.
+    pub student: UserId,
+    /// When it landed.
+    pub at: SimTime,
+    /// Score in `[0, 100]`.
+    pub score: f64,
+    /// Questions answered before the deadline (partial submissions happen
+    /// when an outage ate the session).
+    pub answered: u32,
+}
+
+/// Exam registry plus gradebook.
+#[derive(Debug, Default)]
+pub struct Assessments {
+    exams: BTreeMap<ExamId, Exam>,
+    ids: IdGen<ExamId>,
+    /// exam → student → submission.
+    submissions: BTreeMap<ExamId, BTreeMap<UserId, Submission>>,
+}
+
+impl Assessments {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Assessments::default()
+    }
+
+    /// Schedules an exam.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `questions` is zero or `duration` is zero.
+    pub fn schedule(
+        &mut self,
+        course: CourseId,
+        opens_at: SimTime,
+        duration: SimDuration,
+        questions: u32,
+    ) -> ExamId {
+        assert!(questions > 0, "an exam needs questions");
+        assert!(!duration.is_zero(), "an exam needs a window");
+        let id = self.ids.next_id();
+        self.exams.insert(
+            id,
+            Exam {
+                id,
+                course,
+                opens_at,
+                duration,
+                questions,
+            },
+        );
+        self.submissions.insert(id, BTreeMap::new());
+        id
+    }
+
+    /// Looks up an exam.
+    #[must_use]
+    pub fn exam(&self, id: ExamId) -> Option<&Exam> {
+        self.exams.get(&id)
+    }
+
+    /// Exams whose window includes `t`.
+    #[must_use]
+    pub fn open_at(&self, t: SimTime) -> Vec<ExamId> {
+        self.exams
+            .values()
+            .filter(|e| e.accepts_at(t))
+            .map(Exam::id)
+            .collect()
+    }
+
+    /// Records a submission.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown exams, out-of-window submissions and duplicates.
+    pub fn submit(
+        &mut self,
+        exam_id: ExamId,
+        student: UserId,
+        at: SimTime,
+        score: f64,
+        answered: u32,
+    ) -> Result<(), SubmitError> {
+        let exam = self
+            .exams
+            .get(&exam_id)
+            .ok_or(SubmitError::UnknownExam(exam_id))?;
+        if !exam.accepts_at(at) {
+            return Err(SubmitError::OutsideWindow { exam: exam_id, at });
+        }
+        let book = self
+            .submissions
+            .get_mut(&exam_id)
+            .expect("book created with exam");
+        if book.contains_key(&student) {
+            return Err(SubmitError::AlreadySubmitted {
+                exam: exam_id,
+                student,
+            });
+        }
+        book.insert(
+            student,
+            Submission {
+                student,
+                at,
+                score: score.clamp(0.0, 100.0),
+                answered: answered.min(exam.questions),
+            },
+        );
+        Ok(())
+    }
+
+    /// Submissions to an exam.
+    #[must_use]
+    pub fn submissions(&self, exam: ExamId) -> Vec<&Submission> {
+        self.submissions
+            .get(&exam)
+            .map(|book| book.values().collect())
+            .unwrap_or_default()
+    }
+
+    /// Mean score of an exam, `None` if nobody submitted.
+    #[must_use]
+    pub fn mean_score(&self, exam: ExamId) -> Option<f64> {
+        let subs = self.submissions.get(&exam)?;
+        if subs.is_empty() {
+            return None;
+        }
+        Some(subs.values().map(|s| s.score).sum::<f64>() / subs.len() as f64)
+    }
+
+    /// Completion rate: submissions / expected, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn completion_rate(&self, exam: ExamId, expected: usize) -> f64 {
+        if expected == 0 {
+            return 1.0;
+        }
+        let got = self.submissions.get(&exam).map_or(0, BTreeMap::len);
+        (got as f64 / expected as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn setup() -> (Assessments, ExamId) {
+        let mut a = Assessments::new();
+        let exam = a.schedule(
+            CourseId::new(0),
+            secs(100),
+            SimDuration::from_secs(3_600),
+            20,
+        );
+        (a, exam)
+    }
+
+    #[test]
+    fn window_semantics() {
+        let (a, exam) = setup();
+        let e = a.exam(exam).unwrap();
+        assert!(!e.accepts_at(secs(99)));
+        assert!(e.accepts_at(secs(100)));
+        assert!(e.accepts_at(secs(3_700)));
+        assert!(!e.accepts_at(secs(3_701)));
+        assert_eq!(e.closes_at(), secs(3_700));
+    }
+
+    #[test]
+    fn submit_within_window() {
+        let (mut a, exam) = setup();
+        a.submit(exam, UserId::new(1), secs(200), 85.0, 20).unwrap();
+        assert_eq!(a.submissions(exam).len(), 1);
+        assert_eq!(a.mean_score(exam), Some(85.0));
+    }
+
+    #[test]
+    fn late_submission_rejected() {
+        let (mut a, exam) = setup();
+        let err = a
+            .submit(exam, UserId::new(1), secs(4_000), 85.0, 20)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::OutsideWindow { .. }));
+        assert!(err.to_string().contains("outside the window"));
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let (mut a, exam) = setup();
+        a.submit(exam, UserId::new(1), secs(200), 50.0, 10).unwrap();
+        let err = a
+            .submit(exam, UserId::new(1), secs(300), 99.0, 20)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::AlreadySubmitted { .. }));
+    }
+
+    #[test]
+    fn unknown_exam_rejected() {
+        let mut a = Assessments::new();
+        let err = a
+            .submit(ExamId::new(9), UserId::new(1), secs(0), 0.0, 0)
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::UnknownExam(_)));
+    }
+
+    #[test]
+    fn score_and_answers_clamped() {
+        let (mut a, exam) = setup();
+        a.submit(exam, UserId::new(1), secs(200), 150.0, 99).unwrap();
+        let sub = a.submissions(exam)[0];
+        assert_eq!(sub.score, 100.0);
+        assert_eq!(sub.answered, 20);
+    }
+
+    #[test]
+    fn mean_score_averages() {
+        let (mut a, exam) = setup();
+        a.submit(exam, UserId::new(1), secs(200), 80.0, 20).unwrap();
+        a.submit(exam, UserId::new(2), secs(200), 60.0, 20).unwrap();
+        assert_eq!(a.mean_score(exam), Some(70.0));
+    }
+
+    #[test]
+    fn mean_score_none_when_empty() {
+        let (a, exam) = setup();
+        assert_eq!(a.mean_score(exam), None);
+        assert_eq!(a.mean_score(ExamId::new(77)), None);
+    }
+
+    #[test]
+    fn completion_rate() {
+        let (mut a, exam) = setup();
+        for i in 0..30 {
+            a.submit(exam, UserId::new(i), secs(200), 70.0, 20).unwrap();
+        }
+        assert!((a.completion_rate(exam, 40) - 0.75).abs() < 1e-12);
+        assert_eq!(a.completion_rate(exam, 0), 1.0);
+    }
+
+    #[test]
+    fn open_at_filters() {
+        let mut a = Assessments::new();
+        let e1 = a.schedule(CourseId::new(0), secs(0), SimDuration::from_secs(100), 5);
+        let e2 = a.schedule(CourseId::new(1), secs(500), SimDuration::from_secs(100), 5);
+        assert_eq!(a.open_at(secs(50)), vec![e1]);
+        assert_eq!(a.open_at(secs(550)), vec![e2]);
+        assert!(a.open_at(secs(300)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs questions")]
+    fn zero_question_exam_rejected() {
+        let mut a = Assessments::new();
+        a.schedule(CourseId::new(0), secs(0), SimDuration::from_secs(1), 0);
+    }
+}

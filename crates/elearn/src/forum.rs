@@ -1,0 +1,376 @@
+//! Course discussion forums — the paper's collaboration axis.
+//!
+//! §I: "Interactivity and collaboration are major points of this new
+//! technology." The forum is where that claim becomes workload and
+//! measurement: threads and replies generate read/write traffic
+//! (see [`crate::request::RequestKind::ForumRead`] /
+//! [`RequestKind::ForumPost`](crate::request::RequestKind::ForumPost)),
+//! and the reply-latency and participation statistics quantify how
+//! "interactive" a course actually is.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use elc_simcore::define_id;
+use elc_simcore::dist::{Distribution, Exp, Poisson};
+use elc_simcore::id::IdGen;
+use elc_simcore::metrics::Summary;
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+use crate::model::{CourseId, UserId};
+
+define_id!(
+    /// Identifies a discussion thread.
+    pub struct ThreadId("thread")
+);
+
+/// One post in a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Post {
+    /// Who wrote it.
+    pub author: UserId,
+    /// When it was posted.
+    pub at: SimTime,
+}
+
+/// A discussion thread: an opening post plus replies, in time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Thread {
+    id: ThreadId,
+    course: CourseId,
+    posts: Vec<Post>,
+}
+
+impl Thread {
+    /// The thread id.
+    #[must_use]
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The owning course.
+    #[must_use]
+    pub fn course(&self) -> CourseId {
+        self.course
+    }
+
+    /// All posts, opening post first.
+    #[must_use]
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Number of replies (posts beyond the opener).
+    #[must_use]
+    pub fn reply_count(&self) -> usize {
+        self.posts.len().saturating_sub(1)
+    }
+
+    /// Time from the opening post to the first reply, if any.
+    #[must_use]
+    pub fn first_response_latency(&self) -> Option<SimDuration> {
+        let first = self.posts.first()?;
+        let second = self.posts.get(1)?;
+        Some(second.at.saturating_since(first.at))
+    }
+}
+
+/// The discussion state of one course.
+///
+/// # Examples
+///
+/// ```
+/// use elc_elearn::forum::Forum;
+/// use elc_elearn::model::{CourseId, UserId};
+/// use elc_simcore::SimTime;
+///
+/// let mut forum = Forum::new(CourseId::new(0));
+/// let t = forum.start_thread(UserId::new(1), SimTime::ZERO);
+/// forum.reply(t, UserId::new(2), SimTime::from_secs(600)).unwrap();
+/// assert_eq!(forum.thread(t).unwrap().reply_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Forum {
+    course: CourseId,
+    threads: BTreeMap<ThreadId, Thread>,
+    ids: IdGen<ThreadId>,
+}
+
+/// Error returned when replying to a thread that does not exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownThread(pub ThreadId);
+
+impl std::fmt::Display for UnknownThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown thread {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownThread {}
+
+impl Forum {
+    /// Creates an empty forum for a course.
+    #[must_use]
+    pub fn new(course: CourseId) -> Self {
+        Forum {
+            course,
+            threads: BTreeMap::new(),
+            ids: IdGen::new(),
+        }
+    }
+
+    /// The owning course.
+    #[must_use]
+    pub fn course(&self) -> CourseId {
+        self.course
+    }
+
+    /// Starts a thread with its opening post.
+    pub fn start_thread(&mut self, author: UserId, at: SimTime) -> ThreadId {
+        let id = self.ids.next_id();
+        self.threads.insert(
+            id,
+            Thread {
+                id,
+                course: self.course,
+                posts: vec![Post { author, at }],
+            },
+        );
+        id
+    }
+
+    /// Appends a reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownThread`] for foreign ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the thread's latest post (posts are
+    /// time-ordered; the caller drives the clock).
+    pub fn reply(
+        &mut self,
+        thread: ThreadId,
+        author: UserId,
+        at: SimTime,
+    ) -> Result<(), UnknownThread> {
+        let t = self.threads.get_mut(&thread).ok_or(UnknownThread(thread))?;
+        let last = t.posts.last().expect("threads always have an opener");
+        assert!(at >= last.at, "posts must be appended in time order");
+        t.posts.push(Post { author, at });
+        Ok(())
+    }
+
+    /// Looks up a thread.
+    #[must_use]
+    pub fn thread(&self, id: ThreadId) -> Option<&Thread> {
+        self.threads.get(&id)
+    }
+
+    /// Iterates over all threads.
+    pub fn threads(&self) -> impl Iterator<Item = &Thread> {
+        self.threads.values()
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total posts across all threads.
+    #[must_use]
+    pub fn post_count(&self) -> usize {
+        self.threads.values().map(|t| t.posts.len()).sum()
+    }
+
+    /// Interactivity statistics for this forum.
+    #[must_use]
+    pub fn interactivity(&self, roster_size: usize) -> Interactivity {
+        let mut first_response = Summary::new();
+        let mut replies = Summary::new();
+        let mut participants: BTreeSet<UserId> = BTreeSet::new();
+        let mut unanswered = 0u32;
+        for t in self.threads.values() {
+            match t.first_response_latency() {
+                Some(d) => first_response.record(d.as_secs_f64()),
+                None => unanswered += 1,
+            }
+            replies.record(t.reply_count() as f64);
+            for p in &t.posts {
+                participants.insert(p.author);
+            }
+        }
+        Interactivity {
+            threads: self.threads.len() as u32,
+            unanswered_threads: unanswered,
+            mean_first_response: SimDuration::from_secs_f64(first_response.mean().max(0.0)),
+            mean_replies: replies.mean(),
+            participation: if roster_size == 0 {
+                0.0
+            } else {
+                (participants.len() as f64 / roster_size as f64).min(1.0)
+            },
+        }
+    }
+
+    /// Simulates a term of forum activity for a course roster.
+    ///
+    /// Threads open at `threads_per_week` (Poisson per week); each thread
+    /// draws its reply count from a Poisson around `mean_replies`, replies
+    /// arriving with exponential gaps (mean 4 hours). Authors are drawn
+    /// uniformly from the roster.
+    pub fn simulate_term(
+        &mut self,
+        rng: &mut SimRng,
+        roster: &[UserId],
+        weeks: u32,
+        threads_per_week: f64,
+        mean_replies: f64,
+    ) {
+        assert!(!roster.is_empty(), "need a roster to simulate a forum");
+        let per_week = Poisson::new(threads_per_week).expect("finite rate");
+        let replies_dist = Poisson::new(mean_replies).expect("finite rate");
+        let gap = Exp::new(1.0 / (4.0 * 3_600.0)).expect("positive rate");
+        for week in 0..weeks {
+            let week_start = SimTime::from_secs(u64::from(week) * 7 * 86_400);
+            let n_threads = per_week.sample(rng);
+            for _ in 0..n_threads {
+                let opened = week_start
+                    + SimDuration::from_secs(rng.next_below(7 * 86_400));
+                let author = *rng.pick(roster).expect("roster non-empty");
+                let thread = self.start_thread(author, opened);
+                let mut at = opened;
+                for _ in 0..replies_dist.sample(rng) {
+                    at += SimDuration::from_secs_f64(gap.sample(rng));
+                    let replier = *rng.pick(roster).expect("roster non-empty");
+                    self.reply(thread, replier, at).expect("thread exists");
+                }
+            }
+        }
+    }
+}
+
+/// Summary of how interactive a course forum is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interactivity {
+    /// Threads opened.
+    pub threads: u32,
+    /// Threads that never got a reply.
+    pub unanswered_threads: u32,
+    /// Mean time to the first reply (answered threads only).
+    pub mean_first_response: SimDuration,
+    /// Mean replies per thread.
+    pub mean_replies: f64,
+    /// Fraction of the roster that posted at least once.
+    pub participation: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users(n: u64) -> Vec<UserId> {
+        (0..n).map(UserId::new).collect()
+    }
+
+    #[test]
+    fn thread_lifecycle() {
+        let mut f = Forum::new(CourseId::new(0));
+        let t = f.start_thread(UserId::new(1), SimTime::ZERO);
+        assert_eq!(f.thread_count(), 1);
+        assert_eq!(f.post_count(), 1);
+        f.reply(t, UserId::new(2), SimTime::from_secs(100)).unwrap();
+        f.reply(t, UserId::new(3), SimTime::from_secs(200)).unwrap();
+        let thread = f.thread(t).unwrap();
+        assert_eq!(thread.reply_count(), 2);
+        assert_eq!(
+            thread.first_response_latency(),
+            Some(SimDuration::from_secs(100))
+        );
+        assert_eq!(thread.course(), CourseId::new(0));
+    }
+
+    #[test]
+    fn unknown_thread_rejected() {
+        let mut f = Forum::new(CourseId::new(0));
+        let err = f
+            .reply(ThreadId::new(9), UserId::new(1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, UnknownThread(ThreadId::new(9)));
+        assert!(err.to_string().contains("unknown thread"));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_reply_panics() {
+        let mut f = Forum::new(CourseId::new(0));
+        let t = f.start_thread(UserId::new(1), SimTime::from_secs(100));
+        let _ = f.reply(t, UserId::new(2), SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn unanswered_thread_has_no_latency() {
+        let mut f = Forum::new(CourseId::new(0));
+        let t = f.start_thread(UserId::new(1), SimTime::ZERO);
+        assert_eq!(f.thread(t).unwrap().first_response_latency(), None);
+    }
+
+    #[test]
+    fn interactivity_statistics() {
+        let mut f = Forum::new(CourseId::new(0));
+        let a = f.start_thread(UserId::new(1), SimTime::ZERO);
+        f.reply(a, UserId::new(2), SimTime::from_secs(600)).unwrap();
+        f.start_thread(UserId::new(3), SimTime::from_secs(50)); // unanswered
+        let stats = f.interactivity(10);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.unanswered_threads, 1);
+        assert_eq!(stats.mean_first_response, SimDuration::from_secs(600));
+        assert!((stats.mean_replies - 0.5).abs() < 1e-12);
+        assert!((stats.participation - 0.3).abs() < 1e-12); // 3 of 10
+    }
+
+    #[test]
+    fn participation_handles_empty_roster() {
+        let f = Forum::new(CourseId::new(0));
+        assert_eq!(f.interactivity(0).participation, 0.0);
+    }
+
+    #[test]
+    fn simulated_term_is_plausible() {
+        let mut f = Forum::new(CourseId::new(0));
+        let roster = users(120);
+        let mut rng = SimRng::seed(5);
+        f.simulate_term(&mut rng, &roster, 14, 6.0, 4.0);
+        // ~84 threads, ~4 replies each.
+        assert!((50..130).contains(&f.thread_count()), "{}", f.thread_count());
+        let stats = f.interactivity(roster.len());
+        assert!(stats.mean_replies > 2.0 && stats.mean_replies < 6.0);
+        assert!(stats.participation > 0.5, "participation {}", stats.participation);
+        // Replies arrive with ~4h mean gaps.
+        assert!(stats.mean_first_response > SimDuration::from_mins(30));
+        assert!(stats.mean_first_response < SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let roster = users(30);
+        let run = |seed| {
+            let mut f = Forum::new(CourseId::new(0));
+            let mut rng = SimRng::seed(seed);
+            f.simulate_term(&mut rng, &roster, 4, 3.0, 2.0);
+            (f.thread_count(), f.post_count())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "need a roster")]
+    fn empty_roster_rejected() {
+        let mut f = Forum::new(CourseId::new(0));
+        let mut rng = SimRng::seed(1);
+        f.simulate_term(&mut rng, &[], 1, 1.0, 1.0);
+    }
+}

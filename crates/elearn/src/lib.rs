@@ -1,0 +1,53 @@
+//! # elc-elearn — the e-learning system model
+//!
+//! Models the application whose deployment the paper debates: a Moodle-class
+//! learning-management system plus the workload its users generate.
+//!
+//! * [`model`] — users, roles, courses, enrollments,
+//! * [`content`] — course materials and the paper's critical "digital
+//!   assets" with confidentiality classes,
+//! * [`assessment`] — timed exams, submissions, gradebook,
+//! * [`session`] — autosave, lost work on disconnect, device continuity,
+//! * [`forum`] — discussion threads and interactivity metrics (§I's
+//!   "interactivity and collaboration"),
+//! * [`request`] — the LMS request taxonomy and phase-specific mixes,
+//! * [`calendar`] — semester phases (registration, teaching, exams),
+//! * [`workload`] — calendar- and diurnal-shaped offered load,
+//! * [`client`] — thin cloud client vs desktop install.
+//!
+//! # Examples
+//!
+//! ```
+//! use elc_elearn::calendar::AcademicCalendar;
+//! use elc_elearn::workload::WorkloadModel;
+//! use elc_simcore::SimTime;
+//!
+//! let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+//! let load = WorkloadModel::standard(20_000, cal);
+//! // Exam-week evening traffic dwarfs a teaching-week night.
+//! let exam_peak = load.rate_at(cal.exams_start() + elc_simcore::SimDuration::from_hours(20));
+//! assert!(exam_peak > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assessment;
+pub mod calendar;
+pub mod client;
+pub mod content;
+pub mod forum;
+pub mod model;
+pub mod request;
+pub mod session;
+pub mod workload;
+
+pub use assessment::{Assessments, Exam, ExamId, Submission};
+pub use calendar::{AcademicCalendar, Phase};
+pub use client::{ClientKind, ClientModel};
+pub use content::{Catalog, ContentItem, ContentKind, Sensitivity};
+pub use forum::{Forum, Interactivity, Post, Thread, ThreadId};
+pub use model::{Course, CourseId, Lms, LmsError, Role, User, UserId};
+pub use request::{RequestKind, RequestMix};
+pub use session::{LossLedger, SessionPolicy, StateLocation, WorkSession};
+pub use workload::{PhaseFactors, WorkloadModel};

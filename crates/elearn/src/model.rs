@@ -1,0 +1,406 @@
+//! Core LMS entities: users, courses, enrollments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use elc_simcore::define_id;
+use elc_simcore::id::IdGen;
+
+define_id!(
+    /// Identifies a user of the LMS.
+    pub struct UserId("user")
+);
+
+define_id!(
+    /// Identifies a course.
+    pub struct CourseId("course")
+);
+
+/// What a user is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Takes courses, submits work.
+    Student,
+    /// Authors content, grades.
+    Instructor,
+    /// Operates the platform.
+    Admin,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Student => "student",
+            Role::Instructor => "instructor",
+            Role::Admin => "admin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A registered user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    id: UserId,
+    role: Role,
+}
+
+impl User {
+    /// The user id.
+    #[must_use]
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// The user's role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+}
+
+/// A course offering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Course {
+    id: CourseId,
+    name: String,
+    instructor: UserId,
+}
+
+impl Course {
+    /// The course id.
+    #[must_use]
+    pub fn id(&self) -> CourseId {
+        self.id
+    }
+
+    /// The course name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructor of record.
+    #[must_use]
+    pub fn instructor(&self) -> UserId {
+        self.instructor
+    }
+}
+
+/// Error returned for operations on unknown or invalid entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmsError {
+    /// The user id is not registered.
+    UnknownUser(UserId),
+    /// The course id is not registered.
+    UnknownCourse(CourseId),
+    /// The user's role does not permit the operation.
+    RoleMismatch {
+        /// Who attempted it.
+        user: UserId,
+        /// What was required.
+        required: Role,
+    },
+    /// The student is already enrolled.
+    AlreadyEnrolled {
+        /// The student.
+        user: UserId,
+        /// The course.
+        course: CourseId,
+    },
+}
+
+impl fmt::Display for LmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmsError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            LmsError::UnknownCourse(c) => write!(f, "unknown course {c}"),
+            LmsError::RoleMismatch { user, required } => {
+                write!(f, "{user} lacks required role {required}")
+            }
+            LmsError::AlreadyEnrolled { user, course } => {
+                write!(f, "{user} already enrolled in {course}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LmsError {}
+
+/// The learning-management system's registrar state.
+///
+/// # Examples
+///
+/// ```
+/// use elc_elearn::model::{Lms, Role};
+///
+/// # fn main() -> Result<(), elc_elearn::model::LmsError> {
+/// let mut lms = Lms::new();
+/// let prof = lms.add_user(Role::Instructor);
+/// let alice = lms.add_user(Role::Student);
+/// let course = lms.add_course("Distributed Systems", prof)?;
+/// lms.enroll(alice, course)?;
+/// assert_eq!(lms.roster(course).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Lms {
+    users: BTreeMap<UserId, User>,
+    courses: BTreeMap<CourseId, Course>,
+    /// course → enrolled students, insertion-ordered.
+    enrollments: BTreeMap<CourseId, Vec<UserId>>,
+    user_ids: IdGen<UserId>,
+    course_ids: IdGen<CourseId>,
+}
+
+impl Lms {
+    /// Creates an empty LMS.
+    #[must_use]
+    pub fn new() -> Self {
+        Lms::default()
+    }
+
+    /// Registers a user.
+    pub fn add_user(&mut self, role: Role) -> UserId {
+        let id = self.user_ids.next_id();
+        self.users.insert(id, User { id, role });
+        id
+    }
+
+    /// Registers `n` students and returns their ids.
+    pub fn add_students(&mut self, n: usize) -> Vec<UserId> {
+        (0..n).map(|_| self.add_user(Role::Student)).collect()
+    }
+
+    /// Creates a course taught by `instructor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instructor is unknown or not an
+    /// [`Role::Instructor`].
+    pub fn add_course(
+        &mut self,
+        name: impl Into<String>,
+        instructor: UserId,
+    ) -> Result<CourseId, LmsError> {
+        let user = self
+            .users
+            .get(&instructor)
+            .ok_or(LmsError::UnknownUser(instructor))?;
+        if user.role != Role::Instructor {
+            return Err(LmsError::RoleMismatch {
+                user: instructor,
+                required: Role::Instructor,
+            });
+        }
+        let id = self.course_ids.next_id();
+        self.courses.insert(
+            id,
+            Course {
+                id,
+                name: name.into(),
+                instructor,
+            },
+        );
+        self.enrollments.insert(id, Vec::new());
+        Ok(id)
+    }
+
+    /// Enrolls a student in a course.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is unknown, the user is not a student,
+    /// or the student is already enrolled.
+    pub fn enroll(&mut self, student: UserId, course: CourseId) -> Result<(), LmsError> {
+        let user = self
+            .users
+            .get(&student)
+            .ok_or(LmsError::UnknownUser(student))?;
+        if user.role != Role::Student {
+            return Err(LmsError::RoleMismatch {
+                user: student,
+                required: Role::Student,
+            });
+        }
+        let roster = self
+            .enrollments
+            .get_mut(&course)
+            .ok_or(LmsError::UnknownCourse(course))?;
+        if roster.contains(&student) {
+            return Err(LmsError::AlreadyEnrolled {
+                user: student,
+                course,
+            });
+        }
+        roster.push(student);
+        Ok(())
+    }
+
+    /// Looks up a user.
+    #[must_use]
+    pub fn user(&self, id: UserId) -> Option<&User> {
+        self.users.get(&id)
+    }
+
+    /// Looks up a course.
+    #[must_use]
+    pub fn course(&self, id: CourseId) -> Option<&Course> {
+        self.courses.get(&id)
+    }
+
+    /// Enrolled students of a course (empty for unknown courses).
+    #[must_use]
+    pub fn roster(&self, course: CourseId) -> &[UserId] {
+        self.enrollments
+            .get(&course)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Total users.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Users with a given role.
+    #[must_use]
+    pub fn count_by_role(&self, role: Role) -> usize {
+        self.users.values().filter(|u| u.role == role).count()
+    }
+
+    /// Total courses.
+    #[must_use]
+    pub fn course_count(&self) -> usize {
+        self.courses.len()
+    }
+
+    /// Iterates over course ids in creation order.
+    pub fn course_ids(&self) -> impl Iterator<Item = CourseId> + '_ {
+        self.courses.keys().copied()
+    }
+
+    /// Total enrollments across all courses.
+    #[must_use]
+    pub fn enrollment_count(&self) -> usize {
+        self.enrollments.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lms_with_course() -> (Lms, UserId, CourseId) {
+        let mut lms = Lms::new();
+        let prof = lms.add_user(Role::Instructor);
+        let course = lms.add_course("CS101", prof).unwrap();
+        (lms, prof, course)
+    }
+
+    #[test]
+    fn enroll_students() {
+        let (mut lms, _, course) = lms_with_course();
+        let students = lms.add_students(3);
+        for &s in &students {
+            lms.enroll(s, course).unwrap();
+        }
+        assert_eq!(lms.roster(course), students.as_slice());
+        assert_eq!(lms.enrollment_count(), 3);
+    }
+
+    #[test]
+    fn double_enrollment_rejected() {
+        let (mut lms, _, course) = lms_with_course();
+        let s = lms.add_user(Role::Student);
+        lms.enroll(s, course).unwrap();
+        let err = lms.enroll(s, course).unwrap_err();
+        assert!(matches!(err, LmsError::AlreadyEnrolled { .. }));
+    }
+
+    #[test]
+    fn only_students_enroll() {
+        let (mut lms, prof, course) = lms_with_course();
+        let err = lms.enroll(prof, course).unwrap_err();
+        assert!(matches!(
+            err,
+            LmsError::RoleMismatch {
+                required: Role::Student,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn only_instructors_teach() {
+        let mut lms = Lms::new();
+        let s = lms.add_user(Role::Student);
+        let err = lms.add_course("X", s).unwrap_err();
+        assert!(matches!(
+            err,
+            LmsError::RoleMismatch {
+                required: Role::Instructor,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut lms = Lms::new();
+        assert!(matches!(
+            lms.add_course("X", UserId::new(99)),
+            Err(LmsError::UnknownUser(_))
+        ));
+        let s = lms.add_user(Role::Student);
+        assert!(matches!(
+            lms.enroll(s, CourseId::new(99)),
+            Err(LmsError::UnknownCourse(_))
+        ));
+        assert!(matches!(
+            lms.enroll(UserId::new(99), CourseId::new(0)),
+            Err(LmsError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn counts_by_role() {
+        let (mut lms, _, _) = lms_with_course();
+        lms.add_students(5);
+        lms.add_user(Role::Admin);
+        assert_eq!(lms.count_by_role(Role::Student), 5);
+        assert_eq!(lms.count_by_role(Role::Instructor), 1);
+        assert_eq!(lms.count_by_role(Role::Admin), 1);
+        assert_eq!(lms.user_count(), 7);
+    }
+
+    #[test]
+    fn course_lookup_and_accessors() {
+        let (lms, prof, course) = lms_with_course();
+        let c = lms.course(course).unwrap();
+        assert_eq!(c.name(), "CS101");
+        assert_eq!(c.instructor(), prof);
+        assert_eq!(c.id(), course);
+        assert_eq!(lms.user(prof).unwrap().role(), Role::Instructor);
+        assert_eq!(lms.course_count(), 1);
+        assert_eq!(lms.course_ids().collect::<Vec<_>>(), vec![course]);
+    }
+
+    #[test]
+    fn roster_of_unknown_course_is_empty() {
+        let lms = Lms::new();
+        assert!(lms.roster(CourseId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = LmsError::UnknownUser(UserId::new(1));
+        assert!(e.to_string().contains("unknown user"));
+        let e = LmsError::AlreadyEnrolled {
+            user: UserId::new(1),
+            course: CourseId::new(2),
+        };
+        assert!(e.to_string().contains("already enrolled"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Learner work sessions: autosave, lost work, device continuity.
+//!
+//! Two of the paper's claims live here:
+//!
+//! * the network risk — "if a Cloud connection gets terminated during a
+//!   session, users may lose time, work, or even unsaved data" (§III) —
+//!   quantified by [`WorkSession::lost_work`];
+//! * device independence — "change computers, and your existing applications
+//!   and documents follow you through the cloud" (§III.5) — quantified by
+//!   [`WorkSession::continuity_after_switch`].
+
+use elc_simcore::time::{SimDuration, SimTime};
+
+/// Where the authoritative copy of in-progress work lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateLocation {
+    /// Server-side state, synced by autosave — the cloud model.
+    Cloud,
+    /// Device-local files, moved manually — the desktop model.
+    Device,
+}
+
+/// Persistence policy of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionPolicy {
+    /// Where state lives.
+    pub location: StateLocation,
+    /// Interval between automatic saves; `None` means never (manual only).
+    pub autosave: Option<SimDuration>,
+}
+
+impl SessionPolicy {
+    /// Cloud LMS defaults: server state, 30-second autosave.
+    #[must_use]
+    pub fn cloud_default() -> Self {
+        SessionPolicy {
+            location: StateLocation::Cloud,
+            autosave: Some(SimDuration::from_secs(30)),
+        }
+    }
+
+    /// Desktop defaults: local state, no autosave to the server.
+    #[must_use]
+    pub fn desktop_default() -> Self {
+        SessionPolicy {
+            location: StateLocation::Device,
+            autosave: None,
+        }
+    }
+}
+
+/// A continuous work session (answering a quiz, writing a submission).
+///
+/// Work accrues linearly with time; saves checkpoint it.
+///
+/// # Examples
+///
+/// ```
+/// use elc_elearn::session::{SessionPolicy, WorkSession};
+/// use elc_simcore::{SimDuration, SimTime};
+///
+/// let s = WorkSession::new(SimTime::ZERO, SessionPolicy::cloud_default());
+/// // A drop 95 seconds in loses only the seconds since the last autosave.
+/// let lost = s.lost_work(SimTime::from_secs(95));
+/// assert_eq!(lost, SimDuration::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkSession {
+    started_at: SimTime,
+    policy: SessionPolicy,
+}
+
+impl WorkSession {
+    /// Starts a session at `started_at`.
+    #[must_use]
+    pub fn new(started_at: SimTime, policy: SessionPolicy) -> Self {
+        WorkSession { started_at, policy }
+    }
+
+    /// When the session started.
+    #[must_use]
+    pub fn started_at(&self) -> SimTime {
+        self.started_at
+    }
+
+    /// The persistence policy.
+    #[must_use]
+    pub fn policy(&self) -> SessionPolicy {
+        self.policy
+    }
+
+    /// Instant of the last save at or before `t`, if any save happened.
+    #[must_use]
+    pub fn last_save_before(&self, t: SimTime) -> Option<SimTime> {
+        let interval = self.policy.autosave?;
+        let elapsed = t.saturating_since(self.started_at);
+        let periods = elapsed.as_nanos() / interval.as_nanos();
+        if periods == 0 {
+            None
+        } else {
+            Some(self.started_at + interval * periods)
+        }
+    }
+
+    /// Work lost if the connection (or device) dies at `t`: the time since
+    /// the last checkpoint — the whole session when nothing was ever saved.
+    #[must_use]
+    pub fn lost_work(&self, t: SimTime) -> SimDuration {
+        match self.last_save_before(t) {
+            Some(save) => t.saturating_since(save),
+            None => t.saturating_since(self.started_at),
+        }
+    }
+
+    /// Fraction of accumulated work available after switching devices at
+    /// `t` (the paper's device-independence scenario).
+    ///
+    /// Cloud state: everything up to the last autosave follows the user.
+    /// Device state: nothing does — the files sit on the old machine.
+    #[must_use]
+    pub fn continuity_after_switch(&self, t: SimTime) -> f64 {
+        let total = t.saturating_since(self.started_at);
+        if total.is_zero() {
+            return 1.0;
+        }
+        match self.policy.location {
+            StateLocation::Device => 0.0,
+            StateLocation::Cloud => {
+                let lost = self.lost_work(t);
+                1.0 - lost.ratio(total)
+            }
+        }
+    }
+}
+
+/// Aggregates lost-work outcomes over many sessions for reporting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LossLedger {
+    sessions: u64,
+    interrupted: u64,
+    total_lost: SimDuration,
+    unsaved_losses: u64,
+}
+
+impl LossLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        LossLedger::default()
+    }
+
+    /// Records a session that completed without interruption.
+    pub fn record_clean(&mut self) {
+        self.sessions += 1;
+    }
+
+    /// Records an interrupted session and what it lost.
+    pub fn record_interrupted(&mut self, lost: SimDuration) {
+        self.sessions += 1;
+        self.interrupted += 1;
+        self.total_lost += lost;
+        if !lost.is_zero() {
+            self.unsaved_losses += 1;
+        }
+    }
+
+    /// Sessions recorded.
+    #[must_use]
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Interrupted sessions.
+    #[must_use]
+    pub fn interrupted(&self) -> u64 {
+        self.interrupted
+    }
+
+    /// Sessions that lost a nonzero amount of work.
+    #[must_use]
+    pub fn unsaved_losses(&self) -> u64 {
+        self.unsaved_losses
+    }
+
+    /// Total lost work time.
+    #[must_use]
+    pub fn total_lost(&self) -> SimDuration {
+        self.total_lost
+    }
+
+    /// Mean lost work per interrupted session.
+    #[must_use]
+    pub fn mean_loss(&self) -> SimDuration {
+        if self.interrupted == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_lost / self.interrupted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn autosave_checkpoints_periodically() {
+        let s = WorkSession::new(secs(100), SessionPolicy::cloud_default());
+        assert_eq!(s.last_save_before(secs(100)), None);
+        assert_eq!(s.last_save_before(secs(129)), None);
+        assert_eq!(s.last_save_before(secs(130)), Some(secs(130)));
+        assert_eq!(s.last_save_before(secs(199)), Some(secs(190)));
+    }
+
+    #[test]
+    fn lost_work_with_autosave_is_bounded() {
+        let s = WorkSession::new(secs(0), SessionPolicy::cloud_default());
+        for t in [1u64, 29, 30, 31, 59, 60, 3_599] {
+            let lost = s.lost_work(secs(t));
+            assert!(
+                lost <= SimDuration::from_secs(30),
+                "lost {lost} at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_work_without_autosave_is_everything() {
+        let s = WorkSession::new(secs(0), SessionPolicy::desktop_default());
+        assert_eq!(s.lost_work(secs(3_600)), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn lost_work_before_start_is_zero() {
+        let s = WorkSession::new(secs(100), SessionPolicy::cloud_default());
+        assert_eq!(s.lost_work(secs(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cloud_continuity_is_high() {
+        let s = WorkSession::new(secs(0), SessionPolicy::cloud_default());
+        let c = s.continuity_after_switch(secs(3_600));
+        assert!(c >= 1.0 - 30.0 / 3_600.0 - 1e-9, "continuity {c}");
+        assert!(c <= 1.0);
+    }
+
+    #[test]
+    fn device_continuity_is_zero() {
+        let s = WorkSession::new(secs(0), SessionPolicy::desktop_default());
+        assert_eq!(s.continuity_after_switch(secs(3_600)), 0.0);
+    }
+
+    #[test]
+    fn zero_length_session_has_full_continuity() {
+        let s = WorkSession::new(secs(10), SessionPolicy::desktop_default());
+        assert_eq!(s.continuity_after_switch(secs(10)), 1.0);
+    }
+
+    #[test]
+    fn ledger_aggregates() {
+        let mut l = LossLedger::new();
+        l.record_clean();
+        l.record_interrupted(SimDuration::from_secs(20));
+        l.record_interrupted(SimDuration::from_secs(40));
+        l.record_interrupted(SimDuration::ZERO); // dropped right after a save
+        assert_eq!(l.sessions(), 4);
+        assert_eq!(l.interrupted(), 3);
+        assert_eq!(l.unsaved_losses(), 2);
+        assert_eq!(l.total_lost(), SimDuration::from_secs(60));
+        assert_eq!(l.mean_loss(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn empty_ledger_mean_is_zero() {
+        assert_eq!(LossLedger::new().mean_loss(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn policies_expose_defaults() {
+        let c = SessionPolicy::cloud_default();
+        assert_eq!(c.location, StateLocation::Cloud);
+        assert_eq!(c.autosave, Some(SimDuration::from_secs(30)));
+        let d = SessionPolicy::desktop_default();
+        assert_eq!(d.location, StateLocation::Device);
+        assert_eq!(d.autosave, None);
+    }
+}

@@ -1,0 +1,293 @@
+//! Institution-level workload generation.
+//!
+//! Combines the calendar phase, a diurnal curve and the student population
+//! into an offered request rate, and samples Poisson arrivals per time slot.
+//! This is the demand signal the deployment models must serve in E12
+//! (elasticity) and the usage input for E1 (cost).
+
+use elc_simcore::dist::{Distribution, Poisson};
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+use crate::calendar::{AcademicCalendar, Phase};
+use crate::request::RequestMix;
+
+/// Hour-of-day activity multipliers (0 = midnight). Peak at 20:00 — evening
+/// study — with a secondary mid-day plateau; near-quiet at 04:00.
+const DIURNAL: [f64; 24] = [
+    0.25, 0.15, 0.08, 0.05, 0.05, 0.08, 0.15, 0.35, 0.60, 0.80, 0.90, 0.95, 0.90, 0.85, 0.85,
+    0.90, 0.95, 1.00, 1.10, 1.25, 1.30, 1.10, 0.75, 0.45,
+];
+
+/// Workload parameters for one institution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadModel {
+    students: u32,
+    peak_rps_per_kstudent: f64,
+    calendar: AcademicCalendar,
+    weekend_factor: f64,
+    phase_factors: PhaseFactors,
+}
+
+/// Traffic multipliers per calendar phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseFactors {
+    /// Multiplier during breaks.
+    pub break_f: f64,
+    /// Multiplier during registration (burst of short sessions).
+    pub registration: f64,
+    /// Multiplier during teaching weeks (baseline 1.0).
+    pub teaching: f64,
+    /// Multiplier during exams — the paper-motivating surge.
+    pub exams: f64,
+}
+
+impl Default for PhaseFactors {
+    fn default() -> Self {
+        PhaseFactors {
+            break_f: 0.08,
+            registration: 2.5,
+            teaching: 1.0,
+            exams: 4.0,
+        }
+    }
+}
+
+impl WorkloadModel {
+    /// Creates a workload model.
+    ///
+    /// `peak_rps_per_kstudent` is the request rate per 1000 enrolled
+    /// students at the diurnal peak of an ordinary teaching day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `students` is zero or the rate is not positive.
+    #[must_use]
+    pub fn new(
+        students: u32,
+        peak_rps_per_kstudent: f64,
+        calendar: AcademicCalendar,
+        phase_factors: PhaseFactors,
+    ) -> Self {
+        assert!(students > 0, "need at least one student");
+        assert!(
+            peak_rps_per_kstudent.is_finite() && peak_rps_per_kstudent > 0.0,
+            "rate must be positive"
+        );
+        WorkloadModel {
+            students,
+            peak_rps_per_kstudent,
+            calendar,
+            weekend_factor: 0.45,
+            phase_factors,
+        }
+    }
+
+    /// A calibrated default: 20 rps per 1000 students at a teaching-day
+    /// peak. LMS "requests" here are heavyweight (a 2 MiB video chunk is
+    /// ~10 s of playback), so this corresponds to roughly 15–20% of
+    /// students active at peak, each taking an action every 8–10 s —
+    /// and to an annual content volume in the tens of TiB per 1000
+    /// students, consistent with video-centric course delivery.
+    #[must_use]
+    pub fn standard(students: u32, calendar: AcademicCalendar) -> Self {
+        WorkloadModel::new(students, 20.0, calendar, PhaseFactors::default())
+    }
+
+    /// Enrolled students.
+    #[must_use]
+    pub fn students(&self) -> u32 {
+        self.students
+    }
+
+    /// The calendar driving phase multipliers.
+    #[must_use]
+    pub fn calendar(&self) -> &AcademicCalendar {
+        &self.calendar
+    }
+
+    /// Offered request rate at instant `t`, in requests/second.
+    #[must_use]
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = self.calendar.phase_at(t);
+        let phase_f = match phase {
+            Phase::Break => self.phase_factors.break_f,
+            Phase::Registration => self.phase_factors.registration,
+            Phase::Teaching => self.phase_factors.teaching,
+            Phase::Exams => self.phase_factors.exams,
+        };
+        let diurnal = DIURNAL[self.calendar.hour_of_day(t) as usize];
+        let weekend = if self.calendar.is_weekend(t) {
+            self.weekend_factor
+        } else {
+            1.0
+        };
+        self.students as f64 / 1_000.0 * self.peak_rps_per_kstudent * phase_f * diurnal * weekend
+    }
+
+    /// The request mix appropriate for the phase at `t`.
+    #[must_use]
+    pub fn mix_at(&self, t: SimTime) -> RequestMix {
+        match self.calendar.phase_at(t) {
+            Phase::Exams => RequestMix::exam(),
+            _ => RequestMix::teaching(),
+        }
+    }
+
+    /// Peak offered rate across a whole term (analytic: peak diurnal ×
+    /// exams factor × population).
+    #[must_use]
+    pub fn peak_rate(&self) -> f64 {
+        let peak_diurnal = DIURNAL.iter().cloned().fold(0.0, f64::max);
+        self.students as f64 / 1_000.0
+            * self.peak_rps_per_kstudent
+            * self.phase_factors.exams
+            * peak_diurnal
+    }
+
+    /// Mean offered rate over `[from, to)`, sampled at `step` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or the interval is empty.
+    #[must_use]
+    pub fn mean_rate(&self, from: SimTime, to: SimTime, step: SimDuration) -> f64 {
+        assert!(!step.is_zero(), "step must be positive");
+        assert!(to > from, "empty interval");
+        let mut t = from;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        while t < to {
+            sum += self.rate_at(t);
+            n += 1;
+            t += step;
+        }
+        sum / n as f64
+    }
+
+    /// Samples the number of requests arriving in the slot `[t, t + slot)`.
+    pub fn sample_arrivals(&self, rng: &mut SimRng, t: SimTime, slot: SimDuration) -> u64 {
+        let lambda = self.rate_at(t) * slot.as_secs_f64();
+        Poisson::new(lambda.max(0.0))
+            .expect("rate is finite and non-negative")
+            .sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::AcademicCalendar;
+
+    fn model() -> WorkloadModel {
+        WorkloadModel::standard(10_000, AcademicCalendar::standard_semester(SimTime::ZERO))
+    }
+
+    fn at(week: u64, day: u64, hour: u64) -> SimTime {
+        SimTime::from_secs(week * 7 * 86_400 + day * 86_400 + hour * 3_600)
+    }
+
+    #[test]
+    fn exam_rate_exceeds_teaching_rate() {
+        let m = model();
+        let teaching = m.rate_at(at(5, 2, 20)); // week 5, Wednesday 20:00
+        let exams = m.rate_at(at(15, 2, 20)); // exam week, same hour
+        assert!(exams > 3.0 * teaching, "exams {exams} vs teaching {teaching}");
+    }
+
+    #[test]
+    fn break_is_quiet() {
+        let m = model();
+        let brk = m.rate_at(at(30, 2, 20));
+        let teaching = m.rate_at(at(5, 2, 20));
+        assert!(brk < 0.15 * teaching);
+    }
+
+    #[test]
+    fn night_is_quieter_than_evening() {
+        let m = model();
+        assert!(m.rate_at(at(5, 2, 4)) < 0.1 * m.rate_at(at(5, 2, 20)));
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let m = model();
+        assert!(m.rate_at(at(5, 5, 20)) < m.rate_at(at(5, 2, 20)));
+    }
+
+    #[test]
+    fn rate_scales_with_population() {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        let small = WorkloadModel::standard(1_000, cal);
+        let large = WorkloadModel::standard(50_000, cal);
+        let t = at(5, 2, 20);
+        assert!((large.rate_at(t) / small.rate_at(t) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_rate_bounds_samples() {
+        let m = model();
+        let peak = m.peak_rate();
+        for w in 0..17 {
+            for h in 0..24 {
+                assert!(m.rate_at(at(w, 2, h)) <= peak + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_between_extremes() {
+        let m = model();
+        let mean = m.mean_rate(
+            at(5, 0, 0),
+            at(6, 0, 0),
+            SimDuration::from_hours(1),
+        );
+        assert!(mean > m.rate_at(at(5, 2, 4)));
+        assert!(mean < m.peak_rate());
+    }
+
+    #[test]
+    fn exam_phase_uses_exam_mix() {
+        let m = model();
+        let mix = m.mix_at(at(15, 2, 12));
+        assert_eq!(mix, RequestMix::exam());
+        assert_eq!(m.mix_at(at(5, 2, 12)), RequestMix::teaching());
+    }
+
+    #[test]
+    fn arrivals_track_rate() {
+        let m = model();
+        let mut rng = SimRng::seed(1);
+        let t = at(5, 2, 20);
+        let slot = SimDuration::from_secs(10);
+        let n = 2_000;
+        let total: u64 = (0..n).map(|_| m.sample_arrivals(&mut rng, t, slot)).sum();
+        let mean = total as f64 / n as f64;
+        let expect = m.rate_at(t) * 10.0;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean}, expect {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one student")]
+    fn rejects_zero_students() {
+        let _ = WorkloadModel::standard(0, AcademicCalendar::standard_semester(SimTime::ZERO));
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let m = model();
+        let mut a = SimRng::seed(4);
+        let mut b = SimRng::seed(4);
+        let t = at(5, 2, 20);
+        for _ in 0..50 {
+            assert_eq!(
+                m.sample_arrivals(&mut a, t, SimDuration::from_secs(5)),
+                m.sample_arrivals(&mut b, t, SimDuration::from_secs(5))
+            );
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Point-to-point link model.
+//!
+//! A [`Link`] is characterized by propagation latency, jitter, serialization
+//! bandwidth and a packet-loss probability. Request/response latency is
+//! sampled per round trip; bulk-transfer time is computed from bandwidth.
+//!
+//! The profiles in [`LinkProfile`] capture the access paths that matter for
+//! the paper's comparison: campus LAN to an on-premise private cloud, wide-
+//! area Internet to a public cloud region, and a degraded rural connection
+//! (the paper's motivating "learners who live in rural parts of the world").
+
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::SimDuration;
+
+use crate::units::{Bandwidth, Bytes};
+
+/// A directed network link with stochastic latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    latency: SimDuration,
+    jitter: SimDuration,
+    bandwidth: Bandwidth,
+    loss: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// `loss` is the per-round-trip probability that a retransmission is
+    /// needed (doubling that round trip's latency contribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss` is within `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        latency: SimDuration,
+        jitter: SimDuration,
+        bandwidth: Bandwidth,
+        loss: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss out of [0,1]: {loss}");
+        Link {
+            latency,
+            jitter,
+            bandwidth,
+            loss,
+        }
+    }
+
+    /// Builds a link from a named profile.
+    #[must_use]
+    pub fn from_profile(profile: LinkProfile) -> Self {
+        match profile {
+            LinkProfile::CampusLan => Link::new(
+                SimDuration::from_micros(500),
+                SimDuration::from_micros(200),
+                Bandwidth::from_gbps(1.0),
+                0.0001,
+            ),
+            LinkProfile::MetroInternet => Link::new(
+                SimDuration::from_millis(25),
+                SimDuration::from_millis(8),
+                Bandwidth::from_mbps(100.0),
+                0.002,
+            ),
+            LinkProfile::RuralInternet => Link::new(
+                SimDuration::from_millis(90),
+                SimDuration::from_millis(40),
+                Bandwidth::from_mbps(4.0),
+                0.02,
+            ),
+            LinkProfile::InterDatacenter => Link::new(
+                SimDuration::from_millis(12),
+                SimDuration::from_millis(2),
+                Bandwidth::from_gbps(10.0),
+                0.0005,
+            ),
+            LinkProfile::Mobile3g => Link::new(
+                SimDuration::from_millis(120),
+                SimDuration::from_millis(60),
+                Bandwidth::from_mbps(2.0),
+                0.03,
+            ),
+        }
+    }
+
+    /// Base one-way propagation latency.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Serialization bandwidth.
+    #[must_use]
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Per-round-trip loss probability.
+    #[must_use]
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Samples one round-trip time, including jitter and a possible
+    /// retransmission.
+    pub fn sample_rtt(&self, rng: &mut SimRng) -> SimDuration {
+        let base = self.latency * 2;
+        let jitter = self.jitter.mul_f64(rng.next_f64());
+        let mut rtt = base + jitter;
+        if rng.chance(self.loss) {
+            rtt += base; // one retransmission
+        }
+        rtt
+    }
+
+    /// Time to move `size` across the link, excluding outages: one RTT of
+    /// handshake plus serialization at the link bandwidth.
+    #[must_use]
+    pub fn transfer_time(&self, size: Bytes) -> SimDuration {
+        let serialize = self.bandwidth.seconds_for(size);
+        assert!(
+            serialize.is_finite(),
+            "cannot transfer over a zero-bandwidth link"
+        );
+        self.latency * 2 + SimDuration::from_secs_f64(serialize)
+    }
+
+    /// Time for a request/response exchange carrying `request` and
+    /// `response` payloads (sampled, includes jitter/loss).
+    pub fn sample_exchange(
+        &self,
+        rng: &mut SimRng,
+        request: Bytes,
+        response: Bytes,
+    ) -> SimDuration {
+        let rtt = self.sample_rtt(rng);
+        let payload = self.bandwidth.seconds_for(request) + self.bandwidth.seconds_for(response);
+        rtt + SimDuration::from_secs_f64(payload)
+    }
+}
+
+/// Canonical access-path profiles used across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkProfile {
+    /// Campus LAN: sub-millisecond, gigabit, near-lossless.
+    CampusLan,
+    /// Urban broadband to a public-cloud region.
+    MetroInternet,
+    /// Degraded rural connectivity (the paper's rural-learner scenario).
+    RuralInternet,
+    /// Datacenter-to-datacenter backbone (hybrid-cloud interconnect).
+    InterDatacenter,
+    /// 2013-era cellular data (the paper's ref.\[5\] mobile-learning path).
+    Mobile3g,
+}
+
+impl LinkProfile {
+    /// All profiles, for sweeps.
+    pub const ALL: [LinkProfile; 5] = [
+        LinkProfile::CampusLan,
+        LinkProfile::MetroInternet,
+        LinkProfile::RuralInternet,
+        LinkProfile::InterDatacenter,
+        LinkProfile::Mobile3g,
+    ];
+}
+
+impl std::fmt::Display for LinkProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            LinkProfile::CampusLan => "campus-lan",
+            LinkProfile::MetroInternet => "metro-internet",
+            LinkProfile::RuralInternet => "rural-internet",
+            LinkProfile::InterDatacenter => "inter-datacenter",
+            LinkProfile::Mobile3g => "mobile-3g",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_is_at_least_twice_latency() {
+        let link = Link::from_profile(LinkProfile::MetroInternet);
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1_000 {
+            assert!(link.sample_rtt(&mut rng) >= link.latency() * 2);
+        }
+    }
+
+    #[test]
+    fn lossless_link_rtt_bounded_by_jitter() {
+        let link = Link::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(5),
+            Bandwidth::from_mbps(10.0),
+            0.0,
+        );
+        let mut rng = SimRng::seed(2);
+        for _ in 0..1_000 {
+            let rtt = link.sample_rtt(&mut rng);
+            assert!(rtt <= SimDuration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn lossy_link_sometimes_retransmits() {
+        let link = Link::new(
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            Bandwidth::from_mbps(10.0),
+            0.5,
+        );
+        let mut rng = SimRng::seed(3);
+        let slow = (0..1_000)
+            .filter(|_| link.sample_rtt(&mut rng) > SimDuration::from_millis(20))
+            .count();
+        assert!((300..700).contains(&slow), "retransmissions: {slow}");
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let link = Link::from_profile(LinkProfile::CampusLan);
+        let small = link.transfer_time(Bytes::from_kib(10));
+        let large = link.transfer_time(Bytes::from_mib(10));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn lan_beats_rural_for_same_payload() {
+        let lan = Link::from_profile(LinkProfile::CampusLan);
+        let rural = Link::from_profile(LinkProfile::RuralInternet);
+        let size = Bytes::from_mib(1);
+        assert!(lan.transfer_time(size) < rural.transfer_time(size));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn transfer_on_dead_link_panics() {
+        let link = Link::new(
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            Bandwidth::from_bps(0.0),
+            0.0,
+        );
+        let _ = link.transfer_time(Bytes::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss out of [0,1]")]
+    fn link_rejects_bad_loss() {
+        let _ = Link::new(
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            Bandwidth::from_mbps(1.0),
+            1.5,
+        );
+    }
+
+    #[test]
+    fn exchange_includes_payload_cost() {
+        let link = Link::new(
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            Bandwidth::from_mbps(8.0), // 1 MB/s
+            0.0,
+        );
+        let mut rng = SimRng::seed(4);
+        let t = link.sample_exchange(&mut rng, Bytes::new(0), Bytes::from_mib(1));
+        // 20ms RTT + ~1.05s payload
+        assert!(t > SimDuration::from_secs(1));
+        assert!(t < SimDuration::from_millis(1_100));
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_display() {
+        for p in LinkProfile::ALL {
+            assert!(!p.to_string().is_empty());
+        }
+        let lan = Link::from_profile(LinkProfile::CampusLan);
+        let rural = Link::from_profile(LinkProfile::RuralInternet);
+        assert!(lan.latency() < rural.latency());
+        assert!(lan.loss() < rural.loss());
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let link = Link::from_profile(LinkProfile::MetroInternet);
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        for _ in 0..100 {
+            assert_eq!(link.sample_rtt(&mut a), link.sample_rtt(&mut b));
+        }
+    }
+}

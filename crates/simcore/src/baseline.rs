@@ -1,0 +1,122 @@
+//! Naive pending-event set used as an ablation baseline.
+//!
+//! [`NaiveQueue`] stores events in an unsorted `Vec` and scans for the
+//! minimum on every pop — O(n) per operation. It exists only so the kernel
+//! ablation bench (`a1_kernel`) can quantify what the binary-heap queue in
+//! [`crate::queue`] buys; models should never use it.
+
+use crate::time::SimTime;
+
+/// An unsorted-vector event set with O(n) pop. Ablation baseline only.
+///
+/// Semantics match [`crate::queue::EventQueue`]: earliest time first, ties in
+/// FIFO order.
+#[derive(Debug)]
+pub struct NaiveQueue<E> {
+    entries: Vec<(SimTime, u64, E)>,
+    next_seq: u64,
+}
+
+impl<E> NaiveQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        NaiveQueue {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        self.entries.push((time, self.next_seq, payload));
+        self.next_seq += 1;
+    }
+
+    /// Removes and returns the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.entries.len() {
+            let (t, s, _) = &self.entries[i];
+            let (bt, bs, _) = &self.entries[best];
+            if (*t, *s) < (*bt, *bs) {
+                best = i;
+            }
+        }
+        let (time, _, payload) = self.entries.swap_remove(best);
+        Some((time, payload))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<E> Default for NaiveQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = NaiveQueue::new();
+        q.push(SimTime::from_secs(2), 'b');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(3), 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_fifo() {
+        let mut q = NaiveQueue::new();
+        for i in 0..5 {
+            q.push(SimTime::ZERO, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn agrees_with_heap_queue_on_random_input() {
+        let mut rng = SimRng::seed(42);
+        let mut naive = NaiveQueue::new();
+        let mut heap = EventQueue::new();
+        for i in 0..500u32 {
+            let t = SimTime::from_nanos(rng.next_below(100));
+            naive.push(t, i);
+            heap.push(t, i);
+        }
+        loop {
+            match (naive.pop(), heap.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q: NaiveQueue<()> = NaiveQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! The pending-event set.
+//!
+//! A classic discrete-event simulator is a loop around a priority queue of
+//! timestamped events. Two properties matter for reproducibility:
+//!
+//! 1. **Deterministic tie-breaking** — events scheduled for the same instant
+//!    fire in scheduling order (FIFO), enforced with a sequence number.
+//! 2. **Cancellation** — models cancel timers (e.g. an autoscaler probe after
+//!    shutdown) without scanning the heap; cancelled ids are tombstoned and
+//!    skipped on pop.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, seq) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events with O(log n) push/pop and O(1)
+/// cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use elc_simcore::queue::EventQueue;
+/// use elc_simcore::time::SimTime;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "sooner"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time` and returns a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an already
+    /// fired or already cancelled event returns `false` and is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    ///
+    /// Skips cancelled events. Ties fire in scheduling (FIFO) order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled tombstones from the top so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .field("issued", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let id = q.push(SimTime::from_secs(1), "cancel me");
+        q.push(SimTime::from_secs(2), "keep me");
+        assert!(q.cancel(id));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "keep me");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.push(SimTime::ZERO, ());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.push(SimTime::from_secs(1), "x");
+        q.push(SimTime::from_secs(5), "y");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), "late");
+        q.push(SimTime::from_secs(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(SimTime::from_secs(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(format!("{q:?}").contains("EventQueue"));
+    }
+}

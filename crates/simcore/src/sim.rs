@@ -1,0 +1,420 @@
+//! The simulation executive.
+//!
+//! [`Simulation<S>`] owns the model state `S`, the virtual clock, the
+//! pending-event set and the root RNG. Events are boxed `FnOnce` closures
+//! that receive `&mut Simulation<S>`, so a handler can read the clock, mutate
+//! state, draw randomness and schedule further events.
+//!
+//! The executive is single-threaded by design: determinism is a hard
+//! requirement (see DESIGN.md §4) and the models in this project are far from
+//! CPU-bound enough to justify a parallel DES with all its ordering hazards.
+
+use std::fmt;
+
+use crate::queue::{EventId, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: runs once at its scheduled instant.
+pub type EventFn<S> = Box<dyn FnOnce(&mut Simulation<S>)>;
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of events executed.
+    pub executed: u64,
+    /// Clock value when the run stopped.
+    pub end_time: SimTime,
+    /// Events still pending when the run stopped (nonzero when a horizon cut
+    /// the run short).
+    pub pending: usize,
+}
+
+/// A discrete-event simulation over model state `S`.
+///
+/// # Examples
+///
+/// Count arrivals over ten seconds of virtual time:
+///
+/// ```
+/// use elc_simcore::sim::Simulation;
+/// use elc_simcore::time::{SimDuration, SimTime};
+///
+/// #[derive(Default)]
+/// struct Counter {
+///     arrivals: u32,
+/// }
+///
+/// fn arrive(sim: &mut Simulation<Counter>) {
+///     sim.state_mut().arrivals += 1;
+///     if sim.now() < SimTime::from_secs(10) {
+///         sim.schedule_in(SimDuration::from_secs(1), arrive);
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(7, Counter::default());
+/// sim.schedule_in(SimDuration::from_secs(1), arrive);
+/// sim.run();
+/// assert_eq!(sim.state().arrivals, 10);
+/// ```
+pub struct Simulation<S> {
+    now: SimTime,
+    queue: EventQueue<EventFn<S>>,
+    state: S,
+    rng: SimRng,
+    executed: u64,
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation at time zero with the given seed and state.
+    pub fn new(seed: u64, state: S) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            state,
+            rng: SimRng::seed(seed),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the model state.
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the model state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// The root random stream.
+    ///
+    /// Prefer [`Simulation::derive_rng`] for per-entity streams so draws stay
+    /// independent as models grow.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Derives an independent random stream for a named subsystem.
+    #[must_use]
+    pub fn derive_rng(&self, label: &str) -> SimRng {
+        self.rng.derive(label)
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `handler` to run after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut Simulation<S>) + 'static,
+    ) -> EventId {
+        self.queue.push(self.now + delay, Box::new(handler))
+    }
+
+    /// Schedules `handler` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — scheduling into the past would make
+    /// the clock non-monotonic.
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        handler: impl FnOnce(&mut Simulation<S>) + 'static,
+    ) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.queue.push(time, Box::new(handler))
+    }
+
+    /// Schedules `handler` to run every `interval`, starting after `start`.
+    ///
+    /// The handler returns `true` to keep ticking or `false` to stop.
+    pub fn schedule_every(
+        &mut self,
+        start: SimDuration,
+        interval: SimDuration,
+        handler: impl FnMut(&mut Simulation<S>) -> bool + 'static,
+    ) -> EventId {
+        fn tick<S, F>(sim: &mut Simulation<S>, mut f: F, interval: SimDuration)
+        where
+            F: FnMut(&mut Simulation<S>) -> bool + 'static,
+        {
+            if f(sim) {
+                sim.schedule_in(interval, move |sim| tick(sim, f, interval));
+            }
+        }
+        let f = handler;
+        self.schedule_in(start, move |sim| tick(sim, f, interval))
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Executes the next pending event, if any. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, handler)) => {
+                debug_assert!(time >= self.now, "event queue returned a past event");
+                self.now = time;
+                self.executed += 1;
+                handler(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self) -> RunStats {
+        while self.step() {}
+        self.stats()
+    }
+
+    /// Runs until the clock would pass `horizon` or no events remain.
+    ///
+    /// Events scheduled exactly at `horizon` are executed; later events stay
+    /// pending and the clock is advanced to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.stats()
+    }
+
+    /// Runs for `span` of virtual time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> RunStats {
+        let horizon = self.now + span;
+        self.run_until(horizon)
+    }
+
+    /// Consumes the simulation and returns the final model state.
+    #[must_use]
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    fn stats(&self) -> RunStats {
+        RunStats {
+            executed: self.executed,
+            end_time: self.now,
+            pending: self.queue.len(),
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("executed", &self.executed)
+            .field("pending", &self.queue.len())
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_order_and_advance_clock() {
+        let mut sim = Simulation::new(1, Vec::<(u64, &str)>::new());
+        sim.schedule_in(SimDuration::from_secs(2), |s| {
+            let t = s.now().as_nanos();
+            s.state_mut().push((t, "b"));
+        });
+        sim.schedule_in(SimDuration::from_secs(1), |s| {
+            let t = s.now().as_nanos();
+            s.state_mut().push((t, "a"));
+        });
+        let stats = sim.run();
+        assert_eq!(stats.executed, 2);
+        assert_eq!(stats.end_time, SimTime::from_secs(2));
+        assert_eq!(
+            *sim.state(),
+            vec![
+                (SimDuration::from_secs(1).as_nanos(), "a"),
+                (SimDuration::from_secs(2).as_nanos(), "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulation::new(1, 0u32);
+        fn chain(sim: &mut Simulation<u32>) {
+            *sim.state_mut() += 1;
+            if *sim.state() < 5 {
+                sim.schedule_in(SimDuration::from_secs(1), chain);
+            }
+        }
+        sim.schedule_in(SimDuration::from_secs(1), chain);
+        sim.run();
+        assert_eq!(*sim.state(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(1, 0u32);
+        for i in 1..=10 {
+            sim.schedule_at(SimTime::from_secs(i), |s| *s.state_mut() += 1);
+        }
+        let stats = sim.run_until(SimTime::from_secs(4));
+        assert_eq!(*sim.state(), 4);
+        assert_eq!(stats.pending, 6);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        // Resume to completion.
+        sim.run();
+        assert_eq!(*sim.state(), 10);
+    }
+
+    #[test]
+    fn run_until_includes_horizon_instant() {
+        let mut sim = Simulation::new(1, false);
+        sim.schedule_at(SimTime::from_secs(5), |s| *s.state_mut() = true);
+        sim.run_until(SimTime::from_secs(5));
+        assert!(*sim.state());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = Simulation::new(1, ());
+        sim.run_until(SimTime::from_secs(30));
+        assert_eq!(sim.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut sim = Simulation::new(1, ());
+        sim.run_for(SimDuration::from_secs(10));
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn schedule_at_past_panics() {
+        let mut sim = Simulation::new(1, ());
+        sim.schedule_at(SimTime::from_secs(5), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulation::new(1, 0u32);
+        let id = sim.schedule_in(SimDuration::from_secs(1), |s| *s.state_mut() += 1);
+        sim.schedule_in(SimDuration::from_secs(2), |s| *s.state_mut() += 10);
+        assert!(sim.cancel(id));
+        sim.run();
+        assert_eq!(*sim.state(), 10);
+    }
+
+    #[test]
+    fn schedule_every_ticks_until_stopped() {
+        let mut sim = Simulation::new(1, 0u32);
+        sim.schedule_every(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            |s| {
+                *s.state_mut() += 1;
+                *s.state() < 4
+            },
+        );
+        sim.run();
+        assert_eq!(*sim.state(), 4);
+        // Ticks at t = 1, 3, 5, 7.
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        fn run_once(seed: u64) -> Vec<u64> {
+            let mut sim = Simulation::new(seed, Vec::new());
+            sim.schedule_every(
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(1),
+                |s| {
+                    let x = s.rng().next_u64();
+                    s.state_mut().push(x);
+                    s.state().len() < 20
+                },
+            );
+            sim.run();
+            sim.into_state()
+        }
+        assert_eq!(run_once(99), run_once(99));
+        assert_ne!(run_once(99), run_once(100));
+    }
+
+    #[test]
+    fn derive_rng_does_not_disturb_root() {
+        let mut a = Simulation::new(5, ());
+        let mut b = Simulation::new(5, ());
+        let _side = a.derive_rng("side-channel");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let mut sim = Simulation::new(1, ());
+        sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.schedule_in(SimDuration::from_secs(9), |_| {});
+        let stats = sim.run_until(SimTime::from_secs(5));
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.pending, 1);
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut sim = Simulation::new(1, String::new());
+        sim.schedule_in(SimDuration::from_secs(1), |s| {
+            s.state_mut().push_str("done");
+        });
+        sim.run();
+        assert_eq!(sim.into_state(), "done");
+    }
+
+    #[test]
+    fn debug_impl_renders() {
+        let sim = Simulation::new(1, 42u32);
+        let dbg = format!("{sim:?}");
+        assert!(dbg.contains("Simulation") && dbg.contains("42"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Community cloud: should ten universities build one datacenter together?
+//!
+//! §IV.C of the paper imagines the hybrid as a path to "a national private
+//! cloud system"; NIST (the paper's [3]) names that fourth model the
+//! community cloud. This example sweeps consortium size for 10k-student
+//! members and compares against going private alone and going public.
+//!
+//! ```sh
+//! cargo run --release --example community_consortium
+//! ```
+
+use elearn_cloud::analysis::table::{fmt_f64, Table};
+use elearn_cloud::core::experiments::e13;
+use elearn_cloud::core::Scenario;
+use elearn_cloud::deploy::community::CommunityCloud;
+use elearn_cloud::deploy::cost::CostInputs;
+
+fn main() {
+    let scenario = Scenario::rural_learners(3).with_students(10_000);
+    println!(
+        "consortium economics for {}-student member institutions\n",
+        scenario.students()
+    );
+
+    let out = e13::run(&scenario);
+    println!("{}", out.section());
+    println!();
+
+    match out.breakeven_members() {
+        Some(m) => println!(
+            "-> a consortium pays for itself from {m} members (vs ${} going private alone)",
+            fmt_f64(out.private_baseline.amount())
+        ),
+        None => println!("-> no consortium size beats going it alone at this member profile"),
+    }
+
+    // Zoom in: where do the savings come from at 8 members?
+    let inputs = CostInputs::standard(scenario.workload());
+    let solo = CommunityCloud::new(1, inputs.clone()).assess();
+    let eight = CommunityCloud::new(8, inputs).assess();
+    let mut t = Table::new(["quantity", "solo", "8-member consortium"]);
+    t.row([
+        "shared servers".to_string(),
+        solo.servers.to_string(),
+        eight.servers.to_string(),
+    ]);
+    t.row([
+        "servers per member".to_string(),
+        fmt_f64(f64::from(solo.servers)),
+        fmt_f64(f64::from(eight.servers) / 8.0),
+    ]);
+    t.row([
+        "staffing (FTE, total)".to_string(),
+        fmt_f64(solo.total_fte),
+        fmt_f64(eight.total_fte),
+    ]);
+    t.row([
+        "per-member TCO ($)".to_string(),
+        fmt_f64(solo.per_member_tco.amount()),
+        fmt_f64(eight.per_member_tco.amount()),
+    ]);
+    println!("\nwhere the sharing gains come from:\n{t}");
+}

@@ -1,0 +1,63 @@
+//! Pricing the way out: vendor lock-in as a function of accumulated data.
+//!
+//! The paper warns that "bringing that system back in-house will be
+//! relatively difficult and expensive" (§IV.A). This example prices the
+//! exit from each deployment model as the institution's content archive
+//! grows, then shows how the advisor's recommendation flips once
+//! portability is weighted.
+//!
+//! ```sh
+//! cargo run --release --example migration_decision
+//! ```
+
+use elearn_cloud::analysis::table::{fmt_f64, Table};
+use elearn_cloud::cloud::billing::PriceSheet;
+use elearn_cloud::core::{advise, run_all, Requirements, Scenario};
+use elearn_cloud::deploy::migration::exit_plan;
+use elearn_cloud::deploy::model::Deployment;
+use elearn_cloud::net::link::{Link, LinkProfile};
+use elearn_cloud::net::units::Bytes;
+
+fn main() {
+    let prices = PriceSheet::public_2013();
+    let link = Link::from_profile(LinkProfile::InterDatacenter);
+
+    println!("exit cost vs accumulated content (USD, days)\n");
+    let mut t = Table::new([
+        "archive",
+        "public exit ($)",
+        "public exit (days)",
+        "hybrid exit ($)",
+        "hybrid exit (days)",
+    ]);
+    for gib in [500u64, 2_000, 10_000, 50_000] {
+        let data = Bytes::from_gib(gib);
+        let public = exit_plan(&Deployment::public(), data, &prices, &link);
+        let hybrid = exit_plan(&Deployment::hybrid_default(), data, &prices, &link);
+        t.row([
+            format!("{data}"),
+            fmt_f64(public.total_cost.amount()),
+            fmt_f64(public.duration.as_secs_f64() / 86_400.0),
+            fmt_f64(hybrid.total_cost.amount()),
+            fmt_f64(hybrid.duration.as_secs_f64() / 86_400.0),
+        ]);
+    }
+    println!("{t}");
+    println!("(private deployments exit free: no provider egress, no proprietary APIs)\n");
+
+    // How the recommendation responds to portability weight.
+    let scenario = Scenario::university(21);
+    println!("running the experiment suite for {} …\n", scenario.name());
+    let outputs = run_all(&scenario);
+    let metrics = outputs.metrics();
+
+    let mut indifferent = Requirements::balanced_university();
+    indifferent.portability_concern = 0.0;
+    let mut locked = Requirements::balanced_university();
+    locked.portability_concern = 1.0;
+
+    println!("portability weight 0.0 → {}", advise(&indifferent, &metrics).best());
+    println!("portability weight 1.0 → {}", advise(&locked, &metrics).best());
+    println!();
+    println!("{}", advise(&locked, &metrics));
+}

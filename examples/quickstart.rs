@@ -1,0 +1,36 @@
+//! Quickstart: run the full experiment suite for one institution and get a
+//! deployment recommendation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use elearn_cloud::core::{advise, run_all, Requirements, Scenario};
+
+fn main() {
+    // A 2 000-student college, deterministic under seed 42.
+    let scenario = Scenario::small_college(42);
+    println!(
+        "scenario: {} ({} students, seed {})\n",
+        scenario.name(),
+        scenario.students(),
+        scenario.seed()
+    );
+
+    // Every experiment from DESIGN.md (E1–E12) plus the measured
+    // comparison matrix (T1).
+    let outputs = run_all(&scenario);
+    println!("{}", outputs.report());
+
+    // Codified §IV guidance: score the three models against a
+    // requirements profile.
+    println!();
+    for (label, reqs) in [
+        ("startup program", Requirements::startup_program()),
+        ("exam authority", Requirements::exam_authority()),
+        ("balanced university", Requirements::balanced_university()),
+    ] {
+        let rec = advise(&reqs, &outputs.metrics());
+        println!("[{label}] {rec}");
+    }
+}

@@ -1,0 +1,215 @@
+//! `elc` — command-line front end for the elearn-cloud evaluation suite.
+//!
+//! ```text
+//! elc scenarios                              list scenario presets
+//! elc report [SCENARIO] [--seed N]           run the full suite, print all tables
+//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e14, t1)
+//! elc advise [SCENARIO] [--seed N]
+//!     [--profile startup|exam|balanced]      advisor with a preset profile
+//!     [--cost W --security W --elasticity W
+//!      --portability W --time W --ops W]     ... or custom weights in [0,1]
+//! ```
+//!
+//! Scenarios: `small-college` (default), `rural-learners`, `university`,
+//! `national-platform`.
+
+use std::process::ExitCode;
+
+use elearn_cloud::core::experiments::{self, run_all};
+use elearn_cloud::core::{advise, Requirements, Scenario};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  elc scenarios\n  elc report [SCENARIO] [--seed N]\n  \
+         elc experiment <ID> [SCENARIO] [--seed N]\n  \
+         elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
+         [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
+         scenarios: small-college | rural-learners | university | national-platform"
+    );
+    ExitCode::from(2)
+}
+
+fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
+    Some(match name {
+        "small-college" => Scenario::small_college(seed),
+        "rural-learners" => Scenario::rural_learners(seed),
+        "university" => Scenario::university(seed),
+        "national-platform" => Scenario::national_platform(seed),
+        _ => return None,
+    })
+}
+
+/// Pulls `--flag value` pairs out of the argument list, returning the
+/// remaining positional arguments.
+fn split_flags(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.next() {
+                Some(v) => flags.push((name.to_string(), v.clone())),
+                None => flags.push((name.to_string(), String::new())),
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_weight(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+fn run_experiment(id: &str, scenario: &Scenario) -> Option<String> {
+    use experiments as e;
+    let section = match id {
+        "e1" => e::e01::run(scenario).section(),
+        "e2" => e::e02::run(scenario).section(),
+        "e3" => e::e03::run(scenario).section(),
+        "e4" => e::e04::run(scenario).section(),
+        "e5" => e::e05::run(scenario).section(),
+        "e6" => e::e06::run(scenario).section(),
+        "e7" => e::e07::run(scenario).section(),
+        "e8" => e::e08::run(scenario).section(),
+        "e9" => e::e09::run(scenario).section(),
+        "e10" => e::e10::run(scenario).section(),
+        "e11" => e::e11::run(scenario).section(),
+        "e12" => e::e12::run(scenario).section(),
+        "e13" => e::e13::run(scenario).section(),
+        "e14" => e::e14::run(scenario).section(),
+        "t1" => run_all(scenario).metrics().section(),
+        _ => return None,
+    };
+    Some(section.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        return usage();
+    };
+    let (positional, flags) = split_flags(&args[1..]);
+
+    let seed = match flag(&flags, "seed").map(str::parse::<u64>) {
+        None => 2013,
+        Some(Ok(s)) => s,
+        Some(Err(_)) => {
+            eprintln!("--seed expects an unsigned integer");
+            return usage();
+        }
+    };
+
+    match command.as_str() {
+        "scenarios" => {
+            for name in [
+                "small-college",
+                "rural-learners",
+                "university",
+                "national-platform",
+            ] {
+                let s = scenario_by_name(name, seed).expect("preset exists");
+                println!(
+                    "{name:<18} {:>7} students, link {}, availability {:.3}%",
+                    s.students(),
+                    s.link(),
+                    s.outages().availability() * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            let name = positional.first().map_or("small-college", String::as_str);
+            let Some(scenario) = scenario_by_name(name, seed) else {
+                eprintln!("unknown scenario {name:?}");
+                return usage();
+            };
+            let outputs = run_all(&scenario);
+            println!("{}", outputs.report());
+            ExitCode::SUCCESS
+        }
+        "experiment" => {
+            let Some(id) = positional.first() else {
+                return usage();
+            };
+            let name = positional.get(1).map_or("small-college", String::as_str);
+            let Some(scenario) = scenario_by_name(name, seed) else {
+                eprintln!("unknown scenario {name:?}");
+                return usage();
+            };
+            match run_experiment(&id.to_lowercase(), &scenario) {
+                Some(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown experiment {id:?} (e1..e14, t1)");
+                    usage()
+                }
+            }
+        }
+        "advise" => {
+            let name = positional.first().map_or("small-college", String::as_str);
+            let Some(scenario) = scenario_by_name(name, seed) else {
+                eprintln!("unknown scenario {name:?}");
+                return usage();
+            };
+            let base = match flag(&flags, "profile") {
+                None | Some("balanced") => Requirements::balanced_university(),
+                Some("startup") => Requirements::startup_program(),
+                Some("exam") => Requirements::exam_authority(),
+                Some(other) => {
+                    eprintln!("unknown profile {other:?}");
+                    return usage();
+                }
+            };
+            let reqs = (|| -> Result<Requirements, String> {
+                Ok(Requirements {
+                    cost_sensitivity: parse_weight(&flags, "cost", base.cost_sensitivity)?,
+                    security_sensitivity: parse_weight(
+                        &flags,
+                        "security",
+                        base.security_sensitivity,
+                    )?,
+                    elasticity_need: parse_weight(&flags, "elasticity", base.elasticity_need)?,
+                    portability_concern: parse_weight(
+                        &flags,
+                        "portability",
+                        base.portability_concern,
+                    )?,
+                    time_pressure: parse_weight(&flags, "time", base.time_pressure)?,
+                    ops_capacity: parse_weight(&flags, "ops", base.ops_capacity)?,
+                })
+            })();
+            let reqs = match reqs {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            if let Err(field) = reqs.validate() {
+                eprintln!("invalid requirements: {field} must be in [0, 1]");
+                return usage();
+            }
+            eprintln!("running the experiment suite for {} …", scenario.name());
+            let outputs = run_all(&scenario);
+            println!("{}", advise(&reqs, &outputs.metrics()));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

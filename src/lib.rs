@@ -1,0 +1,39 @@
+//! # elearn-cloud — an experimental environment for cloud deployment models
+//! in e-learning systems
+//!
+//! This umbrella crate re-exports the whole workspace (see `DESIGN.md` for
+//! the architecture and the paper-claim → experiment index):
+//!
+//! * [`simcore`] — deterministic discrete-event simulation kernel,
+//! * [`net`] — links, topology, outages, transfers,
+//! * [`cloud`] — datacenters, VMs, autoscaling, storage, failures, billing,
+//! * [`elearn`] — the LMS model and its workload,
+//! * [`deploy`] — public / private / hybrid deployment models and their
+//!   cost, security, portability, update, reliability and governance
+//!   behaviour,
+//! * [`analysis`] — statistics, tables, the comparison matrix,
+//! * [`core`] — the experiment suite (E1–E12, T1) and the deployment
+//!   advisor.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use elearn_cloud::core::{advise, run_all, Requirements, Scenario};
+//!
+//! let scenario = Scenario::university(42);
+//! let outputs = run_all(&scenario);
+//! println!("{}", outputs.report());
+//! let rec = advise(&Requirements::balanced_university(), &outputs.metrics());
+//! println!("{rec}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use elc_analysis as analysis;
+pub use elc_cloud as cloud;
+pub use elc_core as core;
+pub use elc_deploy as deploy;
+pub use elc_elearn as elearn;
+pub use elc_net as net;
+pub use elc_simcore as simcore;

@@ -1,0 +1,102 @@
+//! End-to-end tests of the `elc` command-line interface.
+
+use std::process::Command;
+
+fn elc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elc"))
+}
+
+#[test]
+fn scenarios_lists_all_presets() {
+    let out = elc().arg("scenarios").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for name in [
+        "small-college",
+        "rural-learners",
+        "university",
+        "national-platform",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn experiment_prints_a_table() {
+    let out = elc()
+        .args(["experiment", "e9"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("== E9"));
+    assert!(text.contains("| public"));
+}
+
+#[test]
+fn experiment_accepts_scenario_and_seed() {
+    let out = elc()
+        .args(["experiment", "e13", "university", "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("== E13"));
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = elc()
+        .args(["experiment", "e99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown experiment"));
+}
+
+#[test]
+fn unknown_scenario_fails() {
+    let out = elc()
+        .args(["report", "atlantis-academy"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = elc().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn advise_with_custom_weights() {
+    let out = elc()
+        .args([
+            "advise",
+            "small-college",
+            "--profile",
+            "startup",
+            "--security",
+            "0.1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("recommendation: public"), "{text}");
+}
+
+#[test]
+fn advise_rejects_out_of_range_weight() {
+    let out = elc()
+        .args(["advise", "--cost", "2.5"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("invalid requirements"));
+}

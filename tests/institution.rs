@@ -1,0 +1,96 @@
+//! A whole institution in one test: registrar, content, forums, exams and
+//! workload composed for one semester, with cross-layer invariants.
+
+use elearn_cloud::elearn::assessment::Assessments;
+use elearn_cloud::elearn::calendar::AcademicCalendar;
+use elearn_cloud::elearn::content::{Catalog, ContentKind, Sensitivity};
+use elearn_cloud::elearn::forum::Forum;
+use elearn_cloud::elearn::model::{Lms, Role};
+use elearn_cloud::elearn::workload::WorkloadModel;
+use elearn_cloud::simcore::time::{SimDuration, SimTime};
+use elearn_cloud::simcore::SimRng;
+
+#[test]
+fn a_semester_at_a_small_college() {
+    let rng = SimRng::seed(4242).derive("institution");
+    let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+
+    // ---- Registrar: 12 courses, 40 students each, one instructor each.
+    let mut lms = Lms::new();
+    let mut catalog = Catalog::new();
+    let mut forums = Vec::new();
+    let mut assessments = Assessments::new();
+    let mut exams = Vec::new();
+
+    for c in 0..12u32 {
+        let prof = lms.add_user(Role::Instructor);
+        let course = lms
+            .add_course(format!("course-{c}"), prof)
+            .expect("instructor role checked");
+        let students = lms.add_students(40);
+        for &s in &students {
+            lms.enroll(s, course).expect("fresh student");
+        }
+
+        // Content for 14 teaching weeks.
+        let mut course_rng = rng.derive_u64(u64::from(c));
+        catalog.populate_course(&mut course_rng, course, 14, students.len());
+
+        // A term of forum activity.
+        let mut forum = Forum::new(course);
+        forum.simulate_term(&mut course_rng, &students, 14, 4.0, 3.0);
+        forums.push(forum);
+
+        // A final exam in the exam period.
+        let exam = assessments.schedule(
+            course,
+            cal.exams_start() + SimDuration::from_days(u64::from(c % 10)),
+            SimDuration::from_hours(2),
+            25,
+        );
+        exams.push((exam, students));
+    }
+
+    // ---- Registrar invariants.
+    assert_eq!(lms.course_count(), 12);
+    assert_eq!(lms.count_by_role(Role::Student), 480);
+    assert_eq!(lms.enrollment_count(), 480);
+
+    // ---- Content invariants: every course contributed; confidential
+    // bytes exist but are a small share.
+    assert_eq!(catalog.count_of(ContentKind::QuestionBank), 12);
+    assert_eq!(catalog.count_of(ContentKind::LectureVideo), 12 * 14);
+    let confidential = catalog.bytes_at_least(Sensitivity::Confidential);
+    assert!(confidential.as_u64() > 0);
+    assert!(confidential.as_u64() * 10 < catalog.total_bytes().as_u64());
+
+    // ---- Forum invariants: real participation in every course.
+    for forum in &forums {
+        let stats = forum.interactivity(40);
+        assert!(stats.threads > 10, "quiet forum: {stats:?}");
+        assert!(stats.participation > 0.3, "low participation: {stats:?}");
+    }
+
+    // ---- Exams: everyone submits inside the window; completion is full.
+    let mut exam_rng = rng.derive("exams");
+    for (exam, students) in &exams {
+        let window = assessments.exam(*exam).expect("scheduled");
+        let opens = window.opens_at();
+        for &s in students {
+            let offset = SimDuration::from_secs(exam_rng.range_u64(60, 7_000));
+            let score = exam_rng.range_f64(35.0, 100.0);
+            assessments
+                .submit(*exam, s, opens + offset, score, 25)
+                .expect("inside the window");
+        }
+        assert_eq!(assessments.completion_rate(*exam, students.len()), 1.0);
+        let mean = assessments.mean_score(*exam).expect("submissions exist");
+        assert!((35.0..=100.0).contains(&mean));
+    }
+
+    // ---- Workload: the institution's calendar shows up in its traffic.
+    let load = WorkloadModel::standard(480, cal);
+    let teaching_noon = cal.term_start() + SimDuration::from_days(30);
+    let exam_noon = cal.exams_start() + SimDuration::from_days(1);
+    assert!(load.rate_at(exam_noon) > 2.0 * load.rate_at(teaching_noon));
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: the full experiment suite reproduces every
+//! qualitative shape the paper asserts, across crates.
+
+use elearn_cloud::analysis::matrix::Rating;
+use elearn_cloud::core::experiments::run_all;
+use elearn_cloud::core::{advise, Requirements, Scenario};
+use elearn_cloud::deploy::model::DeploymentKind;
+
+#[test]
+fn full_suite_reproduces_the_papers_shapes() {
+    let scenario = Scenario::small_college(2024);
+    let out = run_all(&scenario);
+
+    // §IV.A — public is the quickest entry (E9) …
+    let e09 = &out.e09;
+    assert!(
+        e09.row(DeploymentKind::Public).schedule.time_to_service()
+            < e09.row(DeploymentKind::Private).schedule.time_to_service()
+    );
+    // … and the cheapest at small scale (E1).
+    assert_eq!(out.e01.rows[0].winner(), DeploymentKind::Public);
+
+    // §IV.B — private is most exposed to site loss (E4) but least exposed
+    // to unauthorized access (E6).
+    assert!(
+        out.e04.row(DeploymentKind::Private).loss_probability[1]
+            > out.e04.row(DeploymentKind::Public).loss_probability[1]
+    );
+    assert!(
+        out.e06.row(DeploymentKind::Private).incident_rate
+            < out.e06.row(DeploymentKind::Public).incident_rate
+    );
+
+    // §IV.C — hybrid protects confidential assets like private (E6),
+    // exits cheaper than public (E8), but pays the largest governance
+    // overhead (E11).
+    assert_eq!(
+        out.e06.row(DeploymentKind::Hybrid).confidential_rate,
+        out.e06.row(DeploymentKind::Private).confidential_rate
+    );
+    assert!(
+        out.e08.row(DeploymentKind::Hybrid).plan.total_cost
+            < out.e08.row(DeploymentKind::Public).plan.total_cost
+    );
+    assert!(out.e11.model_fte[2] > out.e11.model_fte[0]);
+    assert!(out.e11.model_fte[2] > out.e11.model_fte[1]);
+}
+
+#[test]
+fn comparison_matrix_has_no_dominating_model() {
+    let out = run_all(&Scenario::small_college(7));
+    let matrix = out.metrics().matrix();
+    let wins = matrix.win_counts();
+    assert!(
+        wins.iter().all(|&w| w > 0),
+        "a model dominated the matrix: {wins:?}"
+    );
+    // And no model is rated Poor on everything.
+    for i in 0..3 {
+        let all_poor = matrix
+            .criteria()
+            .iter()
+            .all(|c| c.ratings()[i] == Rating::Poor);
+        assert!(!all_poor, "model {i} lost every criterion");
+    }
+}
+
+#[test]
+fn advisor_matches_the_papers_customer_archetypes() {
+    let out = run_all(&Scenario::university(11));
+    let metrics = out.metrics();
+
+    // §IV.A's customer: quickest and lowest cost → public.
+    assert_eq!(
+        advise(&Requirements::startup_program(), &metrics).best(),
+        DeploymentKind::Public
+    );
+    // §IV.B's customer: security and privacy enforce private.
+    assert_eq!(
+        advise(&Requirements::exam_authority(), &metrics).best(),
+        DeploymentKind::Private
+    );
+}
+
+#[test]
+fn report_is_complete_and_printable() {
+    let out = run_all(&Scenario::small_college(3));
+    let report = out.report();
+    assert_eq!(report.sections().len(), 16);
+    let text = report.to_string();
+    for needle in [
+        "== E1:", "== E7:", "== E12:", "== T1:", "public", "private", "hybrid",
+    ] {
+        assert!(text.contains(needle), "report missing {needle}");
+    }
+}
+
+#[test]
+fn suite_is_deterministic_per_seed() {
+    let a = run_all(&Scenario::small_college(55));
+    let b = run_all(&Scenario::small_college(55));
+    assert_eq!(a.report().to_string(), b.report().to_string());
+
+    // A different seed moves the stochastic numbers …
+    let c = run_all(&Scenario::small_college(56));
+    assert_ne!(a.e06, c.e06, "campaign results should vary with the seed");
+    // … but not the qualitative winners.
+    assert_eq!(
+        a.e01.rows[0].winner(),
+        c.e01.rows[0].winner(),
+        "cost winner must not depend on the seed"
+    );
+}
