@@ -103,10 +103,7 @@ impl Criterion {
     #[must_use]
     pub fn winner(&self) -> usize {
         let ratings = self.ratings();
-        ratings
-            .iter()
-            .position(|&r| r == Rating::Good)
-            .unwrap_or(0)
+        ratings.iter().position(|&r| r == Rating::Good).unwrap_or(0)
     }
 }
 
@@ -167,18 +164,10 @@ impl ComparisonMatrix {
     /// Renders the matrix with raw values and ratings.
     #[must_use]
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new([
-            "criterion",
-            "exp",
-            "public",
-            "private",
-            "hybrid",
-            "verdict",
-        ]);
+        let mut t = Table::new(["criterion", "exp", "public", "private", "hybrid", "verdict"]);
         for c in &self.criteria {
             let ratings = c.ratings();
-            let fmt_cell =
-                |i: usize| format!("{} ({})", fmt_f64(c.values[i]), ratings[i]);
+            let fmt_cell = |i: usize| format!("{} ({})", fmt_f64(c.values[i]), ratings[i]);
             let verdict = if ratings == [Rating::Good; 3] {
                 "tie".to_string()
             } else {
@@ -247,7 +236,12 @@ mod tests {
         let mut m = ComparisonMatrix::new();
         m.add("cost", "E1", [10.0, 30.0, 20.0], Direction::LowerIsBetter);
         m.add("security", "E6", [5.0, 1.0, 1.0], Direction::LowerIsBetter);
-        m.add("portability", "E8", [9.0, 0.0, 4.0], Direction::LowerIsBetter);
+        m.add(
+            "portability",
+            "E8",
+            [9.0, 0.0, 4.0],
+            Direction::LowerIsBetter,
+        );
         // Private wins security (shared with hybrid) and portability;
         // public wins cost; hybrid shares the security win.
         assert_eq!(m.win_counts(), [1, 2, 1]);

@@ -82,15 +82,8 @@ pub fn line_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize)
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>margin$} +{}\n",
-        "",
-        "-".repeat(width)
-    ));
-    out.push_str(&format!(
-        "{:>margin$}  x: {x_min:.3e} .. {x_max:.3e}\n",
-        ""
-    ));
+    out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>margin$}  x: {x_min:.3e} .. {x_max:.3e}\n", ""));
     for (si, (name, _)) in series.iter().enumerate() {
         let marker = (b'a' + (si % 26) as u8) as char;
         out.push_str(&format!("{:>margin$}  {marker} = {name}\n", ""));
@@ -129,10 +122,7 @@ pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
         } else {
             ((v / max) * width as f64).round() as usize
         };
-        out.push_str(&format!(
-            "{label:>label_w$} |{} {v:.3}\n",
-            "#".repeat(n)
-        ));
+        out.push_str(&format!("{label:>label_w$} |{} {v:.3}\n", "#".repeat(n)));
     }
     out
 }

@@ -4,7 +4,7 @@
 //! DESIGN.md §4 calls out the pending-event set as a deliberate design
 //! choice; this bench quantifies it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_simcore::baseline::NaiveQueue;
 use elc_simcore::queue::EventQueue;
@@ -46,10 +46,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("executive_100k_events", |b| {
         b.iter(|| {
             let mut sim = Simulation::new(HARNESS_SEED, 0u64);
-            sim.schedule_every(SimDuration::from_nanos(1), SimDuration::from_nanos(1), |s| {
-                *s.state_mut() += 1;
-                *s.state() < 100_000
-            });
+            sim.schedule_every(
+                SimDuration::from_nanos(1),
+                SimDuration::from_nanos(1),
+                |s| {
+                    *s.state_mut() += 1;
+                    *s.state() < 100_000
+                },
+            );
             sim.run();
             black_box(sim.executed())
         })

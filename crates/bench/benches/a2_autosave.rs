@@ -4,7 +4,7 @@
 //! the lost-work curve: the bound the paper's "unsaved data" risk lives
 //! under is exactly the autosave interval.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_elearn::session::{SessionPolicy, StateLocation, WorkSession};
 use elc_net::outage::OutageModel;
@@ -37,7 +37,11 @@ fn lost_minutes(interval: Option<SimDuration>, rng: &SimRng) -> f64 {
             hit += 1;
         }
     }
-    if hit == 0 { 0.0 } else { total / f64::from(hit) }
+    if hit == 0 {
+        0.0
+    } else {
+        total / f64::from(hit)
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -56,7 +60,10 @@ fn bench(c: &mut Criterion) {
         ("10min", Some(SimDuration::from_secs(600))),
         ("never", None),
     ] {
-        println!("  autosave {label:>6}: {:>7.3} min lost", lost_minutes(interval, &rng));
+        println!(
+            "  autosave {label:>6}: {:>7.3} min lost",
+            lost_minutes(interval, &rng)
+        );
     }
 }
 

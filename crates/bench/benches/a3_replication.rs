@@ -1,7 +1,7 @@
 //! A3 ablation — replication factor × site spread vs asset survival
 //! (E4's design knob).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::quick_criterion;
 use elc_cloud::failure::FailureModel;
 use elc_cloud::storage::ReplicationPolicy;

@@ -6,7 +6,7 @@
 //! `elc_simcore::queueing::Station` and compares the sojourn times, so the
 //! approximation's error is on the record.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_simcore::dist::{Distribution, Exp};
 use elc_simcore::queueing::Station;
@@ -52,9 +52,7 @@ fn bench(c: &mut Criterion) {
             station_sojourn(black_box(8), 0.7, &mut rng)
         })
     });
-    g.bench_function("formula", |b| {
-        b.iter(|| formula_latency(black_box(0.7)))
-    });
+    g.bench_function("formula", |b| b.iter(|| formula_latency(black_box(0.7))));
     g.finish();
 
     println!("\nA4 ablation — mean latency: M/M/c station vs E12's formula (8 servers):");

@@ -3,7 +3,7 @@
 //! Regenerates the E1 table rows (cost per model per institution size);
 //! Criterion measures the cost-model evaluation itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e01;
 use elc_core::scenario::Scenario;

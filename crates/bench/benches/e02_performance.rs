@@ -1,6 +1,6 @@
 //! E2 bench — client startup and page-action sampling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e02;
 use elc_core::scenario::Scenario;
@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
-    println!("\n{}", e02::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e02::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

@@ -1,6 +1,6 @@
 //! E3 bench — update-propagation simulation for both channels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e03;
 use elc_core::scenario::Scenario;
@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    println!("\n{}", e03::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e03::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

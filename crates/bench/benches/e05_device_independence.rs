@@ -1,6 +1,6 @@
 //! E5 bench — continuity evaluation over many device switches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e05;
 use elc_core::scenario::Scenario;
@@ -23,7 +23,10 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
-    println!("\n{}", e05::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e05::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

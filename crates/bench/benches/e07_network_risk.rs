@@ -1,6 +1,6 @@
 //! E7 bench — outage schedules and session-loss accounting.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e07;
 use elc_core::scenario::Scenario;
@@ -21,7 +21,10 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
-    println!("\n{}", e07::run(&Scenario::rural_learners(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e07::run(&Scenario::rural_learners(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

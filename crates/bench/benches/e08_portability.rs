@@ -1,6 +1,6 @@
 //! E8 bench — exit-plan pricing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_cloud::billing::PriceSheet;
 use elc_core::experiments::e08;
@@ -24,7 +24,10 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    println!("\n{}", e08::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e08::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

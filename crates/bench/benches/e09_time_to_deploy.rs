@@ -1,6 +1,6 @@
 //! E9 bench — provisioning-schedule computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e09;
 use elc_core::scenario::Scenario;
@@ -12,13 +12,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e09_time_to_deploy");
     for kind in DeploymentKind::ALL {
         let d = Deployment::canonical(kind);
-        g.bench_function(kind.to_string(), |b| {
-            b.iter(|| schedule(black_box(&d)))
-        });
+        g.bench_function(kind.to_string(), |b| b.iter(|| schedule(black_box(&d))));
     }
     g.finish();
 
-    println!("\n{}", e09::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e09::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

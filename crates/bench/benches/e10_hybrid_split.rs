@@ -1,6 +1,6 @@
 //! E10 bench — the 64-placement unit-distribution sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e10;
 use elc_core::scenario::Scenario;
@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| sweep(black_box(&inputs), &threat, inputs.stored_bytes))
     });
     let points = sweep(&inputs, &threat, inputs.stored_bytes);
-    g.bench_function("pareto_filter", |b| {
-        b.iter(|| pareto(black_box(&points)))
-    });
+    g.bench_function("pareto_filter", |b| b.iter(|| pareto(black_box(&points))));
     g.finish();
 
     println!("\n{}", e10::run(&scenario).section());

@@ -1,6 +1,6 @@
 //! E11 bench — governance-overhead computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e11;
 use elc_core::scenario::Scenario;
@@ -15,11 +15,18 @@ fn bench(c: &mut Criterion) {
         b.iter(|| overhead(black_box(&d), 8))
     });
     g.bench_function("consultancy_curve", |b| {
-        b.iter(|| (1..=4u32).map(|p| setup_consultancy(black_box(p))).collect::<Vec<_>>())
+        b.iter(|| {
+            (1..=4u32)
+                .map(|p| setup_consultancy(black_box(p)))
+                .collect::<Vec<_>>()
+        })
     });
     g.finish();
 
-    println!("\n{}", e11::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e11::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

@@ -1,6 +1,6 @@
 //! E12 bench — the exam-day DES under all three capacity strategies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e12;
 use elc_core::scenario::Scenario;

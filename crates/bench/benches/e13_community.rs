@@ -1,6 +1,6 @@
 //! E13 bench — community-cloud consortium sweep (extension).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e13;
 use elc_core::scenario::Scenario;

@@ -1,6 +1,6 @@
 //! E14 bench — service-model assessment (extension).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_cloud::billing::Usd;
 use elc_core::experiments::e14;
@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    println!("\n{}", e14::run(&Scenario::university(HARNESS_SEED)).section());
+    println!(
+        "\n{}",
+        e14::run(&Scenario::university(HARNESS_SEED)).section()
+    );
 }
 
 criterion_group! {

@@ -1,6 +1,6 @@
 //! E15 bench — capacity planning under enrollment growth (extension).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::e15;
 use elc_core::scenario::Scenario;

@@ -1,6 +1,6 @@
 //! T1 bench — comparison-matrix assembly from suite outputs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elc_bench::crit::{criterion_group, criterion_main, Criterion};
 use elc_bench::{quick_criterion, HARNESS_SEED};
 use elc_core::experiments::run_all;
 use elc_core::scenario::Scenario;
@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let metrics = outputs.metrics();
 
     let mut g = c.benchmark_group("t1_matrix");
-    g.bench_function("matrix_build", |b| {
-        b.iter(|| black_box(&metrics).matrix())
-    });
+    g.bench_function("matrix_build", |b| b.iter(|| black_box(&metrics).matrix()));
     g.bench_function("matrix_render", |b| {
         let m = metrics.matrix();
         b.iter(|| black_box(&m).to_table().to_string())

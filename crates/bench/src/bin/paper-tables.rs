@@ -4,12 +4,19 @@
 //!
 //! ```sh
 //! cargo run --release -p elc-bench --bin paper-tables
-//! # or with a custom seed:
+//! # or with a custom seed (positional, kept for back-compat, or --seed):
 //! cargo run --release -p elc-bench --bin paper-tables -- 7
+//! cargo run --release -p elc-bench --bin paper-tables -- --seed 7
+//! # or a single scenario instead of all four:
+//! cargo run --release -p elc-bench --bin paper-tables -- --scenario university
 //! ```
+//!
+//! With no arguments the output is unchanged from the original harness:
+//! seed 2013, all four scenarios.
 
 use std::fs;
 use std::path::PathBuf;
+use std::process::exit;
 
 use elc_analysis::plot::line_chart;
 use elc_bench::{harness_scenarios, HARNESS_SEED};
@@ -17,14 +24,64 @@ use elc_core::advisor::advise;
 use elc_core::experiments::run_all;
 use elc_core::requirements::Requirements;
 
+/// Parsed command line: a seed and an optional scenario-name filter.
+struct Args {
+    seed: u64,
+    scenario: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: HARNESS_SEED,
+        scenario: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed expects a value")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed must be a u64, got {v:?}"))?;
+            }
+            "--scenario" => {
+                args.scenario = Some(it.next().ok_or("--scenario expects a name")?);
+            }
+            other => {
+                // Back-compat: a bare positional argument is the seed.
+                args.seed = other.parse().map_err(|_| {
+                    format!("expected --seed/--scenario or a numeric seed, got {other:?}")
+                })?;
+            }
+        }
+    }
+    Ok(args)
+}
+
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be a u64"))
-        .unwrap_or(HARNESS_SEED);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: paper-tables [SEED] [--seed N] [--scenario NAME]");
+            exit(2);
+        }
+    };
+    let seed = args.seed;
+    let scenarios: Vec<_> = harness_scenarios(seed)
+        .into_iter()
+        .filter(|s| args.scenario.as_deref().is_none_or(|want| s.name() == want))
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!(
+            "unknown scenario {:?}; known: small-college | rural-learners | university | national-platform",
+            args.scenario.unwrap_or_default()
+        );
+        exit(2);
+    }
 
     let out_root = PathBuf::from("results");
-    for scenario in harness_scenarios(seed) {
+    for scenario in scenarios {
         println!("########################################################");
         println!(
             "## scenario: {} — {} students, seed {}",

@@ -4,21 +4,23 @@
 //!
 //! * the `paper-tables` binary regenerates every table (E1–E12 and T1)
 //!   for three scenario sizes and writes CSVs next to the printed report;
-//! * `benches/` holds one Criterion benchmark per experiment plus the
+//! * `benches/` holds one micro-benchmark per experiment plus the
 //!   kernel ablation `a1_kernel` (binary-heap event queue vs the naive
-//!   baseline).
+//!   baseline), all on the dependency-free [`crit`] harness.
 //!
 //! Shared helpers live here so benches and the binary agree on scenarios.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crit;
+
 use std::time::Duration;
 
-use criterion::Criterion;
+use crit::Criterion;
 use elc_core::scenario::Scenario;
 
-/// A Criterion configuration tuned so the full 14-bench suite completes in
+/// A harness configuration tuned so the full bench suite completes in
 /// a couple of minutes while still producing stable estimates.
 #[must_use]
 pub fn quick_criterion() -> Criterion {

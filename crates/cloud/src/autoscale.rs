@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn cooldown_suppresses_consecutive_actions() {
         let mut s = scaler();
-        assert_ne!(s.decide(SimTime::ZERO, 1, 1_000.0, 100.0), ScaleDecision::Hold);
+        assert_ne!(
+            s.decide(SimTime::ZERO, 1, 1_000.0, 100.0),
+            ScaleDecision::Hold
+        );
         // One minute later the scaler is still cooling down.
         assert_eq!(
             s.decide(SimTime::from_secs(60), 1, 10_000.0, 100.0),
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn hold_does_not_start_cooldown() {
         let mut s = scaler();
-        assert_eq!(s.decide(SimTime::ZERO, 5, 300.0, 100.0), ScaleDecision::Hold);
+        assert_eq!(
+            s.decide(SimTime::ZERO, 5, 300.0, 100.0),
+            ScaleDecision::Hold
+        );
         // An immediate overload must still trigger a scale-up.
         assert_eq!(
             s.decide(SimTime::from_secs(1), 5, 600.0, 100.0),

@@ -288,9 +288,7 @@ impl Datacenter {
     pub fn active_vm_count(&self) -> usize {
         self.vms
             .values()
-            .filter(|vm| {
-                matches!(vm.state(), VmState::Provisioning { .. } | VmState::Running)
-            })
+            .filter(|vm| matches!(vm.state(), VmState::Provisioning { .. } | VmState::Running))
             .count()
     }
 

@@ -35,11 +35,7 @@ impl FailureModel {
     ///
     /// Panics if any rate is negative, non-finite, or `disk_afr > 1`.
     #[must_use]
-    pub fn new(
-        host_failures_per_year: f64,
-        disk_afr: f64,
-        site_disasters_per_year: f64,
-    ) -> Self {
+    pub fn new(host_failures_per_year: f64, disk_afr: f64, site_disasters_per_year: f64) -> Self {
         for (name, v) in [
             ("host rate", host_failures_per_year),
             ("disk afr", disk_afr),
@@ -201,7 +197,9 @@ mod tests {
         let m = FailureModel::new(0.0, 0.0, 0.0);
         let mut rng = SimRng::seed(2);
         assert!(m.sample_disasters(&mut rng, years(100.0)).is_empty());
-        assert!(m.sample_host_failures(&mut rng, 10, years(100.0)).is_empty());
+        assert!(m
+            .sample_host_failures(&mut rng, 10, years(100.0))
+            .is_empty());
     }
 
     #[test]

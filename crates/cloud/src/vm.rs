@@ -52,7 +52,13 @@ pub struct Vm {
 impl Vm {
     /// Creates a VM in the `Provisioning` state.
     #[must_use]
-    pub fn new(id: VmId, size: VmSize, host: HostId, launched_at: SimTime, ready_at: SimTime) -> Self {
+    pub fn new(
+        id: VmId,
+        size: VmSize,
+        host: HostId,
+        launched_at: SimTime,
+        ready_at: SimTime,
+    ) -> Self {
         Vm {
             id,
             size,
@@ -130,10 +136,7 @@ impl Vm {
 
     /// Records a host failure at `t`. Idempotent for already-dead VMs.
     pub fn fail(&mut self, t: SimTime) {
-        if matches!(
-            self.state,
-            VmState::Provisioning { .. } | VmState::Running
-        ) {
+        if matches!(self.state, VmState::Provisioning { .. } | VmState::Running) {
             self.state = VmState::Failed { at: t };
         }
     }
@@ -168,7 +171,13 @@ mod tests {
     }
 
     fn sample_vm() -> Vm {
-        Vm::new(VmId::new(1), VmSize::Medium, HostId::new(0), secs(0), secs(120))
+        Vm::new(
+            VmId::new(1),
+            VmSize::Medium,
+            HostId::new(0),
+            secs(0),
+            secs(120),
+        )
     }
 
     #[test]
@@ -234,7 +243,13 @@ mod tests {
 
     #[test]
     fn zero_length_life_bills_zero() {
-        let vm = Vm::new(VmId::new(2), VmSize::Small, HostId::new(0), secs(5), secs(5));
+        let vm = Vm::new(
+            VmId::new(2),
+            VmSize::Small,
+            HostId::new(0),
+            secs(5),
+            secs(5),
+        );
         assert_eq!(vm.billable_hours(secs(5)), 0.0);
     }
 

@@ -111,9 +111,7 @@ pub fn advise(requirements: &Requirements, metrics: &ModelMetrics) -> Recommenda
             *s += gi * weight;
         }
         weight_sum += weight;
-        let winner = (0..3).max_by(|&a, &b| {
-            g[a].partial_cmp(&g[b]).expect("goodness is finite")
-        });
+        let winner = (0..3).max_by(|&a, &b| g[a].partial_cmp(&g[b]).expect("goodness is finite"));
         if let Some(w) = winner {
             rationale.push(format!(
                 "{label} (weight {weight:.2}): favours {}",
@@ -127,11 +125,8 @@ pub fn advise(requirements: &Requirements, metrics: &ModelMetrics) -> Recommenda
         }
     }
 
-    let mut ranking: Vec<(DeploymentKind, f64)> = DeploymentKind::ALL
-        .iter()
-        .copied()
-        .zip(scores)
-        .collect();
+    let mut ranking: Vec<(DeploymentKind, f64)> =
+        DeploymentKind::ALL.iter().copied().zip(scores).collect();
     ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
 
     Recommendation { ranking, rationale }

@@ -103,8 +103,8 @@ pub fn run(scenario: &Scenario) -> Output {
             .or_else(|| rows.iter().find(|r| r.client == kind))
             .expect("both clients measured")
     };
-    let startup_speedup =
-        pick(ClientKind::DesktopInstall).startup_mean_s / pick(ClientKind::ThinCloud).startup_mean_s;
+    let startup_speedup = pick(ClientKind::DesktopInstall).startup_mean_s
+        / pick(ClientKind::ThinCloud).startup_mean_s;
 
     Output {
         rows,
@@ -158,7 +158,7 @@ mod tests {
     fn thin_client_starts_faster_everywhere() {
         let out = output();
         for profile in [LinkProfile::MetroInternet, LinkProfile::RuralInternet] {
-        // (mobile rows checked separately below)
+            // (mobile rows checked separately below)
             let thin = out
                 .rows
                 .iter()

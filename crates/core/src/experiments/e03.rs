@@ -54,11 +54,7 @@ impl Output {
     /// SaaS-over-onprem staleness improvement factor.
     #[must_use]
     pub fn staleness_improvement(&self) -> f64 {
-        self.saas
-            .mean_staleness
-            .as_secs_f64()
-            .max(1.0)
-            .recip()
+        self.saas.mean_staleness.as_secs_f64().max(1.0).recip()
             * self.onprem.mean_staleness.as_secs_f64()
     }
 

@@ -102,7 +102,9 @@ impl Output {
         }
         let mut s = Section::new("E4", "Digital-asset survival", t);
         s.note("paper §III.4: cloud data survives client crashes; §IV.B: single-site private storage risks total loss");
-        s.note("measured: public (3 sites) < hybrid (2 sites) < private (1 site) on loss probability");
+        s.note(
+            "measured: public (3 sites) < hybrid (2 sites) < private (1 site) on loss probability",
+        );
         s
     }
 }
@@ -123,7 +125,10 @@ mod tests {
             let hybrid = out.row(DeploymentKind::Hybrid).loss_probability[i];
             let private = out.row(DeploymentKind::Private).loss_probability[i];
             assert!(public < hybrid, "h{i}: public {public} < hybrid {hybrid}");
-            assert!(hybrid < private, "h{i}: hybrid {hybrid} < private {private}");
+            assert!(
+                hybrid < private,
+                "h{i}: hybrid {hybrid} < private {private}"
+            );
         }
     }
 

@@ -58,8 +58,8 @@ pub fn run(scenario: &Scenario) -> Output {
             let mut redo = Vec::with_capacity(SAMPLES as usize);
             for _ in 0..SAMPLES {
                 let session = WorkSession::new(SimTime::ZERO, policy);
-                let switch_at = SimTime::ZERO
-                    + SimDuration::from_nanos(r.range_u64(1, len.as_nanos()));
+                let switch_at =
+                    SimTime::ZERO + SimDuration::from_nanos(r.range_u64(1, len.as_nanos()));
                 let c = session.continuity_after_switch(switch_at);
                 continuity.push(c);
                 let worked = switch_at.saturating_since(SimTime::ZERO).as_secs_f64() / 60.0;
@@ -138,7 +138,11 @@ mod tests {
     fn device_continuity_is_zero() {
         let out = output();
         assert_eq!(out.mean_continuity(StateLocation::Device), 0.0);
-        for r in out.rows.iter().filter(|r| r.location == StateLocation::Device) {
+        for r in out
+            .rows
+            .iter()
+            .filter(|r| r.location == StateLocation::Device)
+        {
             // Everything worked so far must be redone.
             assert!(r.mean_redo_minutes > 0.0);
         }
@@ -159,7 +163,11 @@ mod tests {
     #[test]
     fn cloud_redo_is_bounded_by_autosave() {
         let out = output();
-        for r in out.rows.iter().filter(|r| r.location == StateLocation::Cloud) {
+        for r in out
+            .rows
+            .iter()
+            .filter(|r| r.location == StateLocation::Cloud)
+        {
             assert!(
                 r.mean_redo_minutes <= 0.5,
                 "redo {} min exceeds the 30s autosave bound",

@@ -47,11 +47,7 @@ pub struct Output {
     pub rows: Vec<RiskRow>,
 }
 
-fn measure(
-    label: &str,
-    outages: OutageModel,
-    rng: &SimRng,
-) -> Vec<RiskRow> {
+fn measure(label: &str, outages: OutageModel, rng: &SimRng) -> Vec<RiskRow> {
     let horizon = SimTime::from_secs(17 * 7 * 86_400); // one term
     let mut sched_rng = rng.derive(label).derive("schedule");
     let schedule = outages.schedule(&mut sched_rng, horizon);
@@ -60,9 +56,7 @@ fn measure(
     // exactly policy-independent and only the *loss* differs by policy.
     let mut start_rng = rng.derive(label).derive("starts");
     let starts: Vec<SimTime> = (0..SESSIONS)
-        .map(|_| {
-            SimTime::from_nanos(start_rng.range_u64(0, (horizon - SESSION_LENGTH).as_nanos()))
-        })
+        .map(|_| SimTime::from_nanos(start_rng.range_u64(0, (horizon - SESSION_LENGTH).as_nanos())))
         .collect();
 
     POLICIES

@@ -58,7 +58,11 @@ pub fn run(scenario: &Scenario) -> Output {
     let mut model_fte = [0.0; 3];
     for (i, kind) in DeploymentKind::ALL.iter().enumerate() {
         let d = Deployment::canonical(*kind);
-        let private_servers = if *kind == DeploymentKind::Public { 0 } else { servers };
+        let private_servers = if *kind == DeploymentKind::Public {
+            0
+        } else {
+            servers
+        };
         let o = overhead(&d, private_servers);
         model_fte[i] = o.admin_fte + o.governance_fte;
     }
@@ -84,7 +88,9 @@ impl Output {
             ]);
         }
         let mut s = Section::new("E11", "Governance overhead vs platform count", t);
-        s.note("paper §IV.C: two models in use ⇒ \"more expertise and increased consultancy costs\"");
+        s.note(
+            "paper §IV.C: two models in use ⇒ \"more expertise and increased consultancy costs\"",
+        );
         s.note(format!(
             "measured ops FTE (public/private/hybrid): {:.2} / {:.2} / {:.2}",
             self.model_fte[0], self.model_fte[1], self.model_fte[2]

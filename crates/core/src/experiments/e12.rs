@@ -223,8 +223,7 @@ fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
 
     // Teaching-week evening peak (no exam multiplier): phase factor 1.0,
     // diurnal max 1.3.
-    let teaching_peak =
-        f64::from(workload.students()) / 1_000.0 * 20.0 * 1.3;
+    let teaching_peak = f64::from(workload.students()) / 1_000.0 * 20.0 * 1.3;
     let exam_peak = workload.peak_rate();
 
     let initial = match strategy {
@@ -278,12 +277,11 @@ fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
         sim.schedule_in(SimDuration::from_hours(19), |sim| {
             let now = sim.now();
             let w = sim.state_mut();
-            let victim = w
-                .dc
-                .hosts()
-                .filter(|h| h.is_alive())
-                .max_by_key(|h| h.vms().len())
-                .map(elc_cloud::host::Host::id);
+            let victim =
+                w.dc.hosts()
+                    .filter(|h| h.is_alive())
+                    .max_by_key(|h| h.vms().len())
+                    .map(elc_cloud::host::Host::id);
             if let Some(host) = victim {
                 w.dc.fail_host(host, now);
             }
@@ -309,7 +307,10 @@ fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
     Output {
-        rows: Strategy::ALL.iter().map(|&s| simulate(scenario, s)).collect(),
+        rows: Strategy::ALL
+            .iter()
+            .map(|&s| simulate(scenario, s))
+            .collect(),
     }
 }
 

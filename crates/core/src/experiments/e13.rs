@@ -147,7 +147,10 @@ mod tests {
         let s = out.section();
         assert_eq!(s.id(), "E13");
         assert_eq!(s.table().len(), MAX_MEMBERS as usize);
-        assert!(s.notes().iter().any(|n| n.contains("national private cloud")));
+        assert!(s
+            .notes()
+            .iter()
+            .any(|n| n.contains("national private cloud")));
     }
 
     #[test]

@@ -108,14 +108,12 @@ mod tests {
         // Small college: staff savings dominate → SaaS total wins.
         let small = run(&Scenario::small_college(1));
         assert!(
-            small.row(ServiceModel::Saas).total_cost()
-                < small.row(ServiceModel::Iaas).total_cost()
+            small.row(ServiceModel::Saas).total_cost() < small.row(ServiceModel::Iaas).total_cost()
         );
         // National platform: the usage premium dominates → IaaS wins.
         let big = run(&Scenario::national_platform(1));
         assert!(
-            big.row(ServiceModel::Iaas).total_cost()
-                < big.row(ServiceModel::Saas).total_cost()
+            big.row(ServiceModel::Iaas).total_cost() < big.row(ServiceModel::Saas).total_cost()
         );
     }
 
@@ -128,9 +126,7 @@ mod tests {
             out.row(ServiceModel::Saas),
         ];
         assert!(paas.ops_fte < iaas.ops_fte && paas.ops_fte > saas.ops_fte);
-        assert!(
-            paas.exit_rework > iaas.exit_rework && paas.exit_rework < saas.exit_rework
-        );
+        assert!(paas.exit_rework > iaas.exit_rework && paas.exit_rework < saas.exit_rework);
     }
 
     #[test]

@@ -99,8 +99,11 @@ pub struct Output {
 /// Peak demand (requests/second) for a population, from the standard
 /// workload calibration.
 fn peak_demand(students: u32) -> f64 {
-    WorkloadModel::standard(students.max(1), crate::scenario::Scenario::university(0).calendar())
-        .peak_rate()
+    WorkloadModel::standard(
+        students.max(1),
+        crate::scenario::Scenario::university(0).calendar(),
+    )
+    .peak_rate()
 }
 
 fn simulate(planning: Planning, base_students: u32) -> GrowthRow {
@@ -136,13 +139,10 @@ fn simulate(planning: Planning, base_students: u32) -> GrowthRow {
                         (1.0 + GROWTH_PER_YEAR).powf(f64::from(REVIEW_MONTHS) / 12.0);
                     let target_students = match planning {
                         Planning::ProcureBehind => students,
-                        Planning::ProcureAhead => {
-                            (f64::from(students) * cycle_growth) as u32
-                        }
+                        Planning::ProcureAhead => (f64::from(students) * cycle_growth) as u32,
                         Planning::CloudElastic => unreachable!("handled above"),
                     };
-                    let target =
-                        (peak_demand(target_students) / (server_rps * 0.7)).ceil();
+                    let target = (peak_demand(target_students) / (server_rps * 0.7)).ceil();
                     if target > installed {
                         pending = Some((month + LEAD_MONTHS, target));
                     }
@@ -155,8 +155,7 @@ fn simulate(planning: Planning, base_students: u32) -> GrowthRow {
         util_sum += util;
         if demand_servers > capacity {
             shortfall_months += 1;
-            worst_shortfall =
-                worst_shortfall.max((demand_servers - capacity) / demand_servers);
+            worst_shortfall = worst_shortfall.max((demand_servers - capacity) / demand_servers);
         } else {
             idle_server_months += capacity - demand_servers;
         }
@@ -177,13 +176,9 @@ fn simulate(planning: Planning, base_students: u32) -> GrowthRow {
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
     let base = scenario.students().max(20_000);
-    let final_students =
-        (f64::from(base) * (1.0 + GROWTH_PER_YEAR).powi(YEARS as i32)) as u32;
+    let final_students = (f64::from(base) * (1.0 + GROWTH_PER_YEAR).powi(YEARS as i32)) as u32;
     Output {
-        rows: Planning::ALL
-            .iter()
-            .map(|&p| simulate(p, base))
-            .collect(),
+        rows: Planning::ALL.iter().map(|&p| simulate(p, base)).collect(),
         final_students,
     }
 }

@@ -5,7 +5,10 @@
 //! growth planning) and the
 //! measured comparison matrix (T1). Every module exposes `run(&Scenario)`
 //! returning a typed output with a `section()` renderer; [`run_all`]
-//! executes the whole suite and assembles the report.
+//! executes the whole suite and assembles the report, and [`registry`]
+//! exposes every experiment behind the uniform [`Experiment`] interface
+//! (one trait object per id) for consumers like the CLI and the
+//! `elc-runner` replication engine.
 
 pub mod e01;
 pub mod e02;
@@ -22,7 +25,10 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod registry;
 pub mod t1;
+
+pub use registry::{find, registry, Experiment, ExperimentRun};
 
 use elc_analysis::report::Report;
 
@@ -68,8 +74,7 @@ impl SuiteOutputs {
     #[must_use]
     pub fn metrics(&self) -> t1::ModelMetrics {
         t1::ModelMetrics::from_outputs(
-            &self.e01, &self.e03, &self.e04, &self.e06, &self.e08, &self.e09, &self.e11,
-            &self.e12,
+            &self.e01, &self.e03, &self.e04, &self.e06, &self.e08, &self.e09, &self.e11, &self.e12,
         )
     }
 
@@ -129,8 +134,8 @@ mod tests {
         let report = out.report();
         assert_eq!(report.sections().len(), 16);
         for id in [
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-            "E13", "E14", "E15", "T1",
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+            "E14", "E15", "T1",
         ] {
             assert!(report.section(id).is_some(), "missing section {id}");
         }

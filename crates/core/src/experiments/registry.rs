@@ -1,0 +1,251 @@
+//! Uniform experiment registry.
+//!
+//! Every experiment in the suite is reachable through one interface: the
+//! [`Experiment`] trait object maps an id and a human-readable name to a
+//! `fn(&Scenario) -> ExperimentRun` runner. Consumers that used to hardcode
+//! the E1–E15 module list (the CLI, the replication engine in `elc-runner`)
+//! iterate [`registry`] or look an entry up with [`find`] instead.
+//!
+//! An [`ExperimentRun`] pairs the rendered [`Section`] with a flat list of
+//! named numeric metrics scraped from the section's table. The metric names
+//! are `column[row-key]`, so `E9`'s `days` column for the `public` row
+//! becomes `days[public]` — stable across seeds, which is what lets a
+//! replication engine aggregate the same metric over many runs.
+
+use elc_analysis::report::Section;
+
+use crate::scenario::Scenario;
+
+/// One replication's worth of output from a single experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRun {
+    /// The rendered report section (table + notes).
+    pub section: Section,
+    /// Named numeric metrics extracted from the table, in table order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ExperimentRun {
+    /// Wraps a section, scraping every numeric table cell into a metric.
+    #[must_use]
+    pub fn from_section(section: Section) -> Self {
+        let mut metrics = Vec::new();
+        let mut seen = std::collections::HashMap::new();
+        let table = section.table();
+        let headers = table.headers();
+        for row in 0..table.len() {
+            let key = table.cell(row, 0).unwrap_or("");
+            for (col, header) in headers.iter().enumerate().skip(1) {
+                let Some(cell) = table.cell(row, col) else {
+                    continue;
+                };
+                let Some(value) = parse_numeric_cell(cell) else {
+                    continue;
+                };
+                let base = format!("{header}[{key}]");
+                let n = seen.entry(base.clone()).or_insert(0u32);
+                *n += 1;
+                let name = if *n == 1 { base } else { format!("{base}#{n}") };
+                metrics.push((name, value));
+            }
+        }
+        ExperimentRun { section, metrics }
+    }
+}
+
+/// Interprets a table cell as a number if it plausibly is one.
+///
+/// Handles the formats the report tables actually emit: plain floats
+/// (`fmt_f64`, including scientific notation), dollar amounts (`$1234.00`,
+/// `-$5.00`), percentages (`12.5%`) and a numeric value with a trailing
+/// unit word (`4.2 d`, `31 mo`). Returns `None` for anything else.
+#[must_use]
+pub fn parse_numeric_cell(cell: &str) -> Option<f64> {
+    let trimmed = cell.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let (neg, rest) = match trimmed.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, trimmed),
+    };
+    let rest = rest.strip_prefix('$').unwrap_or(rest);
+    let rest = rest.strip_suffix('%').unwrap_or(rest);
+    // `4.2 d` → take the leading token if the remainder is a unit word.
+    let token = rest.split_whitespace().next()?;
+    let value: f64 = token.parse().ok()?;
+    if !value.is_finite() {
+        return None;
+    }
+    Some(if neg { -value } else { value })
+}
+
+/// A uniformly invokable experiment.
+pub trait Experiment: Send + Sync {
+    /// Stable lowercase id (`"e01"`, `"t1"`).
+    fn id(&self) -> &'static str;
+    /// Human-readable title, matching the report section.
+    fn name(&self) -> &'static str;
+    /// Runs one replication. Pure in `(scenario, scenario.seed())`: equal
+    /// inputs produce equal output on any thread at any time.
+    fn run(&self, scenario: &Scenario) -> ExperimentRun;
+}
+
+macro_rules! experiments {
+    ($( $adapter:ident: $module:ident, $id:literal, $name:literal; )+) => {
+        $(
+            struct $adapter;
+
+            impl Experiment for $adapter {
+                fn id(&self) -> &'static str {
+                    $id
+                }
+
+                fn name(&self) -> &'static str {
+                    $name
+                }
+
+                fn run(&self, scenario: &Scenario) -> ExperimentRun {
+                    ExperimentRun::from_section(super::$module::run(scenario).section())
+                }
+            }
+        )+
+    };
+}
+
+experiments! {
+    E01: e01, "e01", "TCO vs institution size (3-year horizon)";
+    E02: e02, "e02", "Client startup and footprint";
+    E03: e03, "e03", "Update propagation latency";
+    E04: e04, "e04", "Digital-asset survival";
+    E05: e05, "e05", "Device-switch continuity";
+    E06: e06, "e06", "Unauthorized-access incidents";
+    E07: e07, "e07", "Connection loss: time, work, unsaved data";
+    E08: e08, "e08", "Exit cost (vendor lock-in)";
+    E09: e09, "e09", "Time to first service";
+    E10: e10, "e10", "Hybrid unit-distribution sweep (Pareto frontier)";
+    E11: e11, "e11", "Governance overhead vs platform count";
+    E12: e12, "e12", "Exam-day surge: elastic vs fixed capacity";
+    E13: e13, "e13", "Community cloud: per-member economics vs consortium size";
+    E14: e14, "e14", "Service models on the public cloud: IaaS / PaaS / SaaS";
+    E15: e15, "e15", "Capacity planning under enrollment growth";
+}
+
+/// T1 folds every other experiment's metrics into the comparison matrix,
+/// so its runner executes the full suite.
+struct T1;
+
+impl Experiment for T1 {
+    fn id(&self) -> &'static str {
+        "t1"
+    }
+
+    fn name(&self) -> &'static str {
+        "Deployment-model comparison matrix (measured)"
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentRun {
+        ExperimentRun::from_section(super::run_all(scenario).metrics().section())
+    }
+}
+
+static REGISTRY: [&dyn Experiment; 16] = [
+    &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15, &T1,
+];
+
+/// Every experiment, suite order (E1–E15 then T1).
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &REGISTRY
+}
+
+/// Looks an experiment up by id, tolerantly: `e1`, `e01`, `E1` and `t1`
+/// all resolve.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    let lower = id.to_ascii_lowercase();
+    let canonical = match lower.strip_prefix('e').and_then(|n| n.parse::<u32>().ok()) {
+        Some(n) => format!("e{n:02}"),
+        None => lower,
+    };
+    registry().iter().find(|e| e.id() == canonical).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_suite() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0], "e01");
+        assert_eq!(ids[14], "e15");
+        assert_eq!(ids[15], "t1");
+        // Ids are unique.
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn find_is_tolerant_about_id_spelling() {
+        for spelling in ["e1", "e01", "E1", "E01"] {
+            assert_eq!(find(spelling).expect(spelling).id(), "e01");
+        }
+        assert_eq!(find("t1").unwrap().id(), "t1");
+        assert_eq!(find("T1").unwrap().id(), "t1");
+        assert!(find("e99").is_none());
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_entry_runs_and_yields_metrics() {
+        let scenario = Scenario::small_college(7);
+        for e in registry() {
+            let run = e.run(&scenario);
+            assert!(
+                !run.metrics.is_empty(),
+                "{} produced no numeric metrics",
+                e.id()
+            );
+            assert!(!run.section.table().is_empty(), "{} empty table", e.id());
+            for (name, value) in &run.metrics {
+                assert!(value.is_finite(), "{}: {name} not finite", e.id());
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_pure_in_scenario_and_seed() {
+        let e = find("e09").unwrap();
+        let a = e.run(&Scenario::small_college(42));
+        let b = e.run(&Scenario::small_college(42));
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.section, b.section);
+    }
+
+    #[test]
+    fn numeric_cell_parsing() {
+        assert_eq!(parse_numeric_cell("42.5"), Some(42.5));
+        assert_eq!(parse_numeric_cell("$1234.00"), Some(1234.0));
+        assert_eq!(parse_numeric_cell("-$5.50"), Some(-5.5));
+        assert_eq!(parse_numeric_cell("12.5%"), Some(12.5));
+        assert_eq!(parse_numeric_cell("1.00e-4"), Some(1e-4));
+        assert_eq!(parse_numeric_cell("4.2 d"), Some(4.2));
+        assert_eq!(parse_numeric_cell("public"), None);
+        assert_eq!(parse_numeric_cell(""), None);
+        assert_eq!(parse_numeric_cell("  "), None);
+    }
+
+    #[test]
+    fn metric_names_follow_column_row_convention() {
+        let run = find("e01").unwrap().run(&Scenario::small_college(1));
+        assert!(
+            run.metrics.iter().any(|(n, _)| n == "public ($)[1000]"),
+            "expected column[row] metric names, got {:?}",
+            run.metrics.iter().take(4).collect::<Vec<_>>()
+        );
+    }
+}

@@ -124,7 +124,12 @@ impl ModelMetrics {
             self.time_to_service_days,
             Direction::LowerIsBetter,
         );
-        m.add("operations (FTE)", "E11", self.ops_fte, Direction::LowerIsBetter);
+        m.add(
+            "operations (FTE)",
+            "E11",
+            self.ops_fte,
+            Direction::LowerIsBetter,
+        );
         m.add(
             "exam-day rejected (frac)",
             "E12",

@@ -48,6 +48,6 @@ pub mod requirements;
 pub mod scenario;
 
 pub use advisor::{advise, Recommendation};
-pub use experiments::{run_all, SuiteOutputs};
+pub use experiments::{find, registry, run_all, Experiment, ExperimentRun, SuiteOutputs};
 pub use requirements::Requirements;
 pub use scenario::Scenario;

@@ -153,6 +153,14 @@ impl Scenario {
         WorkloadModel::standard(self.students, self.calendar)
     }
 
+    /// A copy with a different root seed (for replicated runs).
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> Scenario {
+        let mut s = self.clone();
+        s.seed = seed;
+        s
+    }
+
     /// A copy with a different population (for sweeps).
     #[must_use]
     pub fn with_students(&self, students: u32) -> Scenario {
@@ -189,6 +197,14 @@ mod tests {
     fn workload_matches_population() {
         let s = Scenario::university(1);
         assert_eq!(s.workload().students(), 25_000);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let s = Scenario::university(1).with_seed(99);
+        assert_eq!(s.seed(), 99);
+        assert_eq!(s.name(), "university");
+        assert_eq!(s.students(), 25_000);
     }
 
     #[test]

@@ -103,30 +103,26 @@ impl CommunityCloud {
         let server_rps = VmSize::XLarge.requests_per_sec();
         let servers = (((aggregate_peak / 0.7) / server_rps).ceil() as u32).max(2);
 
-        let capex = calib::SERVER_CAPEX
-            * (f64::from(servers) * years / calib::SERVER_AMORTIZATION_YEARS);
-        let facilities = (calib::SERVER_POWER_COOLING_PER_YEAR
-            + calib::SERVER_FACILITIES_PER_YEAR)
+        let capex =
+            calib::SERVER_CAPEX * (f64::from(servers) * years / calib::SERVER_AMORTIZATION_YEARS);
+        let facilities = (calib::SERVER_POWER_COOLING_PER_YEAR + calib::SERVER_FACILITIES_PER_YEAR)
             * (f64::from(servers) * years);
 
         // ---- Staffing: one shared admin team plus per-member coordination.
-        let admin_fte =
-            (f64::from(servers) / calib::SERVERS_PER_ADMIN).max(calib::MIN_ADMIN_FTE);
+        let admin_fte = (f64::from(servers) / calib::SERVERS_PER_ADMIN).max(calib::MIN_ADMIN_FTE);
         let coordination_fte = COORDINATION_FTE_PER_MEMBER * m;
         let governance_fte = calib::GOVERNANCE_FTE_PER_PLATFORM;
         let total_fte = admin_fte + coordination_fte + governance_fte;
         let staff = calib::SYSADMIN_FTE_PER_YEAR * (total_fte * years);
 
         // ---- One-time setup: one platform plus per-member agreements. ----
-        let consultancy =
-            calib::CONSULTANCY_PER_PLATFORM + MEMBERSHIP_SETUP * m;
+        let consultancy = calib::CONSULTANCY_PER_PLATFORM + MEMBERSHIP_SETUP * m;
 
         let total = capex + facilities + staff + consultancy;
         let per_member_tco = total * (1.0 / m);
 
         // ---- Security: peer tenancy. Two confidential components. ----
-        let confidential_incident_rate =
-            2.0 * 60.0 * COMMUNITY_EXPOSURE_FACTOR * 0.001;
+        let confidential_incident_rate = 2.0 * 60.0 * COMMUNITY_EXPOSURE_FACTOR * 0.001;
 
         CommunityAssessment {
             members: self.members,
@@ -190,7 +186,10 @@ mod tests {
 
     #[test]
     fn diversity_factor_bounds() {
-        assert_eq!(CommunityCloud::new(1, member_inputs()).diversity_factor(), 1.0);
+        assert_eq!(
+            CommunityCloud::new(1, member_inputs()).diversity_factor(),
+            1.0
+        );
         let big = CommunityCloud::new(100, member_inputs()).diversity_factor();
         assert!(big > DIVERSITY_FLOOR && big < 0.7);
     }
@@ -210,17 +209,24 @@ mod tests {
             .assess()
             .confidential_incident_rate;
         let threat = crate::security::ThreatModel::standard();
-        let private = threat
-            .annual_confidential_incident_rate(&crate::model::Deployment::private());
-        let public = threat
-            .annual_confidential_incident_rate(&crate::model::Deployment::public());
-        assert!(community > private, "community {community} vs private {private}");
-        assert!(community < public, "community {community} vs public {public}");
+        let private =
+            threat.annual_confidential_incident_rate(&crate::model::Deployment::private());
+        let public = threat.annual_confidential_incident_rate(&crate::model::Deployment::public());
+        assert!(
+            community > private,
+            "community {community} vs private {private}"
+        );
+        assert!(
+            community < public,
+            "community {community} vs public {public}"
+        );
     }
 
     #[test]
     fn joining_beats_building() {
-        let joined = CommunityCloud::new(4, member_inputs()).assess().time_to_join;
+        let joined = CommunityCloud::new(4, member_inputs())
+            .assess()
+            .time_to_join;
         assert!(joined < calib::HARDWARE_PROCUREMENT);
         assert!(joined > calib::CLOUD_SIGNUP);
     }

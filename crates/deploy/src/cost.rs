@@ -63,8 +63,7 @@ impl CostInputs {
     /// prices.
     #[must_use]
     pub fn standard(workload: WorkloadModel) -> Self {
-        let stored =
-            Bytes::from_gib(u64::from(workload.students()) * 200 / 1_000 + 50);
+        let stored = Bytes::from_gib(u64::from(workload.students()) * 200 / 1_000 + 50);
         CostInputs {
             workload,
             stored_bytes: stored,
@@ -154,17 +153,14 @@ pub fn tco(deployment: &Deployment, inputs: &CostInputs) -> CostBreakdown {
         while t < SimTime::ZERO + half_year {
             let total_rate = inputs.workload.rate_at(t);
             let rate = total_rate * public_frac;
-            let instances = ((rate / (unit_rps * PUBLIC_TARGET_UTIL)).ceil() as u32)
-                .max(PUBLIC_MIN_INSTANCES);
+            let instances =
+                ((rate / (unit_rps * PUBLIC_TARGET_UTIL)).ceil() as u32).max(PUBLIC_MIN_INSTANCES);
             vm_hours += f64::from(instances);
             instance_samples += f64::from(instances);
             min_instances = min_instances.min(instances);
             samples += 1;
-            egress_bytes += total_rate
-                * public_egress_share
-                * 3_600.0
-                * mean_response
-                * EGRESS_BILLED_FRACTION;
+            egress_bytes +=
+                total_rate * public_egress_share * 3_600.0 * mean_response * EGRESS_BILLED_FRACTION;
             t += step;
         }
         // The always-on baseline can be covered by reserved instances:
@@ -307,7 +303,10 @@ mod tests {
             assert!(w[1] >= w[0] * 0.95, "ratio not increasing: {ratio:?}");
         }
         assert!(ratio[0] < 1.0, "public should win small: {ratio:?}");
-        assert!(ratio[ratio.len() - 1] > 1.0, "private should win big: {ratio:?}");
+        assert!(
+            ratio[ratio.len() - 1] > 1.0,
+            "private should win big: {ratio:?}"
+        );
     }
 
     #[test]
@@ -327,7 +326,10 @@ mod tests {
         let six = tco(&Deployment::public(), &i).total();
         // Doubling the horizon roughly doubles usage but not the one-time
         // consultancy.
-        assert!(six > three * 1.7 && six < three * 2.1, "3y={three} 6y={six}");
+        assert!(
+            six > three * 1.7 && six < three * 2.1,
+            "3y={three} 6y={six}"
+        );
     }
 
     #[test]

@@ -88,8 +88,8 @@ mod tests {
     fn consultancy_pairs_grow_quadratically() {
         // 3 platforms → 3 pairs.
         let three = setup_consultancy(3);
-        let expected = calib::CONSULTANCY_PER_PLATFORM * 3.0
-            + calib::CONSULTANCY_PER_INTEGRATION * 3.0;
+        let expected =
+            calib::CONSULTANCY_PER_PLATFORM * 3.0 + calib::CONSULTANCY_PER_INTEGRATION * 3.0;
         assert_eq!(three, expected);
         assert_eq!(setup_consultancy(0), Usd::ZERO);
     }
@@ -132,9 +132,6 @@ mod tests {
             governance_fte: 0.5,
             setup_consultancy: Usd::ZERO,
         };
-        assert_eq!(
-            o.annual_staff_cost(),
-            calib::SYSADMIN_FTE_PER_YEAR * 1.5
-        );
+        assert_eq!(o.annual_staff_cost(), calib::SYSADMIN_FTE_PER_YEAR * 1.5);
     }
 }

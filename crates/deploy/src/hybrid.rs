@@ -131,9 +131,7 @@ mod tests {
             .find(|p| p.public_fraction == 1.0)
             .expect("public placement present");
         assert!(all_public.exit_cost > Usd::ZERO);
-        assert!(
-            all_public.confidential_incident_rate > all_private.confidential_incident_rate
-        );
+        assert!(all_public.confidential_incident_rate > all_private.confidential_incident_rate);
     }
 
     #[test]

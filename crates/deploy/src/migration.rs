@@ -85,8 +85,7 @@ pub fn exit_plan(
         DeploymentKind::Hybrid => 0.5,
         _ => 1.0,
     };
-    let rework_cost =
-        calib::REWORK_PER_PROPRIETARY_API * (f64::from(apis) * rework_discount);
+    let rework_cost = calib::REWORK_PER_PROPRIETARY_API * (f64::from(apis) * rework_discount);
     if deployment.kind() == DeploymentKind::Hybrid {
         apis = apis.div_ceil(2);
     }
@@ -97,8 +96,7 @@ pub fn exit_plan(
         egress_link.transfer_time(public_bytes)
     };
     let rework_time = SimDuration::from_days(u64::from(apis) * REWORK_DAYS_PER_API);
-    let downtime =
-        calib::CUTOVER_DOWNTIME_PER_COMPONENT * (public_components.len() as u64);
+    let downtime = calib::CUTOVER_DOWNTIME_PER_COMPONENT * (public_components.len() as u64);
 
     ExitPlan {
         egress_cost,

@@ -443,8 +443,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "every component")]
     fn partial_placement_rejected() {
-        let partial: BTreeMap<_, _> =
-            [(Component::WebPortal, Site::PublicCloud)].into_iter().collect();
+        let partial: BTreeMap<_, _> = [(Component::WebPortal, Site::PublicCloud)]
+            .into_iter()
+            .collect();
         let _ = Deployment::with_placement(partial);
     }
 
@@ -475,7 +476,9 @@ mod tests {
     fn displays_render() {
         assert_eq!(DeploymentKind::Hybrid.to_string(), "hybrid");
         assert_eq!(Site::PublicCloud.to_string(), "public-cloud");
-        assert!(Deployment::public().to_string().contains("web-portal@public-cloud"));
+        assert!(Deployment::public()
+            .to_string()
+            .contains("web-portal@public-cloud"));
         for c in Component::ALL {
             assert!(!c.to_string().is_empty());
         }
@@ -494,7 +497,10 @@ mod tests {
         let total: f64 = Component::ALL.iter().map(|c| c.egress_share()).sum();
         assert!((total - 1.0).abs() < 1e-9, "egress shares sum to {total}");
         let storage: f64 = Component::ALL.iter().map(|c| c.storage_share()).sum();
-        assert!((storage - 1.0).abs() < 1e-9, "storage shares sum to {storage}");
+        assert!(
+            (storage - 1.0).abs() < 1e-9,
+            "storage shares sum to {storage}"
+        );
     }
 
     #[test]

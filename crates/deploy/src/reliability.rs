@@ -61,16 +61,13 @@ impl StorageProfile {
     pub fn asset_loss_probability(&self, years: f64) -> f64 {
         assert!(years >= 0.0, "years must be >= 0");
         // Disk path: every replica's disk dies independently.
-        let p_disk = self.replication.loss_probability(
-            self.failures.disk_loss_probability(years),
-        );
+        let p_disk = self
+            .replication
+            .loss_probability(self.failures.disk_loss_probability(years));
         // Disaster path: a site disaster wipes every replica in that site.
         // With replicas spread over `sites` domains, the asset dies only if
         // *all* its sites are destroyed.
-        let sites = self
-            .replication
-            .placement(0)
-            .len() as i32;
+        let sites = self.replication.placement(0).len() as i32;
         let p_site = self.failures.disaster_probability(years).powi(sites);
         // Union of (approximately) independent loss paths.
         1.0 - (1.0 - p_disk) * (1.0 - p_site)
@@ -120,8 +117,10 @@ mod tests {
     #[test]
     fn public_profile_is_most_durable() {
         let years = 3.0;
-        let public = StorageProfile::for_model(DeploymentKind::Public).asset_loss_probability(years);
-        let hybrid = StorageProfile::for_model(DeploymentKind::Hybrid).asset_loss_probability(years);
+        let public =
+            StorageProfile::for_model(DeploymentKind::Public).asset_loss_probability(years);
+        let hybrid =
+            StorageProfile::for_model(DeploymentKind::Hybrid).asset_loss_probability(years);
         let private =
             StorageProfile::for_model(DeploymentKind::Private).asset_loss_probability(years);
         assert!(public < hybrid, "public {public} < hybrid {hybrid}");
@@ -136,7 +135,10 @@ mod tests {
         let loss = p.asset_loss_probability(years);
         // Both replicas share the room: the disaster path passes through
         // almost unattenuated.
-        assert!(loss >= disaster * 0.99, "loss {loss} vs disaster {disaster}");
+        assert!(
+            loss >= disaster * 0.99,
+            "loss {loss} vs disaster {disaster}"
+        );
     }
 
     #[test]

@@ -107,7 +107,9 @@ pub fn simulate_updates(
     let mut t = SimTime::ZERO;
     loop {
         let gap = SimDuration::from_secs_f64(gap_dist.sample(rng));
-        let Some(next) = t.checked_add(gap) else { break };
+        let Some(next) = t.checked_add(gap) else {
+            break;
+        };
         if next >= horizon {
             break;
         }
@@ -213,7 +215,10 @@ mod tests {
     #[test]
     fn fraction_on_latest_in_unit_range() {
         let mut rng = SimRng::seed(6);
-        for ch in [UpdateChannel::saas_default(), UpdateChannel::onprem_default()] {
+        for ch in [
+            UpdateChannel::saas_default(),
+            UpdateChannel::onprem_default(),
+        ] {
             let rep = simulate_updates(ch, 24.0, years(5), &mut rng);
             assert!((0.0..=1.0).contains(&rep.fraction_on_latest));
             assert!(rep.max_staleness >= rep.mean_staleness);

@@ -326,7 +326,8 @@ mod tests {
     #[test]
     fn score_and_answers_clamped() {
         let (mut a, exam) = setup();
-        a.submit(exam, UserId::new(1), secs(200), 150.0, 99).unwrap();
+        a.submit(exam, UserId::new(1), secs(200), 150.0, 99)
+            .unwrap();
         let sub = a.submissions(exam)[0];
         assert_eq!(sub.score, 100.0);
         assert_eq!(sub.answered, 20);

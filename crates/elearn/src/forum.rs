@@ -237,8 +237,7 @@ impl Forum {
             let week_start = SimTime::from_secs(u64::from(week) * 7 * 86_400);
             let n_threads = per_week.sample(rng);
             for _ in 0..n_threads {
-                let opened = week_start
-                    + SimDuration::from_secs(rng.next_below(7 * 86_400));
+                let opened = week_start + SimDuration::from_secs(rng.next_below(7 * 86_400));
                 let author = *rng.pick(roster).expect("roster non-empty");
                 let thread = self.start_thread(author, opened);
                 let mut at = opened;
@@ -344,10 +343,18 @@ mod tests {
         let mut rng = SimRng::seed(5);
         f.simulate_term(&mut rng, &roster, 14, 6.0, 4.0);
         // ~84 threads, ~4 replies each.
-        assert!((50..130).contains(&f.thread_count()), "{}", f.thread_count());
+        assert!(
+            (50..130).contains(&f.thread_count()),
+            "{}",
+            f.thread_count()
+        );
         let stats = f.interactivity(roster.len());
         assert!(stats.mean_replies > 2.0 && stats.mean_replies < 6.0);
-        assert!(stats.participation > 0.5, "participation {}", stats.participation);
+        assert!(
+            stats.participation > 0.5,
+            "participation {}",
+            stats.participation
+        );
         // Replies arrive with ~4h mean gaps.
         assert!(stats.mean_first_response > SimDuration::from_mins(30));
         assert!(stats.mean_first_response < SimDuration::from_hours(24));

@@ -253,9 +253,7 @@ impl Lms {
     /// Enrolled students of a course (empty for unknown courses).
     #[must_use]
     pub fn roster(&self, course: CourseId) -> &[UserId] {
-        self.enrollments
-            .get(&course)
-            .map_or(&[], Vec::as_slice)
+        self.enrollments.get(&course).map_or(&[], Vec::as_slice)
     }
 
     /// Total users.

@@ -267,8 +267,7 @@ mod tests {
         // Quiz submits are expensive writes, so the exam mix has a higher
         // mean service weight than teaching browsing.
         assert!(
-            RequestMix::exam().mean_service_weight()
-                > RequestMix::teaching().mean_service_weight()
+            RequestMix::exam().mean_service_weight() > RequestMix::teaching().mean_service_weight()
         );
     }
 
@@ -276,8 +275,7 @@ mod tests {
     fn teaching_mix_moves_more_bytes() {
         // Video dominates teaching traffic, so mean response is larger.
         assert!(
-            RequestMix::teaching().mean_response_size()
-                > RequestMix::exam().mean_response_size()
+            RequestMix::teaching().mean_response_size() > RequestMix::exam().mean_response_size()
         );
     }
 
@@ -288,6 +286,9 @@ mod tests {
         let single = RequestMix::new(&[(RequestKind::Login, 1.0)]).unwrap();
         let mut rng = SimRng::seed(3);
         assert_eq!(single.sample(&mut rng), RequestKind::Login);
-        assert_eq!(single.mean_service_weight(), RequestKind::Login.service_weight());
+        assert_eq!(
+            single.mean_service_weight(),
+            RequestKind::Login.service_weight()
+        );
     }
 }

@@ -221,10 +221,7 @@ mod tests {
         let s = WorkSession::new(secs(0), SessionPolicy::cloud_default());
         for t in [1u64, 29, 30, 31, 59, 60, 3_599] {
             let lost = s.lost_work(secs(t));
-            assert!(
-                lost <= SimDuration::from_secs(30),
-                "lost {lost} at t={t}"
-            );
+            assert!(lost <= SimDuration::from_secs(30), "lost {lost} at t={t}");
         }
     }
 

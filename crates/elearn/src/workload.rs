@@ -15,8 +15,8 @@ use crate::request::RequestMix;
 /// Hour-of-day activity multipliers (0 = midnight). Peak at 20:00 — evening
 /// study — with a secondary mid-day plateau; near-quiet at 04:00.
 const DIURNAL: [f64; 24] = [
-    0.25, 0.15, 0.08, 0.05, 0.05, 0.08, 0.15, 0.35, 0.60, 0.80, 0.90, 0.95, 0.90, 0.85, 0.85,
-    0.90, 0.95, 1.00, 1.10, 1.25, 1.30, 1.10, 0.75, 0.45,
+    0.25, 0.15, 0.08, 0.05, 0.05, 0.08, 0.15, 0.35, 0.60, 0.80, 0.90, 0.95, 0.90, 0.85, 0.85, 0.90,
+    0.95, 1.00, 1.10, 1.25, 1.30, 1.10, 0.75, 0.45,
 ];
 
 /// Workload parameters for one institution.
@@ -192,7 +192,10 @@ mod tests {
         let m = model();
         let teaching = m.rate_at(at(5, 2, 20)); // week 5, Wednesday 20:00
         let exams = m.rate_at(at(15, 2, 20)); // exam week, same hour
-        assert!(exams > 3.0 * teaching, "exams {exams} vs teaching {teaching}");
+        assert!(
+            exams > 3.0 * teaching,
+            "exams {exams} vs teaching {teaching}"
+        );
     }
 
     #[test]
@@ -238,11 +241,7 @@ mod tests {
     #[test]
     fn mean_rate_is_between_extremes() {
         let m = model();
-        let mean = m.mean_rate(
-            at(5, 0, 0),
-            at(6, 0, 0),
-            SimDuration::from_hours(1),
-        );
+        let mean = m.mean_rate(at(5, 0, 0), at(6, 0, 0), SimDuration::from_hours(1));
         assert!(mean > m.rate_at(at(5, 2, 4)));
         assert!(mean < m.peak_rate());
     }

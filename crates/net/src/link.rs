@@ -33,12 +33,7 @@ impl Link {
     ///
     /// Panics unless `loss` is within `[0, 1]`.
     #[must_use]
-    pub fn new(
-        latency: SimDuration,
-        jitter: SimDuration,
-        bandwidth: Bandwidth,
-        loss: f64,
-    ) -> Self {
+    pub fn new(latency: SimDuration, jitter: SimDuration, bandwidth: Bandwidth, loss: f64) -> Self {
         assert!((0.0..=1.0).contains(&loss), "loss out of [0,1]: {loss}");
         Link {
             latency,

@@ -76,8 +76,9 @@ impl OutageModel {
             if fail_at >= horizon {
                 break;
             }
-            let down_span = SimDuration::from_secs_f64(down.sample(rng)
-                .max(1e-9 /* avoid zero-length outages */));
+            let down_span = SimDuration::from_secs_f64(
+                down.sample(rng).max(1e-9 /* avoid zero-length outages */),
+            );
             let restore_at = fail_at
                 .checked_add(down_span)
                 .unwrap_or(horizon)
@@ -245,8 +246,10 @@ mod tests {
 
     #[test]
     fn is_up_and_covering() {
-        let sched =
-            OutageSchedule::from_windows(vec![(secs(10), secs(20)), (secs(50), secs(60))], secs(100));
+        let sched = OutageSchedule::from_windows(
+            vec![(secs(10), secs(20)), (secs(50), secs(60))],
+            secs(100),
+        );
         assert!(sched.is_up(secs(5)));
         assert!(!sched.is_up(secs(15)));
         assert!(sched.is_up(secs(20))); // end is exclusive
@@ -256,18 +259,28 @@ mod tests {
 
     #[test]
     fn next_outage_lookup() {
-        let sched =
-            OutageSchedule::from_windows(vec![(secs(10), secs(20)), (secs(50), secs(60))], secs(100));
+        let sched = OutageSchedule::from_windows(
+            vec![(secs(10), secs(20)), (secs(50), secs(60))],
+            secs(100),
+        );
         assert_eq!(sched.next_outage_after(secs(0)), Some((secs(10), secs(20))));
-        assert_eq!(sched.next_outage_after(secs(10)), Some((secs(10), secs(20))));
-        assert_eq!(sched.next_outage_after(secs(11)), Some((secs(50), secs(60))));
+        assert_eq!(
+            sched.next_outage_after(secs(10)),
+            Some((secs(10), secs(20)))
+        );
+        assert_eq!(
+            sched.next_outage_after(secs(11)),
+            Some((secs(50), secs(60)))
+        );
         assert_eq!(sched.next_outage_after(secs(61)), None);
     }
 
     #[test]
     fn downtime_within_clips_to_range() {
-        let sched =
-            OutageSchedule::from_windows(vec![(secs(10), secs(20)), (secs(50), secs(60))], secs(100));
+        let sched = OutageSchedule::from_windows(
+            vec![(secs(10), secs(20)), (secs(50), secs(60))],
+            secs(100),
+        );
         assert_eq!(
             sched.downtime_within(secs(0), secs(100)),
             SimDuration::from_secs(20)
@@ -290,7 +303,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn from_windows_rejects_overlap() {
-        let _ = OutageSchedule::from_windows(vec![(secs(10), secs(30)), (secs(20), secs(40))], secs(50));
+        let _ = OutageSchedule::from_windows(
+            vec![(secs(10), secs(30)), (secs(20), secs(40))],
+            secs(50),
+        );
     }
 
     #[test]

@@ -247,7 +247,11 @@ mod tests {
         let dc = net.add_site("private-dc");
         let cloud = net.add_site("public-cloud");
         net.connect_both(campus, dc, Link::from_profile(LinkProfile::CampusLan));
-        net.connect_both(campus, cloud, Link::from_profile(LinkProfile::MetroInternet));
+        net.connect_both(
+            campus,
+            cloud,
+            Link::from_profile(LinkProfile::MetroInternet),
+        );
         net.connect_both(dc, cloud, Link::from_profile(LinkProfile::InterDatacenter));
         (net, campus, dc, cloud)
     }

@@ -1,0 +1,205 @@
+//! Cross-replication aggregation.
+//!
+//! Folds each named metric's samples — ordered by replication index —
+//! into mean / p50 / p95 and a 95% confidence interval via
+//! `elc_analysis::stats`. Everything here is a pure function of the sorted
+//! task results, so two runs that executed the same replications (on any
+//! thread counts) aggregate byte-identically.
+
+use std::collections::HashMap;
+
+use elc_analysis::report::Section;
+use elc_analysis::stats::{ci95, mean, percentile, Ci95};
+use elc_analysis::table::{fmt_f64, Table};
+
+use crate::pool::TaskResult;
+
+/// One metric's distribution over the replications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name (`column[row-key]` from the experiment table).
+    pub name: String,
+    /// Per-replication samples, ordered by replication index.
+    pub samples: Vec<f64>,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 95% confidence interval for the mean.
+    pub ci95: Ci95,
+}
+
+impl MetricSummary {
+    fn from_samples(name: String, samples: Vec<f64>) -> Self {
+        MetricSummary {
+            mean: mean(&samples),
+            p50: percentile(&samples, 0.5),
+            p95: percentile(&samples, 0.95),
+            ci95: ci95(&samples),
+            name,
+            samples,
+        }
+    }
+}
+
+/// Aggregates sorted task results into per-metric summaries.
+///
+/// Metric order follows the first replication's table order. A metric is
+/// summarised only if *every* replication reported it — seed-dependent
+/// table rows (e.g. a sweep row that only appears under some seeds) would
+/// otherwise make the sample count, and thus the confidence interval,
+/// misleading. Dropped names are returned separately so callers can warn.
+#[must_use]
+pub fn aggregate(results: &[TaskResult]) -> (Vec<MetricSummary>, Vec<String>) {
+    let Some(first) = results.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let mut samples: HashMap<&str, Vec<f64>> = HashMap::new();
+    for result in results {
+        for (name, value) in &result.metrics {
+            samples.entry(name).or_default().push(*value);
+        }
+    }
+    let mut summaries = Vec::new();
+    let mut dropped = Vec::new();
+    for (name, _) in &first.metrics {
+        let Some(values) = samples.remove(name.as_str()) else {
+            continue; // duplicate name already consumed
+        };
+        if values.len() == results.len() {
+            summaries.push(MetricSummary::from_samples(name.clone(), values));
+        } else {
+            dropped.push(name.clone());
+        }
+    }
+    // Names that never appeared in replication 0 are incomplete by
+    // construction; record them too (sorted for determinism).
+    let mut stragglers: Vec<String> = samples.keys().map(ToString::to_string).collect();
+    stragglers.sort_unstable();
+    dropped.extend(stragglers);
+    (summaries, dropped)
+}
+
+/// Renders summaries as a report section.
+///
+/// The section depends only on the aggregated values — never on thread
+/// count or wall-clock — so its rendering is the byte-identical artifact
+/// the determinism tests compare.
+#[must_use]
+pub fn section(id: &str, title: &str, summaries: &[MetricSummary], dropped: &[String]) -> Section {
+    let mut t = Table::new([
+        "metric", "mean", "p50", "p95", "ci95 ±", "ci95 lo", "ci95 hi",
+    ]);
+    for s in summaries {
+        t.row([
+            s.name.clone(),
+            fmt_f64(s.mean),
+            fmt_f64(s.p50),
+            fmt_f64(s.p95),
+            fmt_f64(s.ci95.half_width),
+            fmt_f64(s.ci95.lo()),
+            fmt_f64(s.ci95.hi()),
+        ]);
+    }
+    let mut section = Section::new(id, title, t);
+    if let Some(first) = summaries.first() {
+        section.note(format!(
+            "aggregated over {} replications; ci95 is the normal-approximation interval for the mean",
+            first.samples.len()
+        ));
+    }
+    if !dropped.is_empty() {
+        section.note(format!(
+            "dropped {} metric(s) not reported by every replication: {}",
+            dropped.len(),
+            dropped.join(", ")
+        ));
+    }
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn result(index: u32, metrics: &[(&str, f64)]) -> TaskResult {
+        TaskResult {
+            index,
+            seed: u64::from(index),
+            metrics: metrics.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+            wall: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_and_percentiles() {
+        let results: Vec<TaskResult> = (0..5)
+            .map(|i| result(i, &[("lat[public]", f64::from(i) + 1.0)]))
+            .collect();
+        let (summaries, dropped) = aggregate(&results);
+        assert!(dropped.is_empty());
+        assert_eq!(summaries.len(), 1);
+        let s = &summaries[0];
+        assert_eq!(s.name, "lat[public]");
+        assert_eq!(s.samples, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert!(s.p95 > 4.0 && s.p95 <= 5.0);
+        assert!(s.ci95.contains(3.0));
+    }
+
+    #[test]
+    fn incomplete_metrics_are_dropped_not_mis_summarised() {
+        let results = vec![
+            result(0, &[("a", 1.0), ("b", 9.0)]),
+            result(1, &[("a", 2.0)]),
+        ];
+        let (summaries, dropped) = aggregate(&results);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].name, "a");
+        assert_eq!(dropped, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn metrics_absent_from_first_replication_are_reported() {
+        let results = vec![
+            result(0, &[("a", 1.0)]),
+            result(1, &[("a", 2.0), ("late", 3.0)]),
+        ];
+        let (summaries, dropped) = aggregate(&results);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(dropped, vec!["late".to_string()]);
+    }
+
+    #[test]
+    fn empty_input_aggregates_to_nothing() {
+        let (summaries, dropped) = aggregate(&[]);
+        assert!(summaries.is_empty());
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn section_renders_ci_bounds() {
+        let results: Vec<TaskResult> = (0..4).map(|i| result(i, &[("m", f64::from(i))])).collect();
+        let (summaries, dropped) = aggregate(&results);
+        let s = section("R:e01", "replicated e01", &summaries, &dropped);
+        let text = s.to_string();
+        assert!(text.contains("ci95"));
+        assert!(text.contains('m'));
+        assert!(s.notes().iter().any(|n| n.contains("4 replications")));
+    }
+
+    #[test]
+    fn order_follows_first_replication_table_order() {
+        let results = vec![
+            result(0, &[("z", 1.0), ("a", 2.0)]),
+            result(1, &[("z", 3.0), ("a", 4.0)]),
+        ];
+        let (summaries, _) = aggregate(&results);
+        let names: Vec<&str> = summaries.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["z", "a"], "must preserve table order, not sort");
+    }
+}

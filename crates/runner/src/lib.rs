@@ -1,0 +1,132 @@
+//! # elc-runner — deterministic parallel multi-seed experiment execution
+//!
+//! The paper's tables, as originally reproduced, ran every experiment once
+//! on one seed on one thread: no confidence intervals, one busy core. This
+//! crate turns a single experiment into a *replicated, parallel* run:
+//!
+//! 1. [`RunSpec`] names an experiment (via `elc-core`'s registry), a base
+//!    scenario and a replication count;
+//! 2. the [`pool`] fans the replications out over a `std::thread` worker
+//!    pool fed by a channel work queue, each replication running under a
+//!    seed derived with the kernel's splittable RNG
+//!    ([`plan::replication_seed`]);
+//! 3. [`aggregate`] folds every named metric's samples into
+//!    mean / p50 / p95 and a 95% confidence interval;
+//! 4. the [`RunManifest`] records provenance: ids, seeds, per-task
+//!    wall-clock, parallel speedup.
+//!
+//! **The headline property is parallel/serial equivalence**: because each
+//! replication is a pure function of `(scenario, derived seed)` and the
+//! coordinator reorders results by replication index before aggregating,
+//! the aggregate section renders byte-identically for any thread count.
+//! `tests/determinism.rs` pins that down at 1, 2 and 8 threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use elc_core::experiments::find;
+//! use elc_core::scenario::Scenario;
+//! use elc_runner::{run, progress::Silent, RunSpec};
+//!
+//! let spec = RunSpec::new(find("e09").unwrap(), Scenario::small_college(42), 4).threads(2);
+//! let outcome = run(&spec, &mut Silent);
+//! println!("{}", outcome.aggregate_section());
+//! println!("{}", outcome.manifest);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod manifest;
+pub mod plan;
+pub mod pool;
+pub mod progress;
+
+use std::time::Instant;
+
+use elc_analysis::report::Section;
+
+pub use aggregate::MetricSummary;
+pub use manifest::RunManifest;
+pub use plan::{replication_seed, RunSpec};
+pub use pool::TaskResult;
+pub use progress::Progress;
+
+/// A completed replicated run: thread-count-invariant aggregates plus the
+/// timing-bearing manifest.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-metric summaries, in the experiment table's order.
+    pub summaries: Vec<MetricSummary>,
+    /// Metric names dropped because not every replication reported them.
+    pub dropped: Vec<String>,
+    /// Provenance and timing.
+    pub manifest: RunManifest,
+}
+
+impl RunOutcome {
+    /// The deterministic aggregate section (same bytes at any thread
+    /// count for a given spec).
+    #[must_use]
+    pub fn aggregate_section(&self) -> Section {
+        let id = format!("R:{}", self.manifest.experiment_id.to_uppercase());
+        let title = format!(
+            "{} — replicated over {} seeds (base {}, scenario {})",
+            self.manifest.experiment_name,
+            self.manifest.replications,
+            self.manifest.base_seed,
+            self.manifest.scenario,
+        );
+        aggregate::section(&id, &title, &self.summaries, &self.dropped)
+    }
+
+    /// Full human-readable report: aggregates then manifest.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!("{}\n{}", self.aggregate_section(), self.manifest)
+    }
+}
+
+/// Executes a replicated run end to end.
+pub fn run(spec: &RunSpec, progress: &mut dyn Progress) -> RunOutcome {
+    let start = Instant::now();
+    let results = pool::run_tasks(spec, progress);
+    let total_wall = start.elapsed();
+    progress.finished(total_wall);
+    let (summaries, dropped) = aggregate::aggregate(&results);
+    let manifest = RunManifest::new(spec, &results, total_wall);
+    RunOutcome {
+        summaries,
+        dropped,
+        manifest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_core::experiments::find;
+    use elc_core::scenario::Scenario;
+    use progress::Silent;
+
+    #[test]
+    fn end_to_end_run_produces_aggregates_and_manifest() {
+        let spec = RunSpec::new(find("e09").unwrap(), Scenario::small_college(7), 3).threads(2);
+        let outcome = run(&spec, &mut Silent);
+        assert!(!outcome.summaries.is_empty());
+        assert_eq!(outcome.manifest.tasks.len(), 3);
+        let text = outcome.report();
+        assert!(text.contains("== R:E09"));
+        assert!(text.contains("run manifest: e09"));
+    }
+
+    #[test]
+    fn aggregate_section_names_base_seed_and_scenario() {
+        let spec = RunSpec::new(find("e03").unwrap(), Scenario::rural_learners(5), 2);
+        let outcome = run(&spec, &mut Silent);
+        let title = outcome.aggregate_section().title().to_string();
+        assert!(title.contains("base 5"));
+        assert!(title.contains("rural-learners"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Run manifests: what ran, under which seeds, and how long it took.
+//!
+//! The manifest is the *provenance* half of a run's output — experiment
+//! id, scenario, base seed, per-replication derived seeds and wall-clock.
+//! Unlike the aggregates it deliberately includes timing and thread count,
+//! so two otherwise-identical runs will render different manifests; tools
+//! that need reproducible output must compare aggregates instead.
+
+use std::time::Duration;
+
+use elc_analysis::table::Table;
+
+use crate::plan::RunSpec;
+use crate::pool::TaskResult;
+
+/// Provenance record of one replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Replication index.
+    pub index: u32,
+    /// Derived seed the replication ran under.
+    pub seed: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+/// Provenance record of a whole replicated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment id (`"e01"` … `"t1"`).
+    pub experiment_id: String,
+    /// Experiment title.
+    pub experiment_name: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario population.
+    pub students: u32,
+    /// The base seed replication seeds derive from.
+    pub base_seed: u64,
+    /// Replication count.
+    pub replications: u32,
+    /// Configured worker threads.
+    pub threads: usize,
+    /// Per-replication records, ordered by index.
+    pub tasks: Vec<TaskRecord>,
+    /// End-to-end wall-clock of the run.
+    pub total_wall: Duration,
+}
+
+impl RunManifest {
+    /// Builds the manifest for a completed run.
+    #[must_use]
+    pub fn new(spec: &RunSpec, results: &[TaskResult], total_wall: Duration) -> Self {
+        RunManifest {
+            experiment_id: spec.experiment().id().to_string(),
+            experiment_name: spec.experiment().name().to_string(),
+            scenario: spec.scenario().name().to_string(),
+            students: spec.scenario().students(),
+            base_seed: spec.base_seed(),
+            replications: spec.replications(),
+            threads: spec.thread_count(),
+            tasks: results
+                .iter()
+                .map(|r| TaskRecord {
+                    index: r.index,
+                    seed: r.seed,
+                    wall: r.wall,
+                })
+                .collect(),
+            total_wall,
+        }
+    }
+
+    /// Sum of per-task wall-clock (the serial cost of the work).
+    #[must_use]
+    pub fn busy_time(&self) -> Duration {
+        self.tasks.iter().map(|t| t.wall).sum()
+    }
+
+    /// Ratio of serial cost to actual wall-clock — the pool's effective
+    /// parallel speedup.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let wall = self.total_wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.busy_time().as_secs_f64() / wall
+        }
+    }
+
+    /// Per-replication table (index, seed, wall-clock ms).
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["replication", "seed", "wall (ms)"]);
+        for task in &self.tasks {
+            t.row([
+                task.index.to_string(),
+                format!("{:#018x}", task.seed),
+                format!("{:.2}", task.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+        t
+    }
+
+    /// CSV export of [`RunManifest::table`].
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        self.table().to_csv()
+    }
+}
+
+impl std::fmt::Display for RunManifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "run manifest: {} ({}) on {} ({} students)",
+            self.experiment_id, self.experiment_name, self.scenario, self.students
+        )?;
+        writeln!(
+            f,
+            "  base seed {}, {} replications on {} thread(s)",
+            self.base_seed, self.replications, self.threads
+        )?;
+        writeln!(
+            f,
+            "  wall {:.1} ms, busy {:.1} ms, speedup {:.2}x",
+            self.total_wall.as_secs_f64() * 1e3,
+            self.busy_time().as_secs_f64() * 1e3,
+            self.speedup()
+        )?;
+        write!(f, "{}", self.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::replication_seed;
+    use crate::pool::run_tasks;
+    use crate::progress::Silent;
+    use elc_core::experiments::find;
+    use elc_core::scenario::Scenario;
+
+    fn manifest() -> RunManifest {
+        let spec = RunSpec::new(find("e09").unwrap(), Scenario::small_college(42), 3).threads(2);
+        let results = run_tasks(&spec, &mut Silent);
+        RunManifest::new(&spec, &results, Duration::from_millis(10))
+    }
+
+    #[test]
+    fn records_every_replication_with_derived_seed() {
+        let m = manifest();
+        assert_eq!(m.tasks.len(), 3);
+        for (i, task) in m.tasks.iter().enumerate() {
+            assert_eq!(task.index, i as u32);
+            assert_eq!(task.seed, replication_seed(42, task.index));
+        }
+        assert_eq!(m.experiment_id, "e09");
+        assert_eq!(m.scenario, "small-college");
+        assert_eq!(m.base_seed, 42);
+        assert_eq!(m.threads, 2);
+    }
+
+    #[test]
+    fn display_and_csv_round_out() {
+        let m = manifest();
+        let text = m.to_string();
+        assert!(text.contains("run manifest: e09"));
+        assert!(text.contains("base seed 42, 3 replications on 2 thread(s)"));
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 tasks
+        assert!(csv.starts_with("replication,seed,"));
+    }
+
+    #[test]
+    fn speedup_is_busy_over_wall() {
+        let mut m = manifest();
+        for t in &mut m.tasks {
+            t.wall = Duration::from_millis(10);
+        }
+        m.total_wall = Duration::from_millis(15);
+        assert!((m.speedup() - 2.0).abs() < 1e-9);
+        m.total_wall = Duration::ZERO;
+        assert_eq!(m.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Run specifications and replication seed derivation.
+
+use elc_core::experiments::Experiment;
+use elc_core::scenario::Scenario;
+use elc_simcore::SimRng;
+
+/// Derives the root seed for replication `index` of a run with base seed
+/// `base_seed`.
+///
+/// Uses the kernel's splittable generator rather than `base_seed + index`
+/// so that replication streams are statistically independent even for
+/// adjacent base seeds, and so a replication's seed depends only on
+/// `(base_seed, index)` — never on which worker thread picks the task up
+/// or in what order. That invariance is what makes the parallel and
+/// serial schedules aggregate identically.
+#[must_use]
+pub fn replication_seed(base_seed: u64, index: u32) -> u64 {
+    SimRng::seed(base_seed)
+        .derive("replication")
+        .derive_u64(u64::from(index))
+        .next_u64()
+}
+
+/// Everything the engine needs to execute one replicated run.
+pub struct RunSpec {
+    experiment: &'static dyn Experiment,
+    scenario: Scenario,
+    replications: u32,
+    threads: usize,
+}
+
+impl RunSpec {
+    /// Creates a spec running `experiment` on `scenario` (whose seed is the
+    /// base seed) `replications` times, single-threaded by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications` is zero.
+    #[must_use]
+    pub fn new(experiment: &'static dyn Experiment, scenario: Scenario, replications: u32) -> Self {
+        assert!(replications > 0, "need at least one replication");
+        RunSpec {
+            experiment,
+            scenario,
+            replications,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The experiment to replicate.
+    #[must_use]
+    pub fn experiment(&self) -> &'static dyn Experiment {
+        self.experiment
+    }
+
+    /// The base scenario (its seed is the base seed).
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The base seed every replication seed derives from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.scenario.seed()
+    }
+
+    /// Number of replications.
+    #[must_use]
+    pub fn replications(&self) -> u32 {
+        self.replications
+    }
+
+    /// Configured worker-thread count.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The scenario replication `index` runs: the base scenario reseeded
+    /// with [`replication_seed`].
+    #[must_use]
+    pub fn scenario_for(&self, index: u32) -> Scenario {
+        self.scenario
+            .with_seed(replication_seed(self.base_seed(), index))
+    }
+}
+
+impl std::fmt::Debug for RunSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("experiment", &self.experiment.id())
+            .field("scenario", &self.scenario.name())
+            .field("base_seed", &self.base_seed())
+            .field("replications", &self.replications)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_core::experiments::find;
+
+    #[test]
+    fn replication_seeds_are_deterministic_and_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|i| replication_seed(42, i)).collect();
+        let again: Vec<u64> = (0..64).map(|i| replication_seed(42, i)).collect();
+        assert_eq!(seeds, again);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "replication seeds collided");
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_streams() {
+        let a: Vec<u64> = (0..8).map(|i| replication_seed(1, i)).collect();
+        let b: Vec<u64> = (0..8).map(|i| replication_seed(2, i)).collect();
+        assert!(a.iter().all(|s| !b.contains(s)));
+    }
+
+    #[test]
+    fn scenario_for_reseeds_without_renaming() {
+        let spec = RunSpec::new(find("e09").unwrap(), Scenario::university(42), 4);
+        let s0 = spec.scenario_for(0);
+        let s1 = spec.scenario_for(1);
+        assert_eq!(s0.name(), "university");
+        assert_ne!(s0.seed(), s1.seed());
+        assert_ne!(s0.seed(), 42, "replication seed must be derived, not raw");
+        assert_eq!(spec.base_seed(), 42);
+    }
+
+    #[test]
+    fn builder_sets_threads() {
+        let spec = RunSpec::new(find("e01").unwrap(), Scenario::small_college(1), 2).threads(8);
+        assert_eq!(spec.thread_count(), 8);
+        assert_eq!(spec.replications(), 2);
+        assert!(format!("{spec:?}").contains("e01"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        let _ = RunSpec::new(find("e01").unwrap(), Scenario::small_college(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = RunSpec::new(find("e01").unwrap(), Scenario::small_college(1), 1).threads(0);
+    }
+}

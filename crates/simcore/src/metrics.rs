@@ -260,7 +260,10 @@ impl Histogram {
     ///
     /// Panics if `x` is negative or NaN.
     pub fn record(&mut self, x: f64) {
-        assert!(x >= 0.0 && !x.is_nan(), "histogram values must be >= 0, got {x}");
+        assert!(
+            x >= 0.0 && !x.is_nan(),
+            "histogram values must be >= 0, got {x}"
+        );
         self.summary.record(x);
         if x == 0.0 {
             self.zero_count += 1;

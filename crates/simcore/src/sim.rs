@@ -349,14 +349,10 @@ mod tests {
     #[test]
     fn schedule_every_ticks_until_stopped() {
         let mut sim = Simulation::new(1, 0u32);
-        sim.schedule_every(
-            SimDuration::from_secs(1),
-            SimDuration::from_secs(2),
-            |s| {
-                *s.state_mut() += 1;
-                *s.state() < 4
-            },
-        );
+        sim.schedule_every(SimDuration::from_secs(1), SimDuration::from_secs(2), |s| {
+            *s.state_mut() += 1;
+            *s.state() < 4
+        });
         sim.run();
         assert_eq!(*sim.state(), 4);
         // Ticks at t = 1, 3, 5, 7.
@@ -367,15 +363,11 @@ mod tests {
     fn deterministic_given_seed() {
         fn run_once(seed: u64) -> Vec<u64> {
             let mut sim = Simulation::new(seed, Vec::new());
-            sim.schedule_every(
-                SimDuration::from_secs(1),
-                SimDuration::from_secs(1),
-                |s| {
-                    let x = s.rng().next_u64();
-                    s.state_mut().push(x);
-                    s.state().len() < 20
-                },
-            );
+            sim.schedule_every(SimDuration::from_secs(1), SimDuration::from_secs(1), |s| {
+                let x = s.rng().next_u64();
+                s.state_mut().push(x);
+                s.state().len() < 20
+            });
             sim.run();
             sim.into_state()
         }

@@ -60,13 +60,12 @@ fn scale_tick(sim: &mut Simulation<World>) {
             }
         }
         ScaleDecision::ScaleDown(n) => {
-            let victims: Vec<_> = w
-                .dc
-                .serving_vms(now)
-                .into_iter()
-                .rev()
-                .take(n as usize)
-                .collect();
+            let victims: Vec<_> =
+                w.dc.serving_vms(now)
+                    .into_iter()
+                    .rev()
+                    .take(n as usize)
+                    .collect();
             for vm in victims {
                 w.dc.decommission(vm, now);
             }
@@ -123,10 +122,14 @@ fn main() {
             true
         },
     );
-    sim.schedule_every(SimDuration::from_hours(1), SimDuration::from_hours(1), |sim| {
-        hourly_report(sim);
-        true
-    });
+    sim.schedule_every(
+        SimDuration::from_hours(1),
+        SimDuration::from_hours(1),
+        |sim| {
+            hourly_report(sim);
+            true
+        },
+    );
     sim.run_until(SimTime::ZERO + SimDuration::from_hours(24));
 
     let stats = sim.state();

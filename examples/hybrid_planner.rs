@@ -39,7 +39,12 @@ fn main() {
         .min_by(|a, b| a.total_cost.partial_cmp(&b.total_cost).expect("finite"))
         .expect("a non-exposed placement is always on the frontier");
 
-    let mut t = Table::new(["mandate", "placement (public components)", "TCO ($)", "conf. incidents/yr"]);
+    let mut t = Table::new([
+        "mandate",
+        "placement (public components)",
+        "TCO ($)",
+        "conf. incidents/yr",
+    ]);
     for (mandate, p) in [
         ("minimize cost", cheapest),
         ("protect exams, then cost", most_secure_cheapest),
@@ -52,7 +57,11 @@ fn main() {
             .collect();
         t.row([
             mandate.to_string(),
-            if comps.is_empty() { "(none — all private)".into() } else { comps.join("+") },
+            if comps.is_empty() {
+                "(none — all private)".into()
+            } else {
+                comps.join("+")
+            },
             fmt_f64(p.total_cost.amount()),
             fmt_f64(p.confidential_incident_rate),
         ]);

@@ -56,8 +56,14 @@ fn main() {
     let mut locked = Requirements::balanced_university();
     locked.portability_concern = 1.0;
 
-    println!("portability weight 0.0 → {}", advise(&indifferent, &metrics).best());
-    println!("portability weight 1.0 → {}", advise(&locked, &metrics).best());
+    println!(
+        "portability weight 0.0 → {}",
+        advise(&indifferent, &metrics).best()
+    );
+    println!(
+        "portability weight 1.0 → {}",
+        advise(&locked, &metrics).best()
+    );
     println!();
     println!("{}", advise(&locked, &metrics));
 }

@@ -32,7 +32,13 @@ fn main() {
 
     let link = Link::from_profile(LinkProfile::RuralInternet);
     let video = Bytes::from_mib(300);
-    let mut t = Table::new(["policy", "elapsed (min)", "stalled (min)", "interruptions", "wasted"]);
+    let mut t = Table::new([
+        "policy",
+        "elapsed (min)",
+        "stalled (min)",
+        "interruptions",
+        "wasted",
+    ]);
     for (name, policy) in [
         ("resumable", ResumePolicy::Resumable),
         ("restart-from-zero", ResumePolicy::RestartFromZero),
@@ -48,11 +54,20 @@ fn main() {
                 ]);
             }
             None => {
-                t.row([name.to_string(), "gave up".into(), "-".into(), "-".into(), "-".into()]);
+                t.row([
+                    name.to_string(),
+                    "gave up".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
-    println!("downloading a {video} lecture over {}:", LinkProfile::RuralInternet);
+    println!(
+        "downloading a {video} lecture over {}:",
+        LinkProfile::RuralInternet
+    );
     println!("{t}");
 
     // 2. Client startup on the rural link (E2).

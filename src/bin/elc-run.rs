@@ -1,0 +1,154 @@
+//! `elc-run` — replicated, parallel experiment execution front end.
+//!
+//! Fans one experiment out over N derived seeds on a worker pool and
+//! prints per-metric mean / p50 / p95 with 95% confidence intervals plus
+//! the run manifest (seeds, per-task wall-clock, parallel speedup).
+//!
+//! ```text
+//! elc-run --list
+//! elc-run --experiment e01 [--scenario NAME] [--replications N]
+//!         [--threads T] [--seed S] [--quiet]
+//! ```
+//!
+//! The aggregate table is a pure function of `(experiment, scenario,
+//! seed, replications)` — re-running with a different `--threads` value
+//! reproduces it byte for byte.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use elearn_cloud::core::experiments::{find, registry};
+use elearn_cloud::core::Scenario;
+use elearn_cloud::runner::progress::{Silent, Stderr};
+use elearn_cloud::runner::{run, Progress, RunSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  elc-run --list\n  \
+         elc-run --experiment <ID> [--scenario NAME] [--replications N] \
+         [--threads T] [--seed S] [--quiet]\n\
+         experiments: e1..e15, t1\n\
+         scenarios: small-college (default) | rural-learners | university | national-platform\n\
+         defaults: --replications 8, --seed 2013, --threads <available cores>"
+    );
+    ExitCode::from(2)
+}
+
+fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
+    Some(match name {
+        "small-college" => Scenario::small_college(seed),
+        "rural-learners" => Scenario::rural_learners(seed),
+        "university" => Scenario::university(seed),
+        "national-platform" => Scenario::national_platform(seed),
+        _ => return None,
+    })
+}
+
+/// Pulls `--flag [value]` pairs out of the argument list; boolean flags
+/// (`--list`, `--quiet`) get an empty value.
+fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {a:?}"));
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => String::new(),
+        };
+        flags.push((name.to_string(), value));
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_or<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+
+    if flag(&flags, "list").is_some() {
+        let mut out = std::io::stdout().lock();
+        for e in registry() {
+            // Ignore EPIPE so `elc-run --list | head` exits cleanly.
+            let _ = writeln!(out, "{:<4} {}", e.id(), e.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(id) = flag(&flags, "experiment") else {
+        return usage();
+    };
+    let Some(experiment) = find(id) else {
+        eprintln!("unknown experiment {id:?} (try --list)");
+        return usage();
+    };
+
+    let parsed = (|| -> Result<(u64, u32, usize), String> {
+        Ok((
+            parse_or(&flags, "seed", 2013u64)?,
+            parse_or(&flags, "replications", 8u32)?,
+            parse_or(&flags, "threads", default_threads())?,
+        ))
+    })();
+    let (seed, replications, threads) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    if replications == 0 || threads == 0 {
+        eprintln!("--replications and --threads must be positive");
+        return usage();
+    }
+
+    let scenario_name = flag(&flags, "scenario").unwrap_or("small-college");
+    let Some(scenario) = scenario_by_name(scenario_name, seed) else {
+        eprintln!("unknown scenario {scenario_name:?}");
+        return usage();
+    };
+
+    let spec = RunSpec::new(experiment, scenario, replications).threads(threads);
+    let mut silent = Silent;
+    let mut stderr = Stderr;
+    let progress: &mut dyn Progress = if flag(&flags, "quiet").is_some() {
+        &mut silent
+    } else {
+        &mut stderr
+    };
+
+    let outcome = run(&spec, progress);
+    // Ignore EPIPE so `elc-run ... | head` exits cleanly.
+    let _ = writeln!(std::io::stdout().lock(), "{}", outcome.report());
+    ExitCode::SUCCESS
+}

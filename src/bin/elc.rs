@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! elc scenarios                              list scenario presets
+//! elc experiments                            list experiment registry ids
 //! elc report [SCENARIO] [--seed N]           run the full suite, print all tables
-//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e14, t1)
+//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e15, t1)
 //! elc advise [SCENARIO] [--seed N]
 //!     [--profile startup|exam|balanced]      advisor with a preset profile
 //!     [--cost W --security W --elasticity W
@@ -15,12 +16,12 @@
 
 use std::process::ExitCode;
 
-use elearn_cloud::core::experiments::{self, run_all};
+use elearn_cloud::core::experiments::{find, registry, run_all};
 use elearn_cloud::core::{advise, Requirements, Scenario};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  elc scenarios\n  elc report [SCENARIO] [--seed N]\n  \
+        "usage:\n  elc scenarios\n  elc experiments\n  elc report [SCENARIO] [--seed N]\n  \
          elc experiment <ID> [SCENARIO] [--seed N]\n  \
          elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
          [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
@@ -75,26 +76,9 @@ fn parse_weight(flags: &[(String, String)], name: &str, default: f64) -> Result<
 }
 
 fn run_experiment(id: &str, scenario: &Scenario) -> Option<String> {
-    use experiments as e;
-    let section = match id {
-        "e1" => e::e01::run(scenario).section(),
-        "e2" => e::e02::run(scenario).section(),
-        "e3" => e::e03::run(scenario).section(),
-        "e4" => e::e04::run(scenario).section(),
-        "e5" => e::e05::run(scenario).section(),
-        "e6" => e::e06::run(scenario).section(),
-        "e7" => e::e07::run(scenario).section(),
-        "e8" => e::e08::run(scenario).section(),
-        "e9" => e::e09::run(scenario).section(),
-        "e10" => e::e10::run(scenario).section(),
-        "e11" => e::e11::run(scenario).section(),
-        "e12" => e::e12::run(scenario).section(),
-        "e13" => e::e13::run(scenario).section(),
-        "e14" => e::e14::run(scenario).section(),
-        "t1" => run_all(scenario).metrics().section(),
-        _ => return None,
-    };
-    Some(section.to_string())
+    // The registry accepts e1/e01/E1 spellings and covers the whole suite,
+    // so the CLI never falls out of date when an experiment is added.
+    find(id).map(|e| e.run(scenario).section.to_string())
 }
 
 fn main() -> ExitCode {
@@ -131,6 +115,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "experiments" => {
+            for e in registry() {
+                println!("{:<4} {}", e.id(), e.name());
+            }
+            ExitCode::SUCCESS
+        }
         "report" => {
             let name = positional.first().map_or("small-college", String::as_str);
             let Some(scenario) = scenario_by_name(name, seed) else {
@@ -156,7 +146,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 None => {
-                    eprintln!("unknown experiment {id:?} (e1..e14, t1)");
+                    eprintln!("unknown experiment {id:?} (e1..e15, t1)");
                     usage()
                 }
             }

@@ -12,8 +12,10 @@
 //!   cost, security, portability, update, reliability and governance
 //!   behaviour,
 //! * [`analysis`] — statistics, tables, the comparison matrix,
-//! * [`core`] — the experiment suite (E1–E12, T1) and the deployment
-//!   advisor.
+//! * [`core`] — the experiment suite (E1–E15, T1), the uniform experiment
+//!   registry and the deployment advisor,
+//! * [`runner`] — the deterministic parallel multi-seed execution engine
+//!   (replications, worker pool, aggregate statistics, run manifests).
 //!
 //! # Quickstart
 //!
@@ -36,4 +38,5 @@ pub use elc_core as core;
 pub use elc_deploy as deploy;
 pub use elc_elearn as elearn;
 pub use elc_net as net;
+pub use elc_runner as runner;
 pub use elc_simcore as simcore;

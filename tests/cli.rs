@@ -1,9 +1,13 @@
-//! End-to-end tests of the `elc` command-line interface.
+//! End-to-end tests of the `elc` and `elc-run` command-line interfaces.
 
 use std::process::Command;
 
 fn elc() -> Command {
     Command::new(env!("CARGO_BIN_EXE_elc"))
+}
+
+fn elc_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elc-run"))
 }
 
 #[test]
@@ -85,7 +89,11 @@ fn advise_with_custom_weights() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("recommendation: public"), "{text}");
 }
@@ -99,4 +107,94 @@ fn advise_rejects_out_of_range_weight() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).expect("utf8");
     assert!(err.contains("invalid requirements"));
+}
+
+#[test]
+fn experiments_lists_the_registry() {
+    let out = elc().arg("experiments").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["e01", "e15", "t1"] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+}
+
+#[test]
+fn experiment_e15_is_reachable() {
+    // The pre-registry CLI silently lacked e15; the registry closed that.
+    let out = elc()
+        .args(["experiment", "e15"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("== E15"));
+}
+
+#[test]
+fn elc_run_lists_experiments() {
+    let out = elc_run().arg("--list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("e01"));
+    assert!(text.contains("t1"));
+}
+
+#[test]
+fn elc_run_requires_an_experiment() {
+    let out = elc_run().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn elc_run_rejects_unknown_experiment() {
+    let out = elc_run()
+        .args(["--experiment", "e99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown experiment"));
+}
+
+/// The acceptance property from the issue: the aggregate table is
+/// byte-identical when the same run executes on different thread counts.
+#[test]
+fn elc_run_aggregates_are_thread_count_invariant() {
+    let run = |threads: &str| {
+        let out = elc_run()
+            .args([
+                "--experiment",
+                "e09",
+                "--replications",
+                "6",
+                "--seed",
+                "42",
+                "--quiet",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        // Everything before the manifest (which carries wall-clock) must
+        // be reproducible.
+        let aggregate = text
+            .split("run manifest:")
+            .next()
+            .expect("has aggregate part")
+            .to_string();
+        assert!(aggregate.contains("ci95"), "{aggregate}");
+        assert!(aggregate.contains("6 replications"), "{aggregate}");
+        aggregate
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"));
 }

@@ -1,6 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! Previously written against the `proptest` crate; the build container has
+//! no crates.io access, so the file now drives the same properties from a
+//! tiny in-file case generator seeded by [`SimRng`]. Inputs are random but
+//! fully deterministic: every case derives its generator from the property's
+//! fixed seed and the case index, so a failure reproduces exactly.
 
 use elearn_cloud::analysis::stats;
 use elearn_cloud::cloud::storage::{ObjectStore, ReplicationPolicy};
@@ -11,11 +15,32 @@ use elearn_cloud::simcore::queue::EventQueue;
 use elearn_cloud::simcore::time::{SimDuration, SimTime};
 use elearn_cloud::simcore::SimRng;
 
-proptest! {
-    /// The event queue is a stable priority queue: output is sorted by
-    /// time, FIFO among equal times.
-    #[test]
-    fn event_queue_pops_sorted_stable(times in prop::collection::vec(0u64..50, 1..200)) {
+/// Runs `f` against `n` independently seeded generators.
+fn cases(n: u64, seed: u64, mut f: impl FnMut(&mut SimRng)) {
+    let root = SimRng::seed(seed).derive("proptest-cases");
+    for i in 0..n {
+        f(&mut root.derive_u64(i));
+    }
+}
+
+/// A vector of uniform draws from `[lo, hi]`, with a length in `len`.
+fn vec_u64(rng: &mut SimRng, lo: u64, hi: u64, len: std::ops::Range<usize>) -> Vec<u64> {
+    let n = rng.range_u64(len.start as u64, len.end as u64 - 1) as usize;
+    (0..n).map(|_| rng.range_u64(lo, hi)).collect()
+}
+
+/// A vector of uniform draws from `[lo, hi)`, with a length in `len`.
+fn vec_f64(rng: &mut SimRng, lo: f64, hi: f64, len: std::ops::Range<usize>) -> Vec<f64> {
+    let n = rng.range_u64(len.start as u64, len.end as u64 - 1) as usize;
+    (0..n).map(|_| rng.range_f64(lo, hi)).collect()
+}
+
+/// The event queue is a stable priority queue: output is sorted by time,
+/// FIFO among equal times.
+#[test]
+fn event_queue_pops_sorted_stable() {
+    cases(64, 0xE0_01, |rng| {
+        let times = vec_u64(rng, 0, 49, 1..200);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -24,21 +49,22 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.as_nanos(), i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated for ties");
+                assert!(w[0].1 < w[1].1, "FIFO violated for ties");
             }
         }
-    }
+    });
+}
 
-    /// Cancelling any subset never disturbs the order of the survivors.
-    #[test]
-    fn event_queue_cancellation_preserves_survivors(
-        times in prop::collection::vec(0u64..20, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling any subset never disturbs the order of the survivors.
+#[test]
+fn event_queue_cancellation_preserves_survivors() {
+    cases(64, 0xE0_02, |rng| {
+        let times = vec_u64(rng, 0, 19, 1..100);
+        let cancel_mask: Vec<bool> = (0..times.len()).map(|_| rng.chance(0.5)).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
@@ -46,7 +72,7 @@ proptest! {
             .map(|(i, &t)| (q.push(SimTime::from_nanos(t), i), i))
             .collect();
         let mut cancelled = std::collections::HashSet::new();
-        for ((id, i), &c) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+        for ((id, i), &c) in ids.iter().zip(&cancel_mask) {
             if c {
                 q.cancel(*id);
                 cancelled.insert(*i);
@@ -54,56 +80,77 @@ proptest! {
         }
         let mut survivors = Vec::new();
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!cancelled.contains(&i), "cancelled event fired");
+            assert!(!cancelled.contains(&i), "cancelled event fired");
             survivors.push(i);
         }
-        prop_assert_eq!(survivors.len(), times.len() - cancelled.len());
-    }
+        assert_eq!(survivors.len(), times.len() - cancelled.len());
+    });
+}
 
-    /// SimRng stream derivation is position-independent and deterministic.
-    #[test]
-    fn rng_derivation_is_stable(seed in any::<u64>(), label in "[a-z]{1,12}", skips in 0usize..64) {
+/// SimRng stream derivation is position-independent and deterministic.
+#[test]
+fn rng_derivation_is_stable() {
+    cases(64, 0xE0_03, |rng| {
+        let seed = rng.next_u64();
+        let len = rng.range_u64(1, 12) as usize;
+        let label: String = (0..len)
+            .map(|_| char::from(b'a' + rng.next_below(26) as u8))
+            .collect();
+        let skips = rng.next_below(64);
         let mut parent = SimRng::seed(seed);
         let early = parent.derive(&label);
         for _ in 0..skips {
             let _ = parent.next_u64();
         }
         let late = parent.derive(&label);
-        prop_assert_eq!(early, late);
-    }
+        assert_eq!(early, late);
+    });
+}
 
-    /// Bounded integers are in range for arbitrary bounds.
-    #[test]
-    fn rng_range_respects_bounds(seed in any::<u64>(), lo in 0u64..1_000, span in 0u64..1_000) {
-        let mut rng = SimRng::seed(seed);
-        let hi = lo + span;
+/// Bounded integers are in range for arbitrary bounds.
+#[test]
+fn rng_range_respects_bounds() {
+    cases(64, 0xE0_04, |rng| {
+        let seed = rng.next_u64();
+        let lo = rng.next_below(1_000);
+        let hi = lo + rng.next_below(1_000);
+        let mut inner = SimRng::seed(seed);
         for _ in 0..32 {
-            let x = rng.range_u64(lo, hi);
-            prop_assert!((lo..=hi).contains(&x));
+            let x = inner.range_u64(lo, hi);
+            assert!((lo..=hi).contains(&x));
         }
-    }
+    });
+}
 
-    /// Summary::merge equals recording everything into one summary.
-    #[test]
-    fn summary_merge_is_concat(
-        xs in prop::collection::vec(-1e6f64..1e6, 0..50),
-        ys in prop::collection::vec(-1e6f64..1e6, 0..50),
-    ) {
+/// Summary::merge equals recording everything into one summary.
+#[test]
+fn summary_merge_is_concat() {
+    cases(64, 0xE0_05, |rng| {
+        let xs = vec_f64(rng, -1e6, 1e6, 0..50);
+        let ys = vec_f64(rng, -1e6, 1e6, 0..50);
         let mut a = Summary::new();
         let mut b = Summary::new();
         let mut all = Summary::new();
-        for &x in &xs { a.record(x); all.record(x); }
-        for &y in &ys { b.record(y); all.record(y); }
+        for &x in &xs {
+            a.record(x);
+            all.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            all.record(y);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), all.count());
-        prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
-        prop_assert!((a.variance() - all.variance()).abs() < 1e-3);
-    }
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-6);
+        assert!((a.variance() - all.variance()).abs() < 1e-3);
+    });
+}
 
-    /// Histogram quantiles are monotone in q and bounded by observed
-    /// extrema.
-    #[test]
-    fn histogram_quantiles_monotone(xs in prop::collection::vec(0.0f64..1e9, 1..200)) {
+/// Histogram quantiles are monotone in q and bounded by observed extrema.
+#[test]
+fn histogram_quantiles_monotone() {
+    cases(64, 0xE0_06, |rng| {
+        let xs = vec_f64(rng, 0.0, 1e9, 1..200);
         let mut h = Histogram::new();
         for &x in &xs {
             h.record(x);
@@ -113,40 +160,49 @@ proptest! {
         for i in 0..=20 {
             let q = f64::from(i) / 20.0;
             let v = h.quantile(q);
-            prop_assert!(v >= prev, "quantile not monotone");
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "quantile out of range");
+            assert!(v >= prev, "quantile not monotone");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "quantile out of range");
             prev = v;
         }
-    }
+    });
+}
 
-    /// Outage schedules are sorted, disjoint, inside the horizon, and the
-    /// measured availability is consistent with total downtime.
-    #[test]
-    fn outage_schedule_invariants(seed in any::<u64>(), mtbf_h in 1u64..200, mttr_m in 1u64..120) {
+/// Outage schedules are sorted, disjoint, inside the horizon, and the
+/// measured availability is consistent with total downtime.
+#[test]
+fn outage_schedule_invariants() {
+    cases(48, 0xE0_07, |rng| {
+        let mtbf_h = rng.range_u64(1, 199);
+        let mttr_m = rng.range_u64(1, 119);
         let model = OutageModel::new(
             SimDuration::from_hours(mtbf_h),
             SimDuration::from_mins(mttr_m),
         );
-        let mut rng = SimRng::seed(seed);
+        let mut sched_rng = SimRng::seed(rng.next_u64());
         let horizon = SimTime::from_secs(30 * 86_400);
-        let sched = model.schedule(&mut rng, horizon);
+        let sched = model.schedule(&mut sched_rng, horizon);
         let mut prev_end = SimTime::ZERO;
         for &(s, e) in sched.windows() {
-            prop_assert!(s < e);
-            prop_assert!(s >= prev_end);
-            prop_assert!(e <= horizon);
+            assert!(s < e);
+            assert!(s >= prev_end);
+            assert!(e <= horizon);
             prev_end = e;
         }
         let down = sched.downtime_within(SimTime::ZERO, horizon);
         let avail = sched.measured_availability();
         let expect = 1.0 - down.as_secs_f64() / horizon.as_secs_f64();
-        prop_assert!((avail - expect).abs() < 1e-9);
-    }
+        assert!((avail - expect).abs() < 1e-9);
+    });
+}
 
-    /// Replicated stores never lose data while at least one replica site
-    /// survives, and always lose everything when all sites burn.
-    #[test]
-    fn replication_survival_boundary(replicas in 1u32..5, sites in 1u32..5, objects in 1usize..40) {
+/// Replicated stores never lose data while at least one replica site
+/// survives, and always lose everything when all sites burn.
+#[test]
+fn replication_survival_boundary() {
+    cases(64, 0xE0_08, |rng| {
+        let replicas = rng.range_u64(1, 4) as u32;
+        let sites = rng.range_u64(1, 4) as u32;
+        let objects = rng.range_u64(1, 39);
         let policy = ReplicationPolicy::new(replicas, sites);
         let mut store = ObjectStore::new(policy);
         for _ in 0..objects {
@@ -157,63 +213,76 @@ proptest! {
         for site in 0..spread.saturating_sub(1) {
             store.destroy_site(site);
         }
-        if spread > 0 {
-            prop_assert_eq!(store.survival_rate(), 1.0, "lost data with a live replica site");
-        }
+        assert_eq!(
+            store.survival_rate(),
+            1.0,
+            "lost data with a live replica site"
+        );
         // Destroying every site kills everything.
         for site in 0..sites {
             store.destroy_site(site);
         }
-        prop_assert_eq!(store.survival_rate(), 0.0);
-    }
+        assert_eq!(store.survival_rate(), 0.0);
+    });
+}
 
-    /// Bandwidth transfer times scale linearly with size.
-    #[test]
-    fn bandwidth_linearity(mbps in 1.0f64..10_000.0, kib in 1u64..1_000_000) {
+/// Bandwidth transfer times scale linearly with size.
+#[test]
+fn bandwidth_linearity() {
+    cases(64, 0xE0_09, |rng| {
+        let mbps = rng.range_f64(1.0, 10_000.0);
+        let kib = rng.range_u64(1, 999_999);
         let bw = Bandwidth::from_mbps(mbps);
         let one = bw.seconds_for(Bytes::from_kib(kib));
         let two = bw.seconds_for(Bytes::from_kib(kib * 2));
-        prop_assert!((two - 2.0 * one).abs() < 1e-6 * two.max(1e-12));
-    }
+        assert!((two - 2.0 * one).abs() < 1e-6 * two.max(1e-12));
+    });
+}
 
-    /// percentile() of an exact list brackets every element between the
-    /// 0th and 100th percentile.
-    #[test]
-    fn percentile_brackets(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+/// percentile() of an exact list brackets every element between the 0th
+/// and 100th percentile.
+#[test]
+fn percentile_brackets() {
+    cases(64, 0xE0_10, |rng| {
+        let xs = vec_f64(rng, -1e9, 1e9, 1..100);
         let lo = stats::percentile(&xs, 0.0);
         let hi = stats::percentile(&xs, 1.0);
         for &x in &xs {
-            prop_assert!(x >= lo && x <= hi);
+            assert!(x >= lo && x <= hi);
         }
         let med = stats::median(&xs);
-        prop_assert!(med >= lo && med <= hi);
-    }
-
-    /// SimTime/SimDuration arithmetic round-trips.
-    #[test]
-    fn time_arithmetic_round_trip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
-        let t = SimTime::from_nanos(base);
-        let d = SimDuration::from_nanos(delta);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!((t + d).saturating_since(t), d);
-    }
+        assert!(med >= lo && med <= hi);
+    });
 }
 
-proptest! {
-    /// Datacenter invariant: under any sequence of provision / decommission
-    /// / fail / repair operations, no host is ever over-allocated and the
-    /// active-VM count matches the hosts' VM lists.
-    #[test]
-    fn datacenter_allocation_invariants(ops in prop::collection::vec(0u8..4, 1..120), seed in any::<u64>()) {
-        use elearn_cloud::cloud::datacenter::Datacenter;
-        use elearn_cloud::cloud::placement::BestFit;
-        use elearn_cloud::cloud::resources::{Resources, VmSize};
-        use elearn_cloud::cloud::vm::VmState;
+/// SimTime/SimDuration arithmetic round-trips.
+#[test]
+fn time_arithmetic_round_trip() {
+    cases(64, 0xE0_11, |rng| {
+        let base = rng.next_below(1_000_000_000);
+        let delta = rng.next_below(1_000_000_000);
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).saturating_since(t), d);
+    });
+}
 
+/// Datacenter invariant: under any sequence of provision / decommission /
+/// fail / repair operations, no host is ever over-allocated and the
+/// active-VM count matches the hosts' VM lists.
+#[test]
+fn datacenter_allocation_invariants() {
+    use elearn_cloud::cloud::datacenter::Datacenter;
+    use elearn_cloud::cloud::placement::BestFit;
+    use elearn_cloud::cloud::resources::{Resources, VmSize};
+    use elearn_cloud::cloud::vm::VmState;
+
+    cases(32, 0xE0_12, |rng| {
+        let ops = vec_u64(rng, 0, 3, 1..120);
         let mut dc = Datacenter::new("prop", BestFit, SimDuration::from_secs(30));
         dc.add_hosts(3, Resources::new(8, 32.0, 200.0));
-        let mut rng = SimRng::seed(seed);
         let mut t = SimTime::ZERO;
         let mut live: Vec<elearn_cloud::cloud::vm::VmId> = Vec::new();
 
@@ -245,7 +314,7 @@ proptest! {
             }
             // Invariants.
             for host in dc.hosts() {
-                prop_assert!(
+                assert!(
                     host.capacity().fits(&host.allocated()),
                     "host over-allocated"
                 );
@@ -255,81 +324,103 @@ proptest! {
                 .vms()
                 .filter(|vm| matches!(vm.state(), VmState::Provisioning { .. } | VmState::Running))
                 .count();
-            prop_assert_eq!(listed, active, "host lists disagree with VM states");
-            prop_assert_eq!(active, live.len(), "tracker disagrees with datacenter");
+            assert_eq!(listed, active, "host lists disagree with VM states");
+            assert_eq!(active, live.len(), "tracker disagrees with datacenter");
         }
-    }
+    });
+}
 
-    /// The autoscaler's desired count is monotone in load and always within
-    /// its configured bounds.
-    #[test]
-    fn autoscaler_desired_is_monotone_and_bounded(
-        min in 1u32..5,
-        extra in 0u32..50,
-        util in 0.05f64..1.0,
-        loads in prop::collection::vec(0.0f64..100_000.0, 2..40),
-    ) {
-        use elearn_cloud::cloud::autoscale::AutoScaler;
-        let max = min + extra;
+/// The autoscaler's desired count is monotone in load and always within
+/// its configured bounds.
+#[test]
+fn autoscaler_desired_is_monotone_and_bounded() {
+    use elearn_cloud::cloud::autoscale::AutoScaler;
+
+    cases(64, 0xE0_13, |rng| {
+        let min = rng.range_u64(1, 4) as u32;
+        let max = min + rng.next_below(50) as u32;
+        let util = rng.range_f64(0.05, 1.0);
+        let mut loads = vec_f64(rng, 0.0, 100_000.0, 2..40);
         let s = AutoScaler::new(min, max, util, SimDuration::from_secs(60));
-        let mut sorted = loads.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        loads.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = 0;
-        for (i, &load) in sorted.iter().enumerate() {
+        for (i, &load) in loads.iter().enumerate() {
             let d = s.desired_count(load, 120.0);
-            prop_assert!((min..=max).contains(&d));
+            assert!((min..=max).contains(&d));
             if i > 0 {
-                prop_assert!(d >= prev, "desired count not monotone in load");
+                assert!(d >= prev, "desired count not monotone in load");
             }
             prev = d;
         }
-    }
+    });
+}
 
-    /// Exit cost is monotone in the data volume for every deployment model.
-    #[test]
-    fn exit_cost_monotone_in_data(gib_a in 1u64..5_000, gib_b in 1u64..5_000) {
-        use elearn_cloud::cloud::billing::PriceSheet;
-        use elearn_cloud::deploy::migration::exit_plan;
-        use elearn_cloud::deploy::model::{Deployment, DeploymentKind};
-        use elearn_cloud::net::link::{Link, LinkProfile};
+/// Exit cost is monotone in the data volume for every deployment model.
+#[test]
+fn exit_cost_monotone_in_data() {
+    use elearn_cloud::cloud::billing::PriceSheet;
+    use elearn_cloud::deploy::migration::exit_plan;
+    use elearn_cloud::deploy::model::{Deployment, DeploymentKind};
+    use elearn_cloud::net::link::{Link, LinkProfile};
 
-        let (lo, hi) = if gib_a <= gib_b { (gib_a, gib_b) } else { (gib_b, gib_a) };
+    cases(48, 0xE0_14, |rng| {
+        let gib_a = rng.range_u64(1, 4_999);
+        let gib_b = rng.range_u64(1, 4_999);
+        let (lo, hi) = if gib_a <= gib_b {
+            (gib_a, gib_b)
+        } else {
+            (gib_b, gib_a)
+        };
         let prices = PriceSheet::public_2013();
         let link = Link::from_profile(LinkProfile::InterDatacenter);
         for kind in DeploymentKind::ALL {
             let d = Deployment::canonical(kind);
             let small = exit_plan(&d, Bytes::from_gib(lo), &prices, &link);
             let large = exit_plan(&d, Bytes::from_gib(hi), &prices, &link);
-            prop_assert!(large.total_cost >= small.total_cost);
-            prop_assert!(large.duration >= small.duration);
+            assert!(large.total_cost >= small.total_cost);
+            assert!(large.duration >= small.duration);
         }
-    }
+    });
+}
 
-    /// The workload rate is non-negative and never exceeds the analytic
-    /// peak, at any instant over two years.
-    #[test]
-    fn workload_rate_bounded_by_peak(students in 1u32..200_000, t_secs in 0u64..63_072_000) {
-        use elearn_cloud::elearn::calendar::AcademicCalendar;
-        use elearn_cloud::elearn::workload::WorkloadModel;
+/// The workload rate is non-negative and never exceeds the analytic peak,
+/// at any instant over two years.
+#[test]
+fn workload_rate_bounded_by_peak() {
+    use elearn_cloud::elearn::calendar::AcademicCalendar;
+    use elearn_cloud::elearn::workload::WorkloadModel;
 
+    cases(64, 0xE0_15, |rng| {
+        let students = rng.range_u64(1, 199_999) as u32;
+        let t_secs = rng.next_below(63_072_000);
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
         let load = WorkloadModel::standard(students, cal);
         let rate = load.rate_at(SimTime::from_secs(t_secs));
-        prop_assert!(rate >= 0.0);
-        prop_assert!(rate <= load.peak_rate() + 1e-9, "rate {} > peak {}", rate, load.peak_rate());
-    }
+        assert!(rate >= 0.0);
+        assert!(
+            rate <= load.peak_rate() + 1e-9,
+            "rate {} > peak {}",
+            rate,
+            load.peak_rate()
+        );
+    });
+}
 
-    /// Queueing station conservation: completed + in-service + waiting +
-    /// rejected equals total arrivals, for any arrival pattern.
-    #[test]
-    fn station_conserves_jobs(
-        gaps in prop::collection::vec(1u64..5_000, 1..200),
-        services in prop::collection::vec(1u64..10_000, 1..200),
-        servers in 1usize..6,
-        cap in prop::option::of(0usize..8),
-    ) {
-        use elearn_cloud::simcore::queueing::Station;
+/// Queueing station conservation: completed + in-service + waiting +
+/// rejected equals total arrivals, for any arrival pattern.
+#[test]
+fn station_conserves_jobs() {
+    use elearn_cloud::simcore::queueing::Station;
 
+    cases(48, 0xE016, |rng| {
+        let gaps = vec_u64(rng, 1, 4_999, 1..200);
+        let services = vec_u64(rng, 1, 9_999, 1..200);
+        let servers = rng.range_u64(1, 5) as usize;
+        let cap = if rng.chance(0.5) {
+            Some(rng.next_below(8) as usize)
+        } else {
+            None
+        };
         let mut st = Station::new(servers, cap);
         let mut t = SimTime::ZERO;
         let n = gaps.len().min(services.len());
@@ -342,12 +433,12 @@ proptest! {
         }
         let before_drain =
             st.completed().value() + st.in_service() as u64 + st.queue_length() as u64;
-        prop_assert_eq!(before_drain, accepted);
-        prop_assert_eq!(accepted + st.rejected().value(), n as u64);
+        assert_eq!(before_drain, accepted);
+        assert_eq!(accepted + st.rejected().value(), n as u64);
         // Drain completely.
         st.advance_to(t + SimDuration::from_secs(10_000));
-        prop_assert_eq!(st.completed().value(), accepted);
-        prop_assert_eq!(st.queue_length(), 0);
-        prop_assert_eq!(st.in_service(), 0);
-    }
+        assert_eq!(st.completed().value(), accepted);
+        assert_eq!(st.queue_length(), 0);
+        assert_eq!(st.in_service(), 0);
+    });
 }

@@ -32,8 +32,7 @@ fn verdicts_are_seed_independent() {
         );
 
         // E4: loss ordering public < hybrid < private at the 3y horizon.
-        let loss =
-            |k: DeploymentKind| out.e04.row(k).loss_probability[1];
+        let loss = |k: DeploymentKind| out.e04.row(k).loss_probability[1];
         assert!(
             loss(DeploymentKind::Public) < loss(DeploymentKind::Hybrid)
                 && loss(DeploymentKind::Hybrid) < loss(DeploymentKind::Private),

@@ -24,7 +24,11 @@ fn campus_to_cloud_sync_across_outages() {
     let mut net = Topology::new();
     let campus = net.add_site("campus");
     let cloud = net.add_site("cloud");
-    net.connect_both(campus, cloud, Link::from_profile(LinkProfile::InterDatacenter));
+    net.connect_both(
+        campus,
+        cloud,
+        Link::from_profile(LinkProfile::InterDatacenter),
+    );
     let link = net.link(campus, cloud).expect("connected");
 
     let mut rng = SimRng::seed(9).derive("sync");
@@ -35,8 +39,7 @@ fn campus_to_cloud_sync_across_outages() {
     let mut completed = 0;
     for night in 0..6u64 {
         let start = SimTime::from_secs(night * 86_400 + 2 * 3_600);
-        if let Some(out) = plan_transfer(start, nightly, link, &outages, ResumePolicy::Resumable)
-        {
+        if let Some(out) = plan_transfer(start, nightly, link, &outages, ResumePolicy::Resumable) {
             completed += 1;
             // A 40 GiB sync at 10 Gbps is minutes of active transfer; even
             // with stalls it must finish the same night.
