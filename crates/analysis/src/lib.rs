@@ -3,6 +3,9 @@
 //! Turns raw experiment measurements into the artifacts the harness prints:
 //!
 //! * [`stats`] — exact slice statistics, percentiles, confidence intervals,
+//! * [`metrics`] — interned metric names and typed `(MetricKey, f64)` sets,
+//!   the allocation-lean measurement path experiments feed the replication
+//!   engine through,
 //! * [`table`] — aligned text tables with CSV export,
 //! * [`plot`] — ASCII line/bar figures for the sweep experiments,
 //! * [`matrix`] — the three-model comparison matrix (the paper's
@@ -24,12 +27,14 @@
 #![warn(missing_docs)]
 
 pub mod matrix;
+pub mod metrics;
 pub mod plot;
 pub mod report;
 pub mod stats;
 pub mod table;
 
 pub use matrix::{ComparisonMatrix, Criterion, Direction, Rating};
+pub use metrics::{intern, MetricKey, MetricSet, MetricTable};
 pub use report::{Report, Section};
-pub use stats::{ci95, mean, median, percentile, std_dev, Ci95};
+pub use stats::{ci95, mean, median, percentile, sorted_percentile, std_dev, Ci95};
 pub use table::Table;

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use crate::metrics::{Cell, MetricTable};
 use crate::table::{fmt_f64, Table};
 
 /// Whether smaller or larger metric values are better for a criterion.
@@ -161,28 +162,42 @@ impl ComparisonMatrix {
         wins
     }
 
-    /// Renders the matrix with raw values and ratings.
+    /// The matrix as a typed measured table: per-model cells carry the raw
+    /// value formatted next to its rating (`"42.2 (good)"`), so the metric
+    /// extracted from each cell is the leading value. Source of both the
+    /// display table and T1's typed metrics.
     #[must_use]
-    pub fn to_table(&self) -> Table {
-        let mut t = Table::new(["criterion", "exp", "public", "private", "hybrid", "verdict"]);
+    pub fn to_metric_table(&self) -> MetricTable {
+        let mut t =
+            MetricTable::new(["criterion", "exp", "public", "private", "hybrid", "verdict"]);
         for c in &self.criteria {
             let ratings = c.ratings();
-            let fmt_cell = |i: usize| format!("{} ({})", fmt_f64(c.values[i]), ratings[i]);
+            let fmt_cell =
+                |i: usize| Cell::text(format!("{} ({})", fmt_f64(c.values[i]), ratings[i]));
             let verdict = if ratings == [Rating::Good; 3] {
                 "tie".to_string()
             } else {
                 format!("{} wins", MODEL_NAMES[c.winner()])
             };
-            t.row([
+            t.row(
                 c.name.clone(),
-                c.experiment.clone(),
-                fmt_cell(0),
-                fmt_cell(1),
-                fmt_cell(2),
-                verdict,
-            ]);
+                vec![
+                    Cell::text(c.experiment.clone()),
+                    fmt_cell(0),
+                    fmt_cell(1),
+                    fmt_cell(2),
+                    Cell::text(verdict),
+                ],
+            );
         }
         t
+    }
+
+    /// Renders the matrix with raw values and ratings (display view of
+    /// [`ComparisonMatrix::to_metric_table`]).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        self.to_metric_table().to_table()
     }
 }
 

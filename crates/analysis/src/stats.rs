@@ -26,17 +26,42 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Exact quantile by linear interpolation on the sorted copy.
 ///
+/// Clones and sorts per call; callers reading several quantiles of one
+/// sample set should sort once and use [`sorted_percentile`].
+///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 1]` or any value is NaN.
 #[must_use]
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
     if xs.is_empty() {
+        // Preserve the range check even for empty input.
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         return 0.0;
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted_percentile(&sorted, q)
+}
+
+/// Exact quantile of an **already sorted** (ascending) slice, by linear
+/// interpolation — the sort-once companion to [`percentile`] for call sites
+/// that read several quantiles of the same samples.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`. An unsorted slice gives meaningless
+/// results (checked only in debug builds).
+#[must_use]
+pub fn sorted_percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "sorted_percentile needs ascending input"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -166,6 +191,23 @@ mod tests {
     fn percentile_unsorted_input() {
         let xs = [9.0, 1.0, 5.0];
         assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn sorted_percentile_matches_percentile() {
+        let xs = [9.0, 1.0, 5.0, 2.0, 8.0, 8.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(sorted_percentile(&sorted, q), percentile(&xs, q), "q={q}");
+        }
+        assert_eq!(sorted_percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn sorted_percentile_rejects_bad_q() {
+        let _ = sorted_percentile(&[1.0], -0.1);
     }
 
     #[test]

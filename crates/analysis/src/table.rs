@@ -142,17 +142,27 @@ impl fmt::Display for Table {
 /// Formats a float with a sensible number of digits for tables.
 #[must_use]
 pub fn fmt_f64(x: f64) -> String {
-    if x == 0.0 {
-        "0".to_string()
+    let mut out = String::new();
+    write_f64(&mut out, x);
+    out
+}
+
+/// Appends [`fmt_f64`]'s rendering of `x` to `out` without allocating —
+/// the hot-path form used by the typed metric pipeline, which formats
+/// every cell of every replication into a reused scratch buffer.
+pub fn write_f64(out: &mut String, x: f64) {
+    use std::fmt::Write as _;
+    let _ = if x == 0.0 {
+        out.write_str("0")
     } else if x.abs() >= 1_000.0 {
-        format!("{x:.0}")
+        write!(out, "{x:.0}")
     } else if x.abs() >= 10.0 {
-        format!("{x:.1}")
+        write!(out, "{x:.1}")
     } else if x.abs() >= 0.01 {
-        format!("{x:.3}")
+        write!(out, "{x:.3}")
     } else {
-        format!("{x:.2e}")
-    }
+        write!(out, "{x:.2e}")
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,196 @@
+//! A5 — the simulate→measure→aggregate hot path.
+//!
+//! Two throughput numbers anchor the perf trajectory:
+//!
+//! * **events/sec** through the executive — a self-scheduling event chain
+//!   and a schedule/cancel churn loop exercise the pending-event set
+//!   exactly the way `elc-elearn` workload models do;
+//! * **replications/sec** through `elc-runner` — one full replication of a
+//!   cheap experiment (E9) and a stochastic one (E6) including metric
+//!   extraction and aggregation, which is where the per-replication
+//!   string round-trips used to live.
+//!
+//! Besides printing the usual crit lines, the bench writes
+//! `BENCH_hotpath.json` at the workspace root so CI can archive the
+//! numbers per PR. Set `ELC_BENCH_QUICK=1` for a fast smoke run (CI).
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use elc_bench::crit::{Criterion, Measurement};
+use elc_core::experiments::find;
+use elc_core::scenario::Scenario;
+use elc_runner::progress::Silent;
+use elc_runner::RunSpec;
+use elc_simcore::queue::EventQueue;
+use elc_simcore::sim::Simulation;
+use elc_simcore::time::{SimDuration, SimTime};
+use elc_simcore::SimRng;
+
+/// Events in the self-scheduling chain benchmark.
+const CHAIN_EVENTS: u64 = 100_000;
+
+/// Events per iteration of the schedule/cancel churn benchmark.
+const CHURN_EVENTS: u64 = 10_000;
+
+/// Replications per iteration of the runner benchmarks.
+const REPLICATIONS: u32 = 8;
+
+/// Baseline throughput captured on this bench immediately *before* the
+/// slab event arena and typed metric pipeline landed (full mode, same
+/// machine class). Kept in the JSON so every run reports its speedup
+/// against the PR's starting point.
+const BASELINE: [(&str, f64); 4] = [
+    ("events_per_sec", 36_145_378.3),
+    ("queue_churn_ops_per_sec", 23_419_682.6),
+    ("replications_per_sec_e09", 133_503.5),
+    ("replications_per_sec_e06", 3_539.6),
+];
+
+fn quick_mode() -> bool {
+    std::env::var("ELC_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn config() -> Criterion {
+    if quick_mode() {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(300))
+            .warm_up_time(Duration::from_millis(50))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    }
+}
+
+/// A self-scheduling chain: the executive's raw event dispatch rate.
+fn chain(c: &mut Criterion) -> Option<Measurement> {
+    c.bench_measured("a5_hotpath/executive_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(7, 0u64);
+            sim.schedule_every(
+                SimDuration::from_nanos(1),
+                SimDuration::from_nanos(1),
+                |s| {
+                    *s.state_mut() += 1;
+                    *s.state() < CHAIN_EVENTS
+                },
+            );
+            sim.run();
+            black_box(sim.executed())
+        })
+    })
+}
+
+/// Push/cancel/pop churn on the pending-event set: half of the scheduled
+/// events are cancelled before they fire, the way autoscaler probes and
+/// session timers are in the deployment models.
+fn churn(c: &mut Criterion) -> Option<Measurement> {
+    let mut rng = SimRng::seed(2013);
+    let times: Vec<SimTime> = (0..CHURN_EVENTS)
+        .map(|_| SimTime::from_nanos(rng.next_below(1_000_000)))
+        .collect();
+    c.bench_measured("a5_hotpath/queue_churn_10k_half_cancelled", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times.iter().map(|&t| q.push(t, ())).collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut popped = 0u64;
+            while let Some(e) = q.pop() {
+                black_box(e);
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    })
+}
+
+/// One full replicated run (serial): experiment compute plus metric
+/// extraction plus aggregation — the per-replication hot path.
+fn replicate(c: &mut Criterion, experiment: &str) -> Option<Measurement> {
+    c.bench_measured(
+        format!("a5_hotpath/replicate_{experiment}_x{REPLICATIONS}"),
+        |b| {
+            b.iter(|| {
+                let spec = RunSpec::new(
+                    find(experiment).expect("experiment exists"),
+                    Scenario::small_college(42),
+                    REPLICATIONS,
+                );
+                let outcome = elc_runner::run(&spec, &mut Silent);
+                black_box(outcome.summaries.len())
+            })
+        },
+    )
+}
+
+/// Converts a per-iteration measurement into ops/sec for `ops` operations
+/// per iteration.
+fn ops_per_sec(m: Option<Measurement>, ops: f64) -> f64 {
+    m.map_or(0.0, |m| ops / (m.median_ns / 1e9))
+}
+
+fn json_field(out: &mut String, key: &str, value: f64, last: bool) {
+    out.push_str(&format!(
+        "  \"{key}\": {value:.1}{}\n",
+        if last { "" } else { "," }
+    ));
+}
+
+fn main() {
+    let mut c = config();
+    let chain_m = chain(&mut c);
+    let churn_m = churn(&mut c);
+    let e09_m = replicate(&mut c, "e09");
+    let e06_m = replicate(&mut c, "e06");
+
+    let events_per_sec = ops_per_sec(chain_m, CHAIN_EVENTS as f64);
+    // Each churn iteration schedules, half-cancels and drains the queue:
+    // count every push, cancel and pop as one queue op.
+    let churn_ops_per_sec = ops_per_sec(churn_m, 2.5 * CHURN_EVENTS as f64);
+    let reps_e09 = ops_per_sec(e09_m, f64::from(REPLICATIONS));
+    let reps_e06 = ops_per_sec(e06_m, f64::from(REPLICATIONS));
+
+    println!("\nA5 hot-path throughput:");
+    println!("  events/sec (executive chain):    {events_per_sec:>14.0}");
+    println!("  queue ops/sec (churn, 50% cxl):  {churn_ops_per_sec:>14.0}");
+    println!("  replications/sec (e09):          {reps_e09:>14.1}");
+    println!("  replications/sec (e06):          {reps_e06:>14.1}");
+
+    let measured = [
+        ("events_per_sec", events_per_sec),
+        ("queue_churn_ops_per_sec", churn_ops_per_sec),
+        ("replications_per_sec_e09", reps_e09),
+        ("replications_per_sec_e06", reps_e06),
+    ];
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"elc-hotpath-v2\",\n  \"bench\": \"a5_hotpath\",\n  \"mode\": \"{}\",\n",
+        if quick_mode() { "quick" } else { "full" }
+    ));
+    for (i, &(key, value)) in measured.iter().enumerate() {
+        let (_, before) = BASELINE[i];
+        json_field(&mut json, key, value, false);
+        json_field(&mut json, &format!("{key}_baseline"), before, false);
+        let speedup = if before > 0.0 { value / before } else { 0.0 };
+        json.push_str(&format!("  \"{key}_speedup\": {speedup:.3},\n"));
+    }
+    json.push_str("  \"replications\": ");
+    json.push_str(&REPLICATIONS.to_string());
+    json.push_str("\n}\n");
+
+    // crates/bench/../../BENCH_hotpath.json == the workspace root.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_hotpath.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -33,6 +33,17 @@ impl Default for Criterion {
     }
 }
 
+/// The timing result of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median ns/iter over the samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
 impl Criterion {
     /// Number of timed samples per benchmark.
     #[must_use]
@@ -67,6 +78,17 @@ impl Criterion {
     /// Runs a single ungrouped benchmark.
     pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
         run_one(self, &id.to_string(), f);
+    }
+
+    /// Runs a single benchmark and returns its timing, for harnesses that
+    /// post-process results (e.g. `a5_hotpath`'s JSON emitter). `None` if
+    /// the closure never called [`Bencher::iter`].
+    pub fn bench_measured(
+        &mut self,
+        id: impl Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> Option<Measurement> {
+        run_one(self, &id.to_string(), f)
     }
 }
 
@@ -183,7 +205,11 @@ impl Bencher {
     }
 }
 
-fn run_one(criterion: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(
+    criterion: &Criterion,
+    label: &str,
+    mut f: impl FnMut(&mut Bencher),
+) -> Option<Measurement> {
     let mut b = Bencher {
         sample_size: criterion.sample_size,
         measurement_time: criterion.measurement_time,
@@ -192,14 +218,24 @@ fn run_one(criterion: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) 
     };
     f(&mut b);
     match b.result {
-        Some((median, min, max)) => println!(
-            "bench: {label:<48} {:>14} ns/iter (min {}, max {}, {} samples)",
-            fmt_ns(median),
-            fmt_ns(min),
-            fmt_ns(max),
-            criterion.sample_size
-        ),
-        None => println!("bench: {label:<48} (closure never called Bencher::iter)"),
+        Some((median, min, max)) => {
+            println!(
+                "bench: {label:<48} {:>14} ns/iter (min {}, max {}, {} samples)",
+                fmt_ns(median),
+                fmt_ns(min),
+                fmt_ns(max),
+                criterion.sample_size
+            );
+            Some(Measurement {
+                median_ns: median,
+                min_ns: min,
+                max_ns: max,
+            })
+        }
+        None => {
+            println!("bench: {label:<48} (closure never called Bencher::iter)");
+            None
+        }
     }
 }
 

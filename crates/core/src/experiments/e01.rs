@@ -5,8 +5,8 @@
 //! costs". Expected shape: public wins small institutions; ownership wins
 //! at sustained scale; the crossover is the decision boundary.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_cloud::billing::Usd;
 use elc_deploy::cost::{tco, CostBreakdown, CostInputs};
 use elc_deploy::model::{Deployment, DeploymentKind};
@@ -107,10 +107,10 @@ pub fn run(scenario: &Scenario) -> Output {
 }
 
 impl Output {
-    /// Renders the E1 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "students",
             "public ($)",
             "private ($)",
@@ -118,15 +118,33 @@ impl Output {
             "cheapest",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.students.to_string(),
-                fmt_f64(r.totals[0].amount()),
-                fmt_f64(r.totals[1].amount()),
-                fmt_f64(r.totals[2].amount()),
-                r.winner().to_string(),
-            ]);
+                vec![
+                    Cell::num(r.totals[0].amount()),
+                    Cell::num(r.totals[1].amount()),
+                    Cell::num(r.totals[2].amount()),
+                    Cell::text(r.winner().to_string()),
+                ],
+            );
         }
-        let mut s = Section::new("E1", "TCO vs institution size (3-year horizon)", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E1 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E1",
+            "TCO vs institution size (3-year horizon)",
+            self.metric_table().to_table(),
+        );
         s.note("paper §III.1/§IV: public is the low-cost entry; private carries capex, power, cooling, staff");
         match self.crossover_students {
             Some(n) => s.note(format!(

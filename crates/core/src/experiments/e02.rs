@@ -6,9 +6,9 @@
 //! Expected shape: the thin client starts much faster and needs a fraction
 //! of the memory; the desktop's only edge is cached reads.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
 use elc_analysis::stats::{mean, percentile};
-use elc_analysis::table::{fmt_f64, Table};
 use elc_elearn::client::{ClientKind, ClientModel};
 use elc_elearn::request::RequestKind;
 use elc_net::link::{Link, LinkProfile};
@@ -113,10 +113,10 @@ pub fn run(scenario: &Scenario) -> Output {
 }
 
 impl Output {
-    /// Renders the E2 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "client",
             "link",
             "startup mean (s)",
@@ -126,17 +126,35 @@ impl Output {
             "install (s)",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.client.to_string(),
-                r.link.to_string(),
-                fmt_f64(r.startup_mean_s),
-                fmt_f64(r.startup_p95_s),
-                fmt_f64(r.action_mean_s),
-                fmt_f64(r.memory_mib),
-                fmt_f64(r.install_s),
-            ]);
+                vec![
+                    Cell::text(r.link.to_string()),
+                    Cell::num(r.startup_mean_s),
+                    Cell::num(r.startup_p95_s),
+                    Cell::num(r.action_mean_s),
+                    Cell::num(r.memory_mib),
+                    Cell::num(r.install_s),
+                ],
+            );
         }
-        let mut s = Section::new("E2", "Client startup and footprint", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E2 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E2",
+            "Client startup and footprint",
+            self.metric_table().to_table(),
+        );
         s.note("paper §III.2: cloud clients \"boot and run faster\" with \"fewer programs … in device memory\"");
         s.note(format!(
             "measured: thin client starts {:.1}x faster and uses a fraction of the memory; desktop wins only cached reads",

@@ -5,8 +5,8 @@
 //! measured in hours, on-premise staleness in weeks; the SaaS system spends
 //! almost all its time on the latest version.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_deploy::updates::{simulate_updates, UpdateChannel, UpdateReport};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::SimTime;
@@ -58,10 +58,10 @@ impl Output {
             * self.onprem.mean_staleness.as_secs_f64()
     }
 
-    /// Renders the E3 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "channel",
             "releases",
             "mean staleness (days)",
@@ -69,15 +69,33 @@ impl Output {
             "time on latest (%)",
         ]);
         for (name, rep) in [("saas-push", &self.saas), ("admin-managed", &self.onprem)] {
-            t.row([
-                name.to_string(),
-                rep.releases.to_string(),
-                fmt_f64(rep.mean_staleness.as_secs_f64() / 86_400.0),
-                fmt_f64(rep.max_staleness.as_secs_f64() / 86_400.0),
-                fmt_f64(rep.fraction_on_latest * 100.0),
-            ]);
+            t.row(
+                name,
+                vec![
+                    Cell::int(rep.releases),
+                    Cell::num(rep.mean_staleness.as_secs_f64() / 86_400.0),
+                    Cell::num(rep.max_staleness.as_secs_f64() / 86_400.0),
+                    Cell::num(rep.fraction_on_latest * 100.0),
+                ],
+            );
         }
-        let mut s = Section::new("E3", "Update propagation latency", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E3 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E3",
+            "Update propagation latency",
+            self.metric_table().to_table(),
+        );
         s.note("paper §III.3: web-based apps update \"automatically … the next time you log on\"");
         s.note(format!(
             "measured: SaaS staleness is ~{:.0}x lower than admin-managed rollouts",

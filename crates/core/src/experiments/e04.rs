@@ -7,8 +7,8 @@
 //! private model's loss tracks its site-disaster rate; everything
 //! server-side survives client crashes.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_deploy::model::DeploymentKind;
 use elc_deploy::reliability::StorageProfile;
 use elc_simcore::rng::SimRng;
@@ -79,10 +79,10 @@ impl Output {
             .expect("all models measured")
     }
 
-    /// Renders the E4 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "model",
             "loss p (1y)",
             "loss p (3y)",
@@ -91,16 +91,34 @@ impl Output {
             "survives client crash",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.kind.to_string(),
-                fmt_f64(r.loss_probability[0]),
-                fmt_f64(r.loss_probability[1]),
-                fmt_f64(r.loss_probability[2]),
-                fmt_f64(r.mc_survival_10y * 100.0),
-                "yes".to_string(), // all three are server-side deployments
-            ]);
+                vec![
+                    Cell::num(r.loss_probability[0]),
+                    Cell::num(r.loss_probability[1]),
+                    Cell::num(r.loss_probability[2]),
+                    Cell::num(r.mc_survival_10y * 100.0),
+                    Cell::text("yes"), // all three are server-side deployments
+                ],
+            );
         }
-        let mut s = Section::new("E4", "Digital-asset survival", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E4 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E4",
+            "Digital-asset survival",
+            self.metric_table().to_table(),
+        );
         s.note("paper §III.4: cloud data survives client crashes; §IV.B: single-site private storage risks total loss");
         s.note(
             "measured: public (3 sites) < hybrid (2 sites) < private (1 site) on loss probability",

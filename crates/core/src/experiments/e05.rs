@@ -6,9 +6,9 @@
 //! carry ≥99% of accumulated work to the new device; device-local state
 //! carries none of it.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
 use elc_analysis::stats::mean;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_elearn::session::{SessionPolicy, StateLocation, WorkSession};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
@@ -89,10 +89,10 @@ impl Output {
         mean(&vals)
     }
 
-    /// Renders the E5 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "state location",
             "session (min)",
             "continuity (%)",
@@ -103,14 +103,32 @@ impl Output {
                 StateLocation::Cloud => "cloud",
                 StateLocation::Device => "device",
             };
-            t.row([
-                loc.to_string(),
-                r.session_minutes.to_string(),
-                fmt_f64(r.mean_continuity * 100.0),
-                fmt_f64(r.mean_redo_minutes),
-            ]);
+            t.row(
+                loc,
+                vec![
+                    Cell::int(r.session_minutes),
+                    Cell::num(r.mean_continuity * 100.0),
+                    Cell::num(r.mean_redo_minutes),
+                ],
+            );
         }
-        let mut s = Section::new("E5", "Device-switch continuity", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E5 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E5",
+            "Device-switch continuity",
+            self.metric_table().to_table(),
+        );
         s.note("paper §III.5: documents \"follow you through the cloud\"");
         s.note(format!(
             "measured: cloud sessions carry {:.1}% of work to the new device; device-local state carries 0%",

@@ -5,8 +5,8 @@
 //! beats exam files on staff desktops. Expected shape: on confidential
 //! assets, private ≈ hybrid < public < desktop baseline.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_deploy::model::{Deployment, DeploymentKind};
 use elc_deploy::security::{CampaignReport, ThreatModel};
 use elc_simcore::rng::SimRng;
@@ -72,10 +72,10 @@ impl Output {
             .expect("all models measured")
     }
 
-    /// Renders the E6 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "model",
             "incidents/yr",
             "confidential/yr",
@@ -84,24 +84,44 @@ impl Output {
             "sim confidential (50y)",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.kind.to_string(),
-                fmt_f64(r.incident_rate),
-                fmt_f64(r.confidential_rate),
-                r.campaign.attempts.to_string(),
-                r.campaign.breaches.to_string(),
-                r.campaign.confidential_breaches.to_string(),
-            ]);
+                vec![
+                    Cell::num(r.incident_rate),
+                    Cell::num(r.confidential_rate),
+                    Cell::int(r.campaign.attempts),
+                    Cell::int(r.campaign.breaches),
+                    Cell::int(r.campaign.confidential_breaches),
+                ],
+            );
         }
-        t.row([
-            "desktop-files".to_string(),
-            fmt_f64(self.desktop_baseline),
-            fmt_f64(self.desktop_baseline),
-            "-".to_string(),
-            "-".to_string(),
-            "-".to_string(),
-        ]);
-        let mut s = Section::new("E6", "Unauthorized-access incidents", t);
+        t.row(
+            "desktop-files",
+            vec![
+                Cell::num(self.desktop_baseline),
+                Cell::num(self.desktop_baseline),
+                Cell::text("-"),
+                Cell::text("-"),
+                Cell::text("-"),
+            ],
+        );
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E6 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E6",
+            "Unauthorized-access incidents",
+            self.metric_table().to_table(),
+        );
         s.note("paper §IV.A: shared infrastructure raises exposure; §III.6: any cloud beats desktop files");
         s.note("measured: private = hybrid < public on confidential incidents; all far below the desktop baseline");
         s

@@ -7,8 +7,8 @@
 //! bounds the damage to seconds, no-autosave loses half a session on
 //! average.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_elearn::session::{LossLedger, SessionPolicy, StateLocation, WorkSession};
 use elc_net::outage::OutageModel;
 use elc_simcore::rng::SimRng;
@@ -108,10 +108,10 @@ pub fn run(scenario: &Scenario) -> Output {
 }
 
 impl Output {
-    /// Renders the E7 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "connectivity",
             "policy",
             "interrupted (%)",
@@ -119,15 +119,33 @@ impl Output {
             "unsaved losses /1000",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.connectivity.clone(),
-                r.policy.clone(),
-                fmt_f64(r.interrupted_fraction * 100.0),
-                fmt_f64(r.mean_lost_minutes),
-                fmt_f64(r.unsaved_per_1000),
-            ]);
+                vec![
+                    Cell::text(r.policy.clone()),
+                    Cell::num(r.interrupted_fraction * 100.0),
+                    Cell::num(r.mean_lost_minutes),
+                    Cell::num(r.unsaved_per_1000),
+                ],
+            );
         }
-        let mut s = Section::new("E7", "Connection loss: time, work, unsaved data", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E7 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E7",
+            "Connection loss: time, work, unsaved data",
+            self.metric_table().to_table(),
+        );
         s.note("paper §III risk 1: dropped connections lose \"time, work, or even unsaved data\"");
         s.note("measured: autosave bounds damage to <0.5 min; without it an interruption wipes out a large share of the session");
         s

@@ -7,8 +7,8 @@
 //! duration are worst for public, zero for private, and materially reduced
 //! by the hybrid's portability layer.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_cloud::billing::PriceSheet;
 use elc_deploy::cost::CostInputs;
 use elc_deploy::migration::{exit_plan, ExitPlan};
@@ -64,10 +64,10 @@ impl Output {
             .expect("all models measured")
     }
 
-    /// Renders the E8 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "model",
             "egress ($)",
             "rework ($)",
@@ -77,17 +77,35 @@ impl Output {
             "APIs reworked",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.kind.to_string(),
-                fmt_f64(r.plan.egress_cost.amount()),
-                fmt_f64(r.plan.rework_cost.amount()),
-                fmt_f64(r.plan.total_cost.amount()),
-                fmt_f64(r.plan.duration.as_secs_f64() / 86_400.0),
-                fmt_f64(r.plan.downtime.as_secs_f64() / 3_600.0),
-                r.plan.apis_reworked.to_string(),
-            ]);
+                vec![
+                    Cell::num(r.plan.egress_cost.amount()),
+                    Cell::num(r.plan.rework_cost.amount()),
+                    Cell::num(r.plan.total_cost.amount()),
+                    Cell::num(r.plan.duration.as_secs_f64() / 86_400.0),
+                    Cell::num(r.plan.downtime.as_secs_f64() / 3_600.0),
+                    Cell::int(r.plan.apis_reworked),
+                ],
+            );
         }
-        let mut s = Section::new("E8", "Exit cost (vendor lock-in)", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E8 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E8",
+            "Exit cost (vendor lock-in)",
+            self.metric_table().to_table(),
+        );
         s.note("paper §IV.A: leaving a public provider is \"relatively difficult and expensive\"");
         s.note("measured: public exit is the most expensive; hybrid's portability layer halves the rework; private exits free");
         s

@@ -5,8 +5,8 @@
 //! Expected shape: public in days, private in weeks (procurement-gated),
 //! hybrid slowest (procurement plus integration).
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_deploy::model::{Deployment, DeploymentKind};
 use elc_deploy::provisioning::{schedule, ProvisioningSchedule};
 
@@ -53,11 +53,11 @@ impl Output {
             .expect("all models measured")
     }
 
-    /// Renders the E9 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let days = |d: elc_simcore::SimDuration| fmt_f64(d.as_secs_f64() / 86_400.0);
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let days = |d: elc_simcore::SimDuration| Cell::num(d.as_secs_f64() / 86_400.0);
+        let mut t = MetricTable::new([
             "model",
             "acquisition (days)",
             "installation (days)",
@@ -65,15 +65,33 @@ impl Output {
             "time to service (days)",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.kind.to_string(),
-                days(r.schedule.acquisition),
-                days(r.schedule.installation),
-                days(r.schedule.integration),
-                days(r.schedule.time_to_service()),
-            ]);
+                vec![
+                    days(r.schedule.acquisition),
+                    days(r.schedule.installation),
+                    days(r.schedule.integration),
+                    days(r.schedule.time_to_service()),
+                ],
+            );
         }
-        let mut s = Section::new("E9", "Time to first service", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E9 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E9",
+            "Time to first service",
+            self.metric_table().to_table(),
+        );
         s.note("paper §IV.A: public cloud is the \"quickest solution\"");
         s.note("measured: public serves in ~2 days; private waits ~8 weeks on procurement; hybrid adds integration on top");
         s

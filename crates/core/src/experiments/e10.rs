@@ -6,8 +6,9 @@
 //! interior hybrids (at scale, cloudbursting the exam surge pays), so the
 //! split genuinely matters — no single placement dominates.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
+use elc_analysis::table::fmt_f64;
 use elc_deploy::cost::CostInputs;
 use elc_deploy::hybrid::{pareto, sweep, SplitPoint};
 use elc_deploy::security::ThreatModel;
@@ -48,11 +49,10 @@ impl Output {
             .any(|p| p.public_fraction > 0.0 && p.public_fraction < 1.0)
     }
 
-    /// Renders the E10 section (frontier points only; the full 64-point
-    /// sweep goes to CSV via the harness).
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "public load (%)",
             "public components",
             "TCO ($)",
@@ -66,22 +66,37 @@ impl Output {
                 .iter()
                 .map(ToString::to_string)
                 .collect();
-            t.row([
+            t.row(
                 fmt_f64(p.public_fraction * 100.0),
-                if comps.is_empty() {
-                    "(none)".to_string()
-                } else {
-                    comps.join("+")
-                },
-                fmt_f64(p.total_cost.amount()),
-                fmt_f64(p.confidential_incident_rate),
-                fmt_f64(p.exit_cost.amount()),
-            ]);
+                vec![
+                    Cell::text(if comps.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        comps.join("+")
+                    }),
+                    Cell::num(p.total_cost.amount()),
+                    Cell::num(p.confidential_incident_rate),
+                    Cell::num(p.exit_cost.amount()),
+                ],
+            );
         }
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E10 section (frontier points only; the full 64-point
+    /// sweep goes to CSV via the harness).
+    #[must_use]
+    pub fn section(&self) -> Section {
         let mut s = Section::new(
             "E10",
             "Hybrid unit-distribution sweep (Pareto frontier of 64 placements)",
-            t,
+            self.metric_table().to_table(),
         );
         s.note("paper §IV.C: the distribution of units between models \"is significant\"");
         s.note(format!(

@@ -6,8 +6,8 @@
 //! consultancy grows superlinearly with platform count (pairwise
 //! integration), ongoing governance linearly.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_cloud::billing::Usd;
 use elc_deploy::calib;
 use elc_deploy::governance::{governance_fte, overhead, setup_consultancy};
@@ -70,24 +70,42 @@ pub fn run(scenario: &Scenario) -> Output {
 }
 
 impl Output {
-    /// Renders the E11 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "platforms",
             "setup consultancy ($)",
             "governance (FTE)",
             "governance cost ($/yr)",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.platforms.to_string(),
-                fmt_f64(r.consultancy.amount()),
-                fmt_f64(r.governance_fte),
-                fmt_f64(r.annual_cost.amount()),
-            ]);
+                vec![
+                    Cell::num(r.consultancy.amount()),
+                    Cell::num(r.governance_fte),
+                    Cell::num(r.annual_cost.amount()),
+                ],
+            );
         }
-        let mut s = Section::new("E11", "Governance overhead vs platform count", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E11 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E11",
+            "Governance overhead vs platform count",
+            self.metric_table().to_table(),
+        );
         s.note(
             "paper §IV.C: two models in use ⇒ \"more expertise and increased consultancy costs\"",
         );

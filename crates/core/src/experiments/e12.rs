@@ -20,8 +20,8 @@
 //! matches elastic on service quality at several times the machine-hours —
 //! until a host dies, after which only the elastic fleet recovers.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_cloud::autoscale::{AutoScaler, ScaleDecision};
 use elc_cloud::datacenter::Datacenter;
 use elc_cloud::placement::FirstFit;
@@ -324,10 +324,10 @@ impl Output {
             .expect("all strategies simulated")
     }
 
-    /// Renders the E12 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "strategy",
             "rejected (%)",
             "p95 latency (s)",
@@ -335,15 +335,33 @@ impl Output {
             "peak fleet",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.strategy.to_string(),
-                fmt_f64(r.rejected_fraction * 100.0),
-                fmt_f64(r.p95_latency_s),
-                fmt_f64(r.vm_hours),
-                fmt_f64(r.peak_vms),
-            ]);
+                vec![
+                    Cell::num(r.rejected_fraction * 100.0),
+                    Cell::num(r.p95_latency_s),
+                    Cell::num(r.vm_hours),
+                    Cell::num(r.peak_vms),
+                ],
+            );
         }
-        let mut s = Section::new("E12", "Exam-day surge: elastic vs fixed capacity", t);
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E12 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "E12",
+            "Exam-day surge: elastic vs fixed capacity",
+            self.metric_table().to_table(),
+        );
         s.note("paper abstract: e-learning needs \"dynamically allocation of computation and storage resources\"");
         s.note("measured: a teaching-sized fixed fleet drops a large share of exam-day traffic; the autoscaler tracks the surge");
         s

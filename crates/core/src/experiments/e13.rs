@@ -12,8 +12,9 @@
 //! public; joining an established community is weeks faster than building
 //! a private cloud.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
+use elc_analysis::table::fmt_f64;
 use elc_cloud::billing::Usd;
 use elc_deploy::community::{sweep_members, CommunityAssessment};
 use elc_deploy::cost::{tco, CostInputs};
@@ -59,10 +60,10 @@ impl Output {
             .map(|a| a.members)
     }
 
-    /// Renders the E13 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "members",
             "shared servers",
             "per-member TCO ($)",
@@ -71,19 +72,33 @@ impl Output {
             "time to join (days)",
         ]);
         for a in &self.sweep {
-            t.row([
+            t.row(
                 a.members.to_string(),
-                a.servers.to_string(),
-                fmt_f64(a.per_member_tco.amount()),
-                fmt_f64(a.total_fte),
-                fmt_f64(a.confidential_incident_rate),
-                fmt_f64(a.time_to_join.as_secs_f64() / 86_400.0),
-            ]);
+                vec![
+                    Cell::int(a.servers),
+                    Cell::num(a.per_member_tco.amount()),
+                    Cell::num(a.total_fte),
+                    Cell::num(a.confidential_incident_rate),
+                    Cell::num(a.time_to_join.as_secs_f64() / 86_400.0),
+                ],
+            );
         }
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E13 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
         let mut s = Section::new(
             "E13",
             "Community cloud: per-member economics vs consortium size (extension)",
-            t,
+            self.metric_table().to_table(),
         );
         s.note("paper §IV.C imagines a \"national private cloud\"; NIST [3] names it: the community model");
         s.note(format!(

@@ -11,8 +11,8 @@
 //! deepest in lock-in and least customizable; IaaS is the reverse; the
 //! cost ranking flips with usage volume (staff savings vs price premium).
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_deploy::cost::{tco, CostInputs};
 use elc_deploy::model::Deployment;
 use elc_deploy::service_model::{assess_all, ServiceAssessment, ServiceModel};
@@ -47,10 +47,10 @@ impl Output {
             .expect("all models assessed")
     }
 
-    /// Renders the E14 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "service model",
             "time to service (days)",
             "ops (FTE)",
@@ -61,21 +61,35 @@ impl Output {
             "customization",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.model.to_string(),
-                fmt_f64(r.time_to_service.as_secs_f64() / 86_400.0),
-                fmt_f64(r.ops_fte),
-                fmt_f64(r.usage_cost.amount()),
-                fmt_f64(r.staff_cost.amount()),
-                fmt_f64(r.total_cost().amount()),
-                fmt_f64(r.exit_rework.amount()),
-                fmt_f64(r.customization),
-            ]);
+                vec![
+                    Cell::num(r.time_to_service.as_secs_f64() / 86_400.0),
+                    Cell::num(r.ops_fte),
+                    Cell::num(r.usage_cost.amount()),
+                    Cell::num(r.staff_cost.amount()),
+                    Cell::num(r.total_cost().amount()),
+                    Cell::num(r.exit_rework.amount()),
+                    Cell::num(r.customization),
+                ],
+            );
         }
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E14 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
         let mut s = Section::new(
             "E14",
             "Service models on the public cloud: IaaS / PaaS / SaaS (extension)",
-            t,
+            self.metric_table().to_table(),
         );
         s.note("paper §III: LMS vendors ship \"cloud oriented\" versions — the SaaS rung of NIST's service models");
         s.note("measured: SaaS trades the deepest lock-in and least customization for the fastest start and lowest ops");

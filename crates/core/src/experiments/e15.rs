@@ -22,8 +22,8 @@
 //! Expected shape: procure-behind accumulates shortfall months,
 //! procure-ahead buys idle server-years, elastic does neither.
 
+use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
-use elc_analysis::table::{fmt_f64, Table};
 use elc_cloud::resources::VmSize;
 use elc_elearn::workload::WorkloadModel;
 
@@ -193,10 +193,10 @@ impl Output {
             .expect("all strategies simulated")
     }
 
-    /// Renders the E15 section.
-    #[must_use]
-    pub fn section(&self) -> Section {
-        let mut t = Table::new([
+    /// The measured table: source of both the display section and the
+    /// typed metrics.
+    fn metric_table(&self) -> MetricTable {
+        let mut t = MetricTable::new([
             "planning",
             "shortfall months",
             "worst shortfall (%)",
@@ -204,14 +204,28 @@ impl Output {
             "idle server-years",
         ]);
         for r in &self.rows {
-            t.row([
+            t.row(
                 r.planning.to_string(),
-                r.shortfall_months.to_string(),
-                fmt_f64(r.worst_shortfall * 100.0),
-                fmt_f64(r.mean_utilization * 100.0),
-                fmt_f64(r.idle_server_years),
-            ]);
+                vec![
+                    Cell::int(r.shortfall_months),
+                    Cell::num(r.worst_shortfall * 100.0),
+                    Cell::num(r.mean_utilization * 100.0),
+                    Cell::num(r.idle_server_years),
+                ],
+            );
         }
+        t
+    }
+
+    /// The typed metrics, without rendering the table.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        self.metric_table().metrics()
+    }
+
+    /// Renders the E15 section.
+    #[must_use]
+    pub fn section(&self) -> Section {
         let mut s = Section::new(
             "E15",
             format!(
@@ -219,7 +233,7 @@ impl Output {
                 GROWTH_PER_YEAR * 100.0,
                 self.final_students
             ),
-            t,
+            self.metric_table().to_table(),
         );
         s.note("paper §V: growth is the vision; the abstract's \"dynamically allocation\" is what absorbs it");
         s.note("measured: biennial procurement either lags growth (shortfalls late in each budget cycle) or pre-buys idle capacity; elastic does neither");

@@ -6,13 +6,20 @@
 //! the E1–E15 module list (the CLI, the replication engine in `elc-runner`)
 //! iterate [`registry`] or look an entry up with [`find`] instead.
 //!
-//! An [`ExperimentRun`] pairs the rendered [`Section`] with a flat list of
-//! named numeric metrics scraped from the section's table. The metric names
-//! are `column[row-key]`, so `E9`'s `days` column for the `public` row
-//! becomes `days[public]` — stable across seeds, which is what lets a
-//! replication engine aggregate the same metric over many runs.
+//! An [`ExperimentRun`] pairs the rendered [`Section`] with a typed
+//! [`MetricSet`] of `(MetricKey, f64)` pairs emitted directly by the
+//! experiment — no string scraping on the hot path. The interned metric
+//! names are `column[row-key]`, so `E9`'s `days` column for the `public`
+//! row becomes `days[public]` — stable across seeds, which is what lets a
+//! replication engine aggregate the same metric over many runs. The old
+//! scrape-the-rendered-table path survives as the
+//! [`ExperimentRun::from_section`] compatibility shim, pinned to agree
+//! with the typed path on every metric of every experiment.
 
+use elc_analysis::metrics::{intern, MetricSet};
 use elc_analysis::report::Section;
+
+pub use elc_analysis::metrics::parse_numeric_cell;
 
 use crate::scenario::Scenario;
 
@@ -21,15 +28,21 @@ use crate::scenario::Scenario;
 pub struct ExperimentRun {
     /// The rendered report section (table + notes).
     pub section: Section,
-    /// Named numeric metrics extracted from the table, in table order.
-    pub metrics: Vec<(String, f64)>,
+    /// Typed numeric metrics, in table order.
+    pub metrics: MetricSet,
 }
 
 impl ExperimentRun {
-    /// Wraps a section, scraping every numeric table cell into a metric.
+    /// Compatibility shim: wraps a section, scraping every numeric table
+    /// cell into a metric.
+    ///
+    /// Experiments now emit typed metrics directly (see
+    /// [`elc_analysis::metrics::MetricTable`]); this path re-derives them
+    /// from the rendered strings, exactly as PR 1 did, and exists so the
+    /// two pipelines can be pinned against each other.
     #[must_use]
     pub fn from_section(section: Section) -> Self {
-        let mut metrics = Vec::new();
+        let mut metrics = MetricSet::new();
         let mut seen = std::collections::HashMap::new();
         let table = section.table();
         let headers = table.headers();
@@ -46,38 +59,11 @@ impl ExperimentRun {
                 let n = seen.entry(base.clone()).or_insert(0u32);
                 *n += 1;
                 let name = if *n == 1 { base } else { format!("{base}#{n}") };
-                metrics.push((name, value));
+                metrics.push(intern(&name), value);
             }
         }
         ExperimentRun { section, metrics }
     }
-}
-
-/// Interprets a table cell as a number if it plausibly is one.
-///
-/// Handles the formats the report tables actually emit: plain floats
-/// (`fmt_f64`, including scientific notation), dollar amounts (`$1234.00`,
-/// `-$5.00`), percentages (`12.5%`) and a numeric value with a trailing
-/// unit word (`4.2 d`, `31 mo`). Returns `None` for anything else.
-#[must_use]
-pub fn parse_numeric_cell(cell: &str) -> Option<f64> {
-    let trimmed = cell.trim();
-    if trimmed.is_empty() {
-        return None;
-    }
-    let (neg, rest) = match trimmed.strip_prefix('-') {
-        Some(r) => (true, r),
-        None => (false, trimmed),
-    };
-    let rest = rest.strip_prefix('$').unwrap_or(rest);
-    let rest = rest.strip_suffix('%').unwrap_or(rest);
-    // `4.2 d` → take the leading token if the remainder is a unit word.
-    let token = rest.split_whitespace().next()?;
-    let value: f64 = token.parse().ok()?;
-    if !value.is_finite() {
-        return None;
-    }
-    Some(if neg { -value } else { value })
 }
 
 /// A uniformly invokable experiment.
@@ -89,6 +75,12 @@ pub trait Experiment: Send + Sync {
     /// Runs one replication. Pure in `(scenario, scenario.seed())`: equal
     /// inputs produce equal output on any thread at any time.
     fn run(&self, scenario: &Scenario) -> ExperimentRun;
+    /// Runs one replication for its metrics only, skipping the section
+    /// render — the replication engine's hot path. Must equal
+    /// `self.run(scenario).metrics`.
+    fn run_metrics(&self, scenario: &Scenario) -> MetricSet {
+        self.run(scenario).metrics
+    }
 }
 
 macro_rules! experiments {
@@ -106,7 +98,15 @@ macro_rules! experiments {
                 }
 
                 fn run(&self, scenario: &Scenario) -> ExperimentRun {
-                    ExperimentRun::from_section(super::$module::run(scenario).section())
+                    let out = super::$module::run(scenario);
+                    ExperimentRun {
+                        section: out.section(),
+                        metrics: out.metrics(),
+                    }
+                }
+
+                fn run_metrics(&self, scenario: &Scenario) -> MetricSet {
+                    super::$module::run(scenario).metrics()
                 }
             }
         )+
@@ -145,7 +145,15 @@ impl Experiment for T1 {
     }
 
     fn run(&self, scenario: &Scenario) -> ExperimentRun {
-        ExperimentRun::from_section(super::run_all(scenario).metrics().section())
+        let m = super::run_all(scenario).metrics();
+        ExperimentRun {
+            section: m.section(),
+            metrics: m.metric_set(),
+        }
+    }
+
+    fn run_metrics(&self, scenario: &Scenario) -> MetricSet {
+        super::run_all(scenario).metrics().metric_set()
     }
 }
 
@@ -211,9 +219,34 @@ mod tests {
                 e.id()
             );
             assert!(!run.section.table().is_empty(), "{} empty table", e.id());
-            for (name, value) in &run.metrics {
+            for (name, value) in run.metrics.named() {
                 assert!(value.is_finite(), "{}: {name} not finite", e.id());
             }
+        }
+    }
+
+    /// The non-negotiable invariant of the typed pipeline: for every
+    /// experiment, the directly emitted metrics equal what scraping the
+    /// rendered table produces (same names, same order, same values), and
+    /// the metrics-only fast path equals the full run.
+    #[test]
+    fn typed_metrics_agree_with_section_scrape_everywhere() {
+        let scenario = Scenario::small_college(42);
+        for e in registry() {
+            let run = e.run(&scenario);
+            let scraped = ExperimentRun::from_section(run.section.clone());
+            assert_eq!(
+                run.metrics.to_named_vec(),
+                scraped.metrics.to_named_vec(),
+                "{}: typed and scraped metrics diverge",
+                e.id()
+            );
+            assert_eq!(
+                e.run_metrics(&scenario),
+                run.metrics,
+                "{}: run_metrics fast path diverges from run",
+                e.id()
+            );
         }
     }
 
@@ -243,9 +276,9 @@ mod tests {
     fn metric_names_follow_column_row_convention() {
         let run = find("e01").unwrap().run(&Scenario::small_college(1));
         assert!(
-            run.metrics.iter().any(|(n, _)| n == "public ($)[1000]"),
+            run.metrics.named().any(|(n, _)| n == "public ($)[1000]"),
             "expected column[row] metric names, got {:?}",
-            run.metrics.iter().take(4).collect::<Vec<_>>()
+            run.metrics.named().take(4).collect::<Vec<_>>()
         );
     }
 }

@@ -6,6 +6,7 @@
 //! derived from the numbers the experiments produced.
 
 use elc_analysis::matrix::{ComparisonMatrix, Direction};
+use elc_analysis::metrics::MetricSet;
 use elc_analysis::report::Section;
 use elc_deploy::model::{Deployment, DeploymentKind};
 
@@ -137,6 +138,14 @@ impl ModelMetrics {
             Direction::LowerIsBetter,
         );
         m
+    }
+
+    /// The typed metrics of the matrix view, without rendering the
+    /// table: one metric per model per criterion (the numeric half of the
+    /// `"42.2 (good)"` cells).
+    #[must_use]
+    pub fn metric_set(&self) -> MetricSet {
+        self.matrix().to_metric_table().metrics()
     }
 
     /// Renders the T1 section.

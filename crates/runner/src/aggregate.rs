@@ -1,15 +1,17 @@
 //! Cross-replication aggregation.
 //!
-//! Folds each named metric's samples — ordered by replication index —
-//! into mean / p50 / p95 and a 95% confidence interval via
-//! `elc_analysis::stats`. Everything here is a pure function of the sorted
-//! task results, so two runs that executed the same replications (on any
+//! Folds each metric's samples — ordered by replication index — into
+//! mean / p50 / p95 and a 95% confidence interval via
+//! `elc_analysis::stats`. Metrics are identified by interned
+//! [`MetricKey`]s, so grouping hashes a `u32` instead of a `String` and
+//! the per-replication metric names are never re-allocated here.
+//! Everything in this module is a pure function of the sorted task
+//! results, so two runs that executed the same replications (on any
 //! thread counts) aggregate byte-identically.
 
-use std::collections::HashMap;
-
+use elc_analysis::metrics::MetricKey;
 use elc_analysis::report::Section;
-use elc_analysis::stats::{ci95, mean, percentile, Ci95};
+use elc_analysis::stats::{ci95, mean, sorted_percentile, Ci95};
 use elc_analysis::table::{fmt_f64, Table};
 
 use crate::pool::TaskResult;
@@ -17,8 +19,8 @@ use crate::pool::TaskResult;
 /// One metric's distribution over the replications.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSummary {
-    /// Metric name (`column[row-key]` from the experiment table).
-    pub name: String,
+    /// Interned metric key (`column[row-key]` from the experiment table).
+    pub key: MetricKey,
     /// Per-replication samples, ordered by replication index.
     pub samples: Vec<f64>,
     /// Arithmetic mean.
@@ -32,13 +34,23 @@ pub struct MetricSummary {
 }
 
 impl MetricSummary {
-    fn from_samples(name: String, samples: Vec<f64>) -> Self {
+    /// The metric's resolved name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.key.name()
+    }
+
+    fn from_samples(key: MetricKey, samples: Vec<f64>) -> Self {
+        // Sort once; both percentiles read the same sorted view. The
+        // stored samples stay in replication order.
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
         MetricSummary {
             mean: mean(&samples),
-            p50: percentile(&samples, 0.5),
-            p95: percentile(&samples, 0.95),
+            p50: sorted_percentile(&sorted, 0.5),
+            p95: sorted_percentile(&sorted, 0.95),
             ci95: ci95(&samples),
-            name,
+            key,
             samples,
         }
     }
@@ -50,34 +62,59 @@ impl MetricSummary {
 /// summarised only if *every* replication reported it — seed-dependent
 /// table rows (e.g. a sweep row that only appears under some seeds) would
 /// otherwise make the sample count, and thus the confidence interval,
-/// misleading. Dropped names are returned separately so callers can warn.
+/// misleading. Dropped keys are returned separately so callers can warn.
 #[must_use]
-pub fn aggregate(results: &[TaskResult]) -> (Vec<MetricSummary>, Vec<String>) {
+pub fn aggregate(results: &[TaskResult]) -> (Vec<MetricSummary>, Vec<MetricKey>) {
     let Some(first) = results.first() else {
         return (Vec::new(), Vec::new());
     };
-    let mut samples: HashMap<&str, Vec<f64>> = HashMap::new();
+    // Accumulate per-key sample vectors. An experiment emits on the order
+    // of a dozen metrics, so a linear scan over `u32` keys outruns a
+    // HashMap here — and every replication emits keys in the same order,
+    // so the scan almost always hits on the first probe.
+    let mut acc: Vec<(MetricKey, Vec<f64>)> = Vec::new();
     for result in results {
-        for (name, value) in &result.metrics {
-            samples.entry(name).or_default().push(*value);
+        for (i, &(key, value)) in result.metrics.entries().iter().enumerate() {
+            match acc.get_mut(i).filter(|(k, _)| *k == key) {
+                Some((_, values)) => values.push(value),
+                None => match acc.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, values)) => values.push(value),
+                    None => {
+                        let mut values = Vec::with_capacity(results.len());
+                        values.push(value);
+                        acc.push((key, values));
+                    }
+                },
+            }
         }
     }
     let mut summaries = Vec::new();
     let mut dropped = Vec::new();
-    for (name, _) in &first.metrics {
-        let Some(values) = samples.remove(name.as_str()) else {
-            continue; // duplicate name already consumed
+    let mut consumed = vec![false; acc.len()];
+    for &(key, _) in first.metrics.entries() {
+        let Some(pos) = acc.iter().position(|(k, _)| *k == key) else {
+            unreachable!("first replication's keys were all accumulated");
         };
+        if std::mem::replace(&mut consumed[pos], true) {
+            continue; // duplicate key already consumed
+        }
+        let values = std::mem::take(&mut acc[pos].1);
         if values.len() == results.len() {
-            summaries.push(MetricSummary::from_samples(name.clone(), values));
+            summaries.push(MetricSummary::from_samples(key, values));
         } else {
-            dropped.push(name.clone());
+            dropped.push(key);
         }
     }
-    // Names that never appeared in replication 0 are incomplete by
-    // construction; record them too (sorted for determinism).
-    let mut stragglers: Vec<String> = samples.keys().map(ToString::to_string).collect();
-    stragglers.sort_unstable();
+    // Keys that never appeared in replication 0 are incomplete by
+    // construction; record them too (sorted by name for determinism —
+    // intern order depends on which experiment ran first in the process).
+    let mut stragglers: Vec<MetricKey> = acc
+        .iter()
+        .zip(&consumed)
+        .filter(|&(_, &c)| !c)
+        .map(|((k, _), _)| *k)
+        .collect();
+    stragglers.sort_unstable_by_key(|k| k.name());
     dropped.extend(stragglers);
     (summaries, dropped)
 }
@@ -88,13 +125,18 @@ pub fn aggregate(results: &[TaskResult]) -> (Vec<MetricSummary>, Vec<String>) {
 /// count or wall-clock — so its rendering is the byte-identical artifact
 /// the determinism tests compare.
 #[must_use]
-pub fn section(id: &str, title: &str, summaries: &[MetricSummary], dropped: &[String]) -> Section {
+pub fn section(
+    id: &str,
+    title: &str,
+    summaries: &[MetricSummary],
+    dropped: &[MetricKey],
+) -> Section {
     let mut t = Table::new([
         "metric", "mean", "p50", "p95", "ci95 ±", "ci95 lo", "ci95 hi",
     ]);
     for s in summaries {
         t.row([
-            s.name.clone(),
+            s.name().to_string(),
             fmt_f64(s.mean),
             fmt_f64(s.p50),
             fmt_f64(s.p95),
@@ -111,10 +153,11 @@ pub fn section(id: &str, title: &str, summaries: &[MetricSummary], dropped: &[St
         ));
     }
     if !dropped.is_empty() {
+        let names: Vec<&str> = dropped.iter().map(|k| k.name()).collect();
         section.note(format!(
             "dropped {} metric(s) not reported by every replication: {}",
             dropped.len(),
-            dropped.join(", ")
+            names.join(", ")
         ));
     }
     section
@@ -123,13 +166,14 @@ pub fn section(id: &str, title: &str, summaries: &[MetricSummary], dropped: &[St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elc_analysis::metrics::intern;
     use std::time::Duration;
 
     fn result(index: u32, metrics: &[(&str, f64)]) -> TaskResult {
         TaskResult {
             index,
             seed: u64::from(index),
-            metrics: metrics.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+            metrics: metrics.iter().map(|&(n, v)| (intern(n), v)).collect(),
             wall: Duration::from_millis(1),
         }
     }
@@ -143,12 +187,27 @@ mod tests {
         assert!(dropped.is_empty());
         assert_eq!(summaries.len(), 1);
         let s = &summaries[0];
-        assert_eq!(s.name, "lat[public]");
+        assert_eq!(s.name(), "lat[public]");
         assert_eq!(s.samples, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(s.mean, 3.0);
         assert_eq!(s.p50, 3.0);
         assert!(s.p95 > 4.0 && s.p95 <= 5.0);
         assert!(s.ci95.contains(3.0));
+    }
+
+    #[test]
+    fn percentiles_match_the_unsorted_helper() {
+        // `sorted_percentile` over the pre-sorted samples must agree with
+        // the sort-per-call `percentile` the summary used to call twice.
+        let results: Vec<TaskResult> = [4.0, 1.0, 3.0, 5.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| result(u32::try_from(i).unwrap(), &[("m", v)]))
+            .collect();
+        let (summaries, _) = aggregate(&results);
+        let s = &summaries[0];
+        assert_eq!(s.p50, elc_analysis::stats::percentile(&s.samples, 0.5));
+        assert_eq!(s.p95, elc_analysis::stats::percentile(&s.samples, 0.95));
     }
 
     #[test]
@@ -159,8 +218,8 @@ mod tests {
         ];
         let (summaries, dropped) = aggregate(&results);
         assert_eq!(summaries.len(), 1);
-        assert_eq!(summaries[0].name, "a");
-        assert_eq!(dropped, vec!["b".to_string()]);
+        assert_eq!(summaries[0].name(), "a");
+        assert_eq!(dropped, vec![intern("b")]);
     }
 
     #[test]
@@ -171,7 +230,7 @@ mod tests {
         ];
         let (summaries, dropped) = aggregate(&results);
         assert_eq!(summaries.len(), 1);
-        assert_eq!(dropped, vec!["late".to_string()]);
+        assert_eq!(dropped, vec![intern("late")]);
     }
 
     #[test]
@@ -199,7 +258,7 @@ mod tests {
             result(1, &[("z", 3.0), ("a", 4.0)]),
         ];
         let (summaries, _) = aggregate(&results);
-        let names: Vec<&str> = summaries.iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = summaries.iter().map(MetricSummary::name).collect();
         assert_eq!(names, vec!["z", "a"], "must preserve table order, not sort");
     }
 }

@@ -59,8 +59,8 @@ pub use progress::Progress;
 pub struct RunOutcome {
     /// Per-metric summaries, in the experiment table's order.
     pub summaries: Vec<MetricSummary>,
-    /// Metric names dropped because not every replication reported them.
-    pub dropped: Vec<String>,
+    /// Metric keys dropped because not every replication reported them.
+    pub dropped: Vec<elc_analysis::metrics::MetricKey>,
     /// Provenance and timing.
     pub manifest: RunManifest,
 }

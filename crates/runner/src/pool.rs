@@ -13,6 +13,8 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use elc_analysis::metrics::MetricSet;
+
 use crate::plan::RunSpec;
 use crate::progress::Progress;
 
@@ -23,8 +25,8 @@ pub struct TaskResult {
     pub index: u32,
     /// The derived seed this replication ran under.
     pub seed: u64,
-    /// Named metrics scraped from the experiment's table.
-    pub metrics: Vec<(String, f64)>,
+    /// Typed metrics emitted by the experiment, in table order.
+    pub metrics: MetricSet,
     /// Wall-clock execution time of this task (non-deterministic; never
     /// feeds the aggregates).
     pub wall: Duration,
@@ -98,11 +100,13 @@ fn execute(spec: &RunSpec, index: u32) -> TaskResult {
     let scenario = spec.scenario_for(index);
     let seed = scenario.seed();
     let start = Instant::now();
-    let run = spec.experiment().run(&scenario);
+    // The metrics-only entry point: the section render (title strings,
+    // notes, row formatting) would be thrown away here, so skip it.
+    let metrics = spec.experiment().run_metrics(&scenario);
     TaskResult {
         index,
         seed,
-        metrics: run.metrics,
+        metrics,
         wall: start.elapsed(),
     }
 }
@@ -125,7 +129,7 @@ mod tests {
     }
 
     #[allow(clippy::type_complexity)]
-    fn strip_wall(results: Vec<TaskResult>) -> Vec<(u32, u64, Vec<(String, f64)>)> {
+    fn strip_wall(results: Vec<TaskResult>) -> Vec<(u32, u64, MetricSet)> {
         results
             .into_iter()
             .map(|r| (r.index, r.seed, r.metrics))

@@ -344,6 +344,63 @@ impl Histogram {
         self.min_max().map(|(_, hi)| hi).unwrap_or(0.0)
     }
 
+    /// Approximate quantiles for several `q`s in **one bucket scan**.
+    ///
+    /// Returns one value per requested quantile, in the order given (the
+    /// `qs` themselves may be in any order). Each result equals what
+    /// [`Histogram::quantile`] returns for that `q`; use this where several
+    /// quantiles of one histogram are read, since `quantile` re-scans all
+    /// buckets per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every `q` is within `[0, 1]`.
+    #[must_use]
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        for &q in qs {
+            assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        }
+        let n = self.count();
+        let mut out = vec![0.0; qs.len()];
+        if n == 0 {
+            return out;
+        }
+        let (lo, hi) = self.min_max().expect("count > 0");
+        // Visit the requested ranks in ascending order so one cumulative
+        // sweep over the buckets answers all of them.
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        let rank_of = |q: f64| ((q * n as f64).ceil() as u64).clamp(1, n);
+        order.sort_by_key(|&i| rank_of(qs[i]));
+        let mut pending = order.into_iter().peekable();
+
+        while let Some(&i) = pending.peek() {
+            if rank_of(qs[i]) <= self.zero_count {
+                // out[i] is already 0.0, matching `quantile`.
+                pending.next();
+            } else {
+                break;
+            }
+        }
+        let mut seen = self.zero_count;
+        'buckets: for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            while let Some(&i) = pending.peek() {
+                if seen >= rank_of(qs[i]) {
+                    out[i] = Self::value_of(b).clamp(lo, hi);
+                    pending.next();
+                } else {
+                    continue 'buckets;
+                }
+            }
+            break;
+        }
+        // Ranks past the last bucket fall back to the exact maximum.
+        for i in pending {
+            out[i] = hi;
+        }
+        out
+    }
+
     /// Convenience: the median.
     #[must_use]
     pub fn p50(&self) -> f64 {
@@ -383,14 +440,15 @@ impl fmt::Display for Histogram {
         if self.count() == 0 {
             write!(f, "empty histogram")
         } else {
+            let qs = self.quantiles(&[0.50, 0.95, 0.99]);
             write!(
                 f,
                 "n={} mean={:.4} p50={:.4} p95={:.4} p99={:.4}",
                 self.count(),
                 self.mean(),
-                self.p50(),
-                self.p95(),
-                self.p99()
+                qs[0],
+                qs[1],
+                qs[2]
             )
         }
     }
@@ -485,6 +543,32 @@ mod tests {
             let rel = (got - expect).abs() / expect;
             assert!(rel < 0.05, "q={q}: got {got}, want ~{expect}");
         }
+    }
+
+    #[test]
+    fn histogram_quantiles_single_pass_matches_quantile() {
+        // Mixed zeros, duplicates, wide dynamic range — and unordered qs.
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(0.0);
+        }
+        for i in 1..=1_000 {
+            h.record(f64::from(i) * 0.25);
+        }
+        h.record(1e9);
+        let qs = [0.99, 0.0, 0.5, 1.0, 0.95, 0.001];
+        let batch = h.quantiles(&qs);
+        for (&q, &got) in qs.iter().zip(&batch) {
+            assert_eq!(got, h.quantile(q), "q={q}");
+        }
+        // Empty histogram: all zeros, like `quantile`.
+        assert_eq!(Histogram::new().quantiles(&qs), vec![0.0; qs.len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn histogram_quantiles_rejects_bad_q() {
+        let _ = Histogram::new().quantiles(&[0.5, 1.5]);
     }
 
     #[test]

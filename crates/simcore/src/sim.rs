@@ -1,9 +1,13 @@
 //! The simulation executive.
 //!
 //! [`Simulation<S>`] owns the model state `S`, the virtual clock, the
-//! pending-event set and the root RNG. Events are boxed `FnOnce` closures
-//! that receive `&mut Simulation<S>`, so a handler can read the clock, mutate
-//! state, draw randomness and schedule further events.
+//! pending-event set (a slab-backed arena, see [`crate::queue`]) and the
+//! root RNG. Events are boxed `FnOnce` closures that receive
+//! `&mut Simulation<S>`, so a handler can read the clock, mutate state, draw
+//! randomness and schedule further events. Boxing a zero-sized handler — a
+//! fn item or a capture-less closure, the common case in the deployment
+//! models — does not allocate, so with the arena reusing its slots the
+//! steady-state event loop is allocation-free.
 //!
 //! The executive is single-threaded by design: determinism is a hard
 //! requirement (see DESIGN.md §4) and the models in this project are far from
@@ -147,6 +151,27 @@ impl<S> Simulation<S> {
             time
         );
         self.queue.push(time, Box::new(handler))
+    }
+
+    /// Schedules one run of `handler` at each offset in `offsets`, relative
+    /// to the current clock.
+    ///
+    /// The batch entry point for bursty arrival models (e.g.
+    /// `elc-elearn`'s workload sampling a whole slot of Poisson arrivals at
+    /// once): the pending-event set reserves space for the entire batch up
+    /// front, and with a zero-sized `handler` the per-event clone-and-box is
+    /// allocation-free. Events fire in offset order; equal offsets keep the
+    /// slice's FIFO order.
+    pub fn schedule_batch<F>(&mut self, offsets: &[SimDuration], handler: F)
+    where
+        F: Fn(&mut Simulation<S>) + Clone + 'static,
+    {
+        let now = self.now;
+        self.queue.push_batch(
+            offsets
+                .iter()
+                .map(|&delay| (now + delay, Box::new(handler.clone()) as EventFn<S>)),
+        );
     }
 
     /// Schedules `handler` to run every `interval`, starting after `start`.
@@ -344,6 +369,24 @@ mod tests {
         assert!(sim.cancel(id));
         sim.run();
         assert_eq!(*sim.state(), 10);
+    }
+
+    #[test]
+    fn schedule_batch_fires_in_offset_order() {
+        let mut sim = Simulation::new(1, Vec::<u64>::new());
+        sim.run_for(SimDuration::from_secs(100)); // batch offsets are relative to "now"
+        let offsets = [
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+        ];
+        sim.schedule_batch(&offsets, |s| {
+            let t = s.now().as_nanos() / 1_000_000_000;
+            s.state_mut().push(t);
+        });
+        assert_eq!(sim.pending(), 3);
+        sim.run();
+        assert_eq!(*sim.state(), vec![101, 102, 103]);
     }
 
     #[test]

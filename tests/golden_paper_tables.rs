@@ -1,0 +1,69 @@
+//! Golden-output pin for the paper reproduction.
+//!
+//! `tests/golden/paper_tables_seed42_<scenario>.txt` holds the full report
+//! (E1–E15 and T1) rendered at seed 42 — the same text `paper-tables
+//! --seed 42` prints per scenario. The typed-metric refactor moved every
+//! experiment
+//! from hand-built tables to `MetricTable`, and this test is the proof the
+//! rendered output did not move by a byte. If an intentional table change
+//! lands, regenerate the files with:
+//!
+//! ```sh
+//! cargo test --test golden_paper_tables -- --ignored regenerate
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use elc_core::experiments::run_all;
+use elc_core::scenario::Scenario;
+
+const SEED: u64 = 42;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::small_college(SEED),
+        Scenario::rural_learners(SEED),
+        Scenario::university(SEED),
+        Scenario::national_platform(SEED),
+    ]
+}
+
+fn golden_path(scenario: &Scenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("paper_tables_seed{SEED}_{}.txt", scenario.name()))
+}
+
+fn render(scenario: &Scenario) -> String {
+    run_all(scenario).report().to_string()
+}
+
+#[test]
+fn report_is_byte_identical_to_the_golden_capture() {
+    for scenario in scenarios() {
+        let path = golden_path(&scenario);
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let actual = render(&scenario);
+        assert_eq!(
+            actual,
+            expected,
+            "report for scenario {} (seed {SEED}) drifted from {}",
+            scenario.name(),
+            path.display()
+        );
+    }
+}
+
+/// Rewrites the golden files from the current implementation. Run
+/// explicitly (`--ignored regenerate`) after an intentional output change.
+#[test]
+#[ignore = "regenerates the golden files instead of checking them"]
+fn regenerate() {
+    for scenario in scenarios() {
+        let path = golden_path(&scenario);
+        fs::write(&path, render(&scenario))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+}
