@@ -219,8 +219,7 @@ impl Cell {
 /// The first column is the row key; it never yields metrics (matching the
 /// legacy scraper, which skipped column 0). Every other cell that parses
 /// numerically becomes a metric named `column[row-key]`, with `#2`, `#3`…
-/// suffixes on repeated names — byte-compatible with
-/// `ExperimentRun::from_section`.
+/// suffixes on repeated names.
 ///
 /// # Examples
 ///

@@ -9,6 +9,10 @@
 //! cargo run --release -p elc-bench --bin paper-tables -- --seed 7
 //! # or a single scenario instead of all four:
 //! cargo run --release -p elc-bench --bin paper-tables -- --scenario university
+//! # list the experiments the report covers:
+//! cargo run --release -p elc-bench --bin paper-tables -- --list
+//! # additionally record a sim-time trace of every run:
+//! cargo run --release -p elc-bench --bin paper-tables -- --trace tables.jsonl
 //! ```
 //!
 //! With no arguments the output is unchanged from the original harness:
@@ -21,49 +25,51 @@ use std::process::exit;
 use elc_analysis::plot::line_chart;
 use elc_bench::{harness_scenarios, HARNESS_SEED};
 use elc_core::advisor::advise;
+use elc_core::cli_args::{
+    experiment_list, flag, parse_or, split_args, unknown_scenario, TraceOptions,
+};
 use elc_core::experiments::run_all;
 use elc_core::requirements::Requirements;
 
-/// Parsed command line: a seed and an optional scenario-name filter.
+/// Parsed command line: a seed, an optional scenario-name filter, and
+/// optional tracing.
 struct Args {
     seed: u64,
     scenario: Option<String>,
+    trace: Option<TraceOptions>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        seed: HARNESS_SEED,
-        scenario: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seed" => {
-                let v = it.next().ok_or("--seed expects a value")?;
-                args.seed = v
-                    .parse()
-                    .map_err(|_| format!("--seed must be a u64, got {v:?}"))?;
-            }
-            "--scenario" => {
-                args.scenario = Some(it.next().ok_or("--scenario expects a name")?);
-            }
-            other => {
-                // Back-compat: a bare positional argument is the seed.
-                args.seed = other.parse().map_err(|_| {
-                    format!("expected --seed/--scenario or a numeric seed, got {other:?}")
-                })?;
-            }
-        }
+fn parse_args() -> Result<Option<Args>, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flags) = split_args(&argv);
+    if flag(&flags, "list").is_some() {
+        print!("{}", experiment_list());
+        return Ok(None);
     }
-    Ok(args)
+    let mut seed = parse_or(&flags, "seed", HARNESS_SEED)?;
+    // Back-compat: a bare positional argument is the seed.
+    if let Some(p) = positional.first() {
+        seed = p
+            .parse()
+            .map_err(|_| format!("expected --seed/--scenario or a numeric seed, got {p:?}"))?;
+    }
+    Ok(Some(Args {
+        seed,
+        scenario: flag(&flags, "scenario").map(ToString::to_string),
+        trace: TraceOptions::from_flags(&flags)?,
+    }))
 }
 
 fn main() {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Some(a)) => a,
+        Ok(None) => return,
         Err(e) => {
             eprintln!("{e}");
-            eprintln!("usage: paper-tables [SEED] [--seed N] [--scenario NAME]");
+            eprintln!(
+                "usage: paper-tables [SEED] [--seed N] [--scenario NAME] [--list] \
+                 [--trace PATH.jsonl] [--trace-filter SPEC]"
+            );
             exit(2);
         }
     };
@@ -73,12 +79,20 @@ fn main() {
         .filter(|s| args.scenario.as_deref().is_none_or(|want| s.name() == want))
         .collect();
     if scenarios.is_empty() {
-        eprintln!(
-            "unknown scenario {:?}; known: small-college | rural-learners | university | national-platform",
-            args.scenario.unwrap_or_default()
-        );
+        eprintln!("{}", unknown_scenario(&args.scenario.unwrap_or_default()));
         exit(2);
     }
+
+    let mut trace_out = match &args.trace {
+        None => None,
+        Some(opts) => match fs::File::create(&opts.path) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("cannot create trace {}: {e}", opts.path.display());
+                exit(2);
+            }
+        },
+    };
 
     let out_root = PathBuf::from("results");
     for scenario in scenarios {
@@ -91,7 +105,22 @@ fn main() {
         );
         println!("########################################################\n");
 
-        let outputs = run_all(&scenario);
+        let outputs = match &args.trace {
+            None => run_all(&scenario),
+            Some(opts) => {
+                let (outputs, tracer) =
+                    elc_trace::with_tracer(elc_trace::Tracer::new(opts.filter.clone()), || {
+                        run_all(&scenario)
+                    });
+                if let Some(out) = trace_out.as_mut() {
+                    let labels = [("scenario", scenario.name())];
+                    if let Err(e) = elc_trace::export::write_jsonl(out, &tracer, &labels) {
+                        eprintln!("warning: cannot write trace: {e}");
+                    }
+                }
+                outputs
+            }
+        };
         let report = outputs.report();
         println!("{report}\n");
 
@@ -155,5 +184,14 @@ fn main() {
             eprintln!("warning: cannot write {}: {e}", report_path.display());
         }
         println!("csv written to {}\n", dir.display());
+    }
+
+    if let (Some(opts), Some(mut out)) = (&args.trace, trace_out.take()) {
+        use std::io::Write as _;
+        if let Err(e) = out.flush() {
+            eprintln!("warning: cannot flush trace {}: {e}", opts.path.display());
+        } else {
+            println!("trace written to {}", opts.path.display());
+        }
     }
 }

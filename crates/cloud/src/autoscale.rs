@@ -8,6 +8,9 @@
 //! argument implies (a fixed on-premise fleet).
 
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
+
+use crate::TRACE_TARGET;
 
 /// A capacity decision at one control tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +100,25 @@ impl AutoScaler {
         };
         if decision != ScaleDecision::Hold {
             self.last_action_at = Some(now);
+        }
+        if elc_trace::enabled(TRACE_TARGET, Level::Info) {
+            let action = match decision {
+                ScaleDecision::ScaleUp(_) => "up",
+                ScaleDecision::ScaleDown(_) => "down",
+                ScaleDecision::Hold => "hold",
+            };
+            elc_trace::instant(
+                now.as_nanos(),
+                TRACE_TARGET,
+                "autoscale.decide",
+                Level::Info,
+                &[
+                    Field::f64("load_rps", load_rps),
+                    Field::u64("current", u64::from(current)),
+                    Field::u64("target", u64::from(desired)),
+                    Field::str("action", action),
+                ],
+            );
         }
         decision
     }

@@ -10,6 +10,9 @@ use std::fmt;
 
 use elc_simcore::id::IdGen;
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
+
+use crate::TRACE_TARGET;
 
 use crate::host::Host;
 use crate::placement::PlacementPolicy;
@@ -136,6 +139,27 @@ impl Datacenter {
         self.hosts[host_id.index()].place(vm_id, demand);
         self.vms
             .insert(vm_id, Vm::new(vm_id, size, host_id, now, ready_at));
+        if elc_trace::enabled(TRACE_TARGET, Level::Info) {
+            let span = elc_trace::span_begin(
+                now.as_nanos(),
+                TRACE_TARGET,
+                "vm.boot",
+                Level::Info,
+                &[
+                    Field::u64("vm", vm_id.index() as u64),
+                    Field::u64("host", host_id.index() as u64),
+                    Field::str("size", size.to_string()),
+                ],
+            );
+            elc_trace::span_end(
+                ready_at.as_nanos(),
+                TRACE_TARGET,
+                "vm.boot",
+                Level::Info,
+                span,
+                &[Field::duration_ns("boot", self.boot_delay.as_nanos())],
+            );
+        }
         Ok((vm_id, ready_at))
     }
 
@@ -153,6 +177,18 @@ impl Datacenter {
         let host = vm.host();
         let demand = vm.size().resources();
         self.hosts[host.index()].release(vm_id, demand);
+        if elc_trace::enabled(TRACE_TARGET, Level::Info) {
+            elc_trace::instant(
+                now.as_nanos(),
+                TRACE_TARGET,
+                "vm.stop",
+                Level::Info,
+                &[
+                    Field::u64("vm", vm_id.index() as u64),
+                    Field::u64("host", host.index() as u64),
+                ],
+            );
+        }
     }
 
     /// Kills a host; every VM on it transitions to `Failed`.
@@ -169,6 +205,18 @@ impl Datacenter {
                 .get_mut(&v)
                 .expect("host referenced a tracked VM")
                 .fail(now);
+        }
+        if elc_trace::enabled(TRACE_TARGET, Level::Warn) {
+            elc_trace::instant(
+                now.as_nanos(),
+                TRACE_TARGET,
+                "host.fail",
+                Level::Warn,
+                &[
+                    Field::u64("host", host_id.index() as u64),
+                    Field::u64("victims", victims.len() as u64),
+                ],
+            );
         }
         victims
     }
@@ -241,6 +289,18 @@ impl Datacenter {
             let ready_at = now + self.boot_delay;
             let vm = self.vms.get_mut(&vm_id).expect("victim is tracked");
             *vm = Vm::new(vm_id, size, target, vm.launched_at(), ready_at);
+        }
+        if elc_trace::enabled(TRACE_TARGET, Level::Info) {
+            elc_trace::instant(
+                now.as_nanos(),
+                TRACE_TARGET,
+                "host.drain",
+                Level::Info,
+                &[
+                    Field::u64("host", host_id.index() as u64),
+                    Field::u64("moved", victims.len() as u64),
+                ],
+            );
         }
         Ok(victims)
     }

@@ -9,6 +9,9 @@
 use elc_simcore::dist::{Distribution, Exp};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
+
+use crate::TRACE_TARGET;
 
 /// Seconds per (365-day) year, the unit hazard rates are quoted in.
 pub const SECONDS_PER_YEAR: f64 = 365.0 * 86_400.0;
@@ -107,7 +110,19 @@ impl FailureModel {
     /// Samples the times of site disasters over `[0, horizon)`.
     #[must_use]
     pub fn sample_disasters(&self, rng: &mut SimRng, horizon: SimTime) -> Vec<SimTime> {
-        sample_poisson_times(rng, self.site_disasters_per_year, horizon)
+        let times = sample_poisson_times(rng, self.site_disasters_per_year, horizon);
+        if elc_trace::enabled(TRACE_TARGET, Level::Warn) {
+            for &t in &times {
+                elc_trace::instant(
+                    t.as_nanos(),
+                    TRACE_TARGET,
+                    "site.disaster",
+                    Level::Warn,
+                    &[Field::f64("rate_per_year", self.site_disasters_per_year)],
+                );
+            }
+        }
+        times
     }
 
     /// Samples host-crash times for a fleet of `hosts` over `[0, horizon)`,
@@ -127,6 +142,17 @@ impl FailureModel {
             }
         }
         events.sort_unstable();
+        if elc_trace::enabled(TRACE_TARGET, Level::Warn) {
+            for &(t, h) in &events {
+                elc_trace::instant(
+                    t.as_nanos(),
+                    TRACE_TARGET,
+                    "host.crash",
+                    Level::Warn,
+                    &[Field::u64("host", h as u64)],
+                );
+            }
+        }
         events
     }
 }
@@ -237,6 +263,40 @@ mod tests {
             m.sample_host_failures(&mut a, 4, years(3.0)),
             m.sample_host_failures(&mut b, 4, years(3.0))
         );
+    }
+
+    #[test]
+    fn host_failure_sampling_is_stable_under_derive() {
+        let m = FailureModel::server_room_grade();
+        let horizon = years(3.0);
+        let a = m.sample_host_failures(&mut SimRng::seed(7).derive("failures"), 6, horizon);
+        let b = m.sample_host_failures(&mut SimRng::seed(7).derive("failures"), 6, horizon);
+        assert_eq!(a, b, "identical lineage must sample identical timelines");
+
+        // Derivation is position-independent: draining draws from the parent
+        // before deriving must not shift the failure stream.
+        let mut parent = SimRng::seed(7);
+        let _ = parent.next_u64();
+        let _ = parent.next_u64();
+        let c = m.sample_host_failures(&mut parent.derive("failures"), 6, horizon);
+        assert_eq!(a, c);
+
+        // A sibling label is an independent stream.
+        let d = m.sample_host_failures(&mut SimRng::seed(7).derive("repairs"), 6, horizon);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn per_host_streams_are_independent_of_fleet_size() {
+        // Host h's timeline comes from `rng.derive_u64(h)`, so growing the
+        // fleet must not disturb the failures of existing hosts.
+        let m = FailureModel::server_room_grade();
+        let horizon = years(5.0);
+        let small = m.sample_host_failures(&mut SimRng::seed(11).derive("f"), 4, horizon);
+        let large = m.sample_host_failures(&mut SimRng::seed(11).derive("f"), 8, horizon);
+        let large_first_four: Vec<(SimTime, usize)> =
+            large.iter().copied().filter(|&(_, h)| h < 4).collect();
+        assert_eq!(small, large_first_four);
     }
 
     #[test]

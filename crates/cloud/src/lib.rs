@@ -33,6 +33,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Trace target every `elc-cloud` event is recorded under.
+pub(crate) const TRACE_TARGET: &str = "cloud";
+
 pub mod autoscale;
 pub mod billing;
 pub mod datacenter;

@@ -1,0 +1,284 @@
+//! Shared command-line vocabulary for the suite's front ends.
+//!
+//! `elc`, `elc-run` and `paper-tables` grew three private copies of the
+//! same argument plumbing — flag splitting, scenario lookup, experiment
+//! listings — and their spellings had started to drift (different
+//! "unknown scenario" wording, different `--flag value` edge cases). This
+//! module is the single copy: every binary parses with [`split_args`],
+//! resolves presets with [`scenario_by_name`], prints
+//! [`experiment_list`]/[`scenario_list`] and reports failures with
+//! [`unknown_experiment`]/[`unknown_scenario`], so the tools answer
+//! identically everywhere.
+//!
+//! Tracing flags are shared too: [`TraceOptions::from_flags`] understands
+//! `--trace <path>` and `--trace-filter <spec>` for any binary that can
+//! write a JSONL trace.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use elc_trace::TraceFilter;
+
+use crate::experiments::registry;
+use crate::scenario::Scenario;
+
+/// The scenario preset names, in listing order.
+pub const SCENARIO_NAMES: [&str; 4] = [
+    "small-college",
+    "rural-learners",
+    "university",
+    "national-platform",
+];
+
+/// The scenario line every usage string embeds.
+pub const SCENARIO_USAGE: &str =
+    "scenarios: small-college | rural-learners | university | national-platform";
+
+/// Splits an argument list into positional arguments and `--flag [value]`
+/// pairs.
+///
+/// A flag's value is the next token *iff* that token does not itself start
+/// with `--`; boolean flags (`--quiet`, `--list`) therefore get an empty
+/// value and never swallow the flag after them.
+#[must_use]
+pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => String::new(),
+            };
+            flags.push((name.to_string(), value));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+/// Looks a flag's value up by name (empty string for boolean flags).
+#[must_use]
+pub fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parses `--name`'s value, falling back to `default` when absent.
+///
+/// # Errors
+///
+/// Returns the uniform "expects a number" message when the value does not
+/// parse.
+pub fn parse_or<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+/// Resolves a scenario preset by name, under `seed`.
+#[must_use]
+pub fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
+    Some(match name {
+        "small-college" => Scenario::small_college(seed),
+        "rural-learners" => Scenario::rural_learners(seed),
+        "university" => Scenario::university(seed),
+        "national-platform" => Scenario::national_platform(seed),
+        _ => return None,
+    })
+}
+
+/// The uniform "unknown scenario" diagnostic.
+#[must_use]
+pub fn unknown_scenario(name: &str) -> String {
+    format!("unknown scenario {name:?}; known: small-college | rural-learners | university | national-platform")
+}
+
+/// The uniform "unknown experiment" diagnostic.
+#[must_use]
+pub fn unknown_experiment(id: &str) -> String {
+    format!("unknown experiment {id:?} (e1..e15, t1; try --list)")
+}
+
+/// The experiment registry rendered one `id  name` line at a time — the
+/// body of every `--list`/`experiments` output.
+#[must_use]
+pub fn experiment_list() -> String {
+    let mut out = String::new();
+    for e in registry() {
+        let _ = writeln!(out, "{:<4} {}", e.id(), e.name());
+    }
+    out
+}
+
+/// The scenario presets rendered one line at a time, under `seed`.
+#[must_use]
+pub fn scenario_list(seed: u64) -> String {
+    let mut out = String::new();
+    for name in SCENARIO_NAMES {
+        let s = scenario_by_name(name, seed).expect("preset exists");
+        let _ = writeln!(
+            out,
+            "{name:<18} {:>7} students, link {}, availability {:.3}%",
+            s.students(),
+            s.link(),
+            s.outages().availability() * 100.0
+        );
+    }
+    out
+}
+
+/// Parsed `--trace`/`--trace-filter` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// Where the JSONL trace goes.
+    pub path: PathBuf,
+    /// What gets recorded (default: everything up to debug).
+    pub filter: TraceFilter,
+}
+
+impl TraceOptions {
+    /// Extracts the tracing options, if tracing was requested.
+    ///
+    /// `--trace <path>` turns tracing on; `--trace-filter <spec>` (e.g.
+    /// `info` or `warn,cloud=trace,net=off`) narrows what is recorded and
+    /// is only meaningful together with `--trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `--trace` has no path, the filter spec does
+    /// not parse, or `--trace-filter` appears without `--trace`.
+    pub fn from_flags(flags: &[(String, String)]) -> Result<Option<TraceOptions>, String> {
+        let path = flag(flags, "trace");
+        let filter = flag(flags, "trace-filter");
+        match (path, filter) {
+            (None, None) => Ok(None),
+            (None, Some(_)) => Err("--trace-filter requires --trace <path>".to_string()),
+            (Some(""), _) => Err("--trace expects a file path".to_string()),
+            (Some(p), spec) => {
+                let filter = match spec {
+                    None => TraceFilter::default(),
+                    Some(s) => s.parse().map_err(|e| format!("--trace-filter: {e}"))?,
+                };
+                Ok(Some(TraceOptions {
+                    path: PathBuf::from(p),
+                    filter,
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elc_trace::Level;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn split_separates_positionals_and_flags() {
+        let (pos, flags) = split_args(&args(&["e9", "--seed", "7", "university", "--quiet"]));
+        assert_eq!(pos, vec!["e9", "university"]);
+        assert_eq!(flag(&flags, "seed"), Some("7"));
+        assert_eq!(flag(&flags, "quiet"), Some(""));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_the_next_flag() {
+        let (_, flags) = split_args(&args(&["--quiet", "--seed", "7"]));
+        assert_eq!(flag(&flags, "quiet"), Some(""));
+        assert_eq!(flag(&flags, "seed"), Some("7"));
+    }
+
+    #[test]
+    fn parse_or_defaults_and_diagnoses() {
+        let (_, flags) = split_args(&args(&["--seed", "banana"]));
+        assert_eq!(parse_or(&flags, "threads", 4usize), Ok(4));
+        let err = parse_or(&flags, "seed", 0u64).unwrap_err();
+        assert!(err.contains("--seed expects a number"), "{err}");
+    }
+
+    #[test]
+    fn every_preset_resolves_and_nothing_else() {
+        for name in SCENARIO_NAMES {
+            let s = scenario_by_name(name, 5).expect(name);
+            assert_eq!(s.name(), name);
+            assert_eq!(s.seed(), 5);
+        }
+        assert!(scenario_by_name("atlantis-academy", 5).is_none());
+    }
+
+    #[test]
+    fn listings_cover_registry_and_presets() {
+        let e = experiment_list();
+        for id in ["e01", "e15", "t1"] {
+            assert!(e.contains(id), "missing {id} in {e}");
+        }
+        let s = scenario_list(1);
+        for name in SCENARIO_NAMES {
+            assert!(s.contains(name), "missing {name} in {s}");
+        }
+    }
+
+    #[test]
+    fn diagnostics_share_one_spelling() {
+        assert!(unknown_scenario("x").starts_with("unknown scenario \"x\""));
+        assert!(unknown_experiment("e99").starts_with("unknown experiment \"e99\""));
+    }
+
+    #[test]
+    fn trace_options_parse() {
+        let (_, flags) = split_args(&args(&["--trace", "run.jsonl"]));
+        let opts = TraceOptions::from_flags(&flags).unwrap().unwrap();
+        assert_eq!(opts.path, PathBuf::from("run.jsonl"));
+        assert_eq!(opts.filter, TraceFilter::default());
+
+        let (_, flags) = split_args(&args(&[
+            "--trace",
+            "t.jsonl",
+            "--trace-filter",
+            "warn,cloud=trace",
+        ]));
+        let opts = TraceOptions::from_flags(&flags).unwrap().unwrap();
+        assert_eq!(
+            opts.filter.level_for("cloud"),
+            elc_trace::LevelFilter::at(Level::Trace)
+        );
+
+        let (_, flags) = split_args(&args(&["--seed", "1"]));
+        assert_eq!(TraceOptions::from_flags(&flags), Ok(None));
+    }
+
+    #[test]
+    fn trace_options_diagnose_misuse() {
+        let (_, flags) = split_args(&args(&["--trace-filter", "info"]));
+        assert!(TraceOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("requires --trace"));
+
+        let (_, flags) = split_args(&args(&["--trace"]));
+        assert!(TraceOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("expects a file path"));
+
+        let (_, flags) = split_args(&args(&["--trace", "t.jsonl", "--trace-filter", "nope"]));
+        assert!(TraceOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("--trace-filter"));
+    }
+}

@@ -7,8 +7,18 @@
 
 use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
+use elc_cloud::placement::FirstFit;
+use elc_cloud::resources::VmSize;
+use elc_cloud::Datacenter;
 use elc_deploy::model::{Deployment, DeploymentKind};
 use elc_deploy::provisioning::{schedule, ProvisioningSchedule};
+use elc_elearn::request::{RequestKind, RequestLifecycle};
+use elc_net::transfer::{plan_transfer, ResumePolicy};
+use elc_net::units::Bytes;
+use elc_net::Link;
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+use elc_simcore::Simulation;
 
 use crate::scenario::Scenario;
 
@@ -28,11 +38,16 @@ pub struct Output {
     pub rows: Vec<ProvisionRow>,
 }
 
-/// Computes the three schedules (closed-form; the scenario only names the
-/// report).
+/// Computes the three schedules (closed-form; the scenario names the
+/// report and seeds the trace rehearsal).
+///
+/// When a tracer is installed the first day of service is additionally
+/// re-enacted inside a small simulation so the trace shows the kernel,
+/// cloud, network and e-learning layers end to end; the metrics are
+/// closed-form and identical with tracing on or off.
 #[must_use]
-pub fn run(_scenario: &Scenario) -> Output {
-    Output {
+pub fn run(scenario: &Scenario) -> Output {
+    let out = Output {
         rows: DeploymentKind::ALL
             .iter()
             .map(|&kind| ProvisionRow {
@@ -40,6 +55,69 @@ pub fn run(_scenario: &Scenario) -> Output {
                 schedule: schedule(&Deployment::canonical(kind)),
             })
             .collect(),
+    };
+    if elc_trace::installed() {
+        trace_rehearsal(scenario, &out);
+    }
+    out
+}
+
+/// Replays each model's go-live moment for the installed tracer: boot two
+/// web VMs the instant the platform is ready, sync the course-content seed
+/// over the campus link through that week's outage windows, then serve one
+/// request of every class. Trace-only — touches no metric.
+fn trace_rehearsal(scenario: &Scenario, out: &Output) {
+    let root = SimRng::seed(scenario.seed()).derive("e09-trace");
+    let link = Link::from_profile(scenario.link());
+    for row in &out.rows {
+        let label = row.kind.to_string();
+        let rng = root.derive(&label);
+        let go_live = SimTime::ZERO + row.schedule.time_to_service();
+
+        // simcore + cloud: a provisioning event at go-live, plus one
+        // cancelled contingency event, on a two-host datacenter.
+        let mut dc = Datacenter::new(format!("{label}-dc"), FirstFit, SimDuration::from_secs(90));
+        dc.add_hosts(2, VmSize::XLarge.resources());
+        let mut sim_rng = rng.derive("sim");
+        let mut sim = Simulation::new(sim_rng.next_u64(), dc);
+        sim.schedule_at(go_live, |sim| {
+            let now = sim.now();
+            for _ in 0..2 {
+                let _ = sim.state_mut().provision(VmSize::Medium, now);
+            }
+        });
+        let contingency = sim.schedule_at(go_live + SimDuration::from_hours(1), |_| {});
+        sim.cancel(contingency);
+        sim.run();
+
+        // net: that week's outage windows, then the content-seed sync.
+        let mut net_rng = rng.derive("outages");
+        let horizon = go_live + SimDuration::from_hours(24 * 7);
+        let outages = scenario.outages().schedule(&mut net_rng, horizon);
+        let _ = plan_transfer(
+            go_live,
+            Bytes::from_mib(512),
+            &link,
+            &outages,
+            ResumePolicy::Resumable,
+        );
+
+        // elearn: one request of each class once the platform serves.
+        let mut req_rng = rng.derive("requests");
+        let mut arrival = go_live;
+        for kind in RequestKind::ALL {
+            let queue_wait = SimDuration::from_nanos(req_rng.range_u64(0, 5_000_000));
+            let service =
+                SimDuration::from_nanos((kind.service_weight() * 2_000_000.0).round() as u64);
+            RequestLifecycle {
+                kind,
+                arrival,
+                queue_wait,
+                service,
+            }
+            .emit();
+            arrival += SimDuration::from_secs(1);
+        }
     }
 }
 
@@ -128,5 +206,38 @@ mod tests {
         let s = output().section();
         assert_eq!(s.id(), "E9");
         assert_eq!(s.table().len(), 3);
+    }
+
+    #[test]
+    fn rehearsal_traces_all_four_layers_without_moving_metrics() {
+        let scenario = Scenario::small_college(42);
+        let baseline = run(&scenario);
+        let (traced, tracer) = elc_trace::with_tracer(
+            elc_trace::Tracer::new(elc_trace::TraceFilter::default()),
+            || run(&scenario),
+        );
+        assert_eq!(traced, baseline, "tracing must not move the output");
+        assert_eq!(traced.metrics(), baseline.metrics());
+        let targets: Vec<&str> = tracer.summary().iter().map(|s| s.target).collect();
+        for want in ["cloud", "elearn", "net", "simcore"] {
+            assert!(
+                targets.contains(&want),
+                "missing target {want:?} in {targets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rehearsal_is_deterministic_in_the_seed() {
+        let scenario = Scenario::small_college(42);
+        let trace_of = |s: &Scenario| {
+            let (_, tracer) = elc_trace::with_tracer(
+                elc_trace::Tracer::new(elc_trace::TraceFilter::default()),
+                || run(s),
+            );
+            elc_trace::export::jsonl_string(&tracer, &[])
+        };
+        assert_eq!(trace_of(&scenario), trace_of(&scenario));
+        assert_ne!(trace_of(&scenario), trace_of(&Scenario::small_college(43)));
     }
 }

@@ -11,12 +11,11 @@
 //! experiment — no string scraping on the hot path. The interned metric
 //! names are `column[row-key]`, so `E9`'s `days` column for the `public`
 //! row becomes `days[public]` — stable across seeds, which is what lets a
-//! replication engine aggregate the same metric over many runs. The old
-//! scrape-the-rendered-table path survives as the
-//! [`ExperimentRun::from_section`] compatibility shim, pinned to agree
-//! with the typed path on every metric of every experiment.
+//! replication engine aggregate the same metric over many runs. The typed
+//! path is the *only* metric source; the golden tests below pin its names
+//! and values directly instead of cross-checking a table scrape.
 
-use elc_analysis::metrics::{intern, MetricSet};
+use elc_analysis::metrics::MetricSet;
 use elc_analysis::report::Section;
 
 pub use elc_analysis::metrics::parse_numeric_cell;
@@ -30,40 +29,6 @@ pub struct ExperimentRun {
     pub section: Section,
     /// Typed numeric metrics, in table order.
     pub metrics: MetricSet,
-}
-
-impl ExperimentRun {
-    /// Compatibility shim: wraps a section, scraping every numeric table
-    /// cell into a metric.
-    ///
-    /// Experiments now emit typed metrics directly (see
-    /// [`elc_analysis::metrics::MetricTable`]); this path re-derives them
-    /// from the rendered strings, exactly as PR 1 did, and exists so the
-    /// two pipelines can be pinned against each other.
-    #[must_use]
-    pub fn from_section(section: Section) -> Self {
-        let mut metrics = MetricSet::new();
-        let mut seen = std::collections::HashMap::new();
-        let table = section.table();
-        let headers = table.headers();
-        for row in 0..table.len() {
-            let key = table.cell(row, 0).unwrap_or("");
-            for (col, header) in headers.iter().enumerate().skip(1) {
-                let Some(cell) = table.cell(row, col) else {
-                    continue;
-                };
-                let Some(value) = parse_numeric_cell(cell) else {
-                    continue;
-                };
-                let base = format!("{header}[{key}]");
-                let n = seen.entry(base.clone()).or_insert(0u32);
-                *n += 1;
-                let name = if *n == 1 { base } else { format!("{base}#{n}") };
-                metrics.push(intern(&name), value);
-            }
-        }
-        ExperimentRun { section, metrics }
-    }
 }
 
 /// A uniformly invokable experiment.
@@ -225,22 +190,13 @@ mod tests {
         }
     }
 
-    /// The non-negotiable invariant of the typed pipeline: for every
-    /// experiment, the directly emitted metrics equal what scraping the
-    /// rendered table produces (same names, same order, same values), and
-    /// the metrics-only fast path equals the full run.
+    /// The non-negotiable invariant of the typed pipeline: the
+    /// metrics-only fast path equals the full run, for every experiment.
     #[test]
-    fn typed_metrics_agree_with_section_scrape_everywhere() {
+    fn run_metrics_fast_path_agrees_with_run_everywhere() {
         let scenario = Scenario::small_college(42);
         for e in registry() {
             let run = e.run(&scenario);
-            let scraped = ExperimentRun::from_section(run.section.clone());
-            assert_eq!(
-                run.metrics.to_named_vec(),
-                scraped.metrics.to_named_vec(),
-                "{}: typed and scraped metrics diverge",
-                e.id()
-            );
             assert_eq!(
                 e.run_metrics(&scenario),
                 run.metrics,
@@ -248,6 +204,29 @@ mod tests {
                 e.id()
             );
         }
+    }
+
+    /// Golden pin of the typed path itself: E9's metric names follow the
+    /// `column[row-key]` convention and its values at seed 42 are exactly
+    /// the committed ones. If this moves, the paper tables move.
+    #[test]
+    fn e09_typed_metrics_are_pinned_at_seed_42() {
+        let run = find("e09").unwrap().run(&Scenario::small_college(42));
+        let expected = vec![
+            ("acquisition (days)[public]".to_string(), 0.167),
+            ("installation (days)[public]".to_string(), 2.0),
+            ("integration (days)[public]".to_string(), 0.0),
+            ("time to service (days)[public]".to_string(), 2.167),
+            ("acquisition (days)[private]".to_string(), 45.0),
+            ("installation (days)[private]".to_string(), 10.0),
+            ("integration (days)[private]".to_string(), 0.0),
+            ("time to service (days)[private]".to_string(), 55.0),
+            ("acquisition (days)[hybrid]".to_string(), 45.0),
+            ("installation (days)[hybrid]".to_string(), 10.0),
+            ("integration (days)[hybrid]".to_string(), 15.0),
+            ("time to service (days)[hybrid]".to_string(), 70.0),
+        ];
+        assert_eq!(run.metrics.to_named_vec(), expected);
     }
 
     #[test]

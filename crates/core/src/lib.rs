@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod cli_args;
 pub mod experiments;
 pub mod requirements;
 pub mod scenario;

@@ -6,11 +6,146 @@
 //! motivates, from a small college to a national platform reaching rural
 //! learners.
 
+use std::error::Error;
+use std::fmt;
+
 use elc_elearn::calendar::AcademicCalendar;
 use elc_elearn::workload::WorkloadModel;
 use elc_net::link::LinkProfile;
 use elc_net::outage::OutageModel;
 use elc_simcore::time::{SimDuration, SimTime};
+
+/// Why a [`ScenarioBuilder`] refused to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioError {
+    /// The population was zero.
+    NoStudents,
+    /// The planning horizon was not a positive, finite number of years.
+    BadHorizon(f64),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoStudents => write!(f, "scenario needs at least one student"),
+            ScenarioError::BadHorizon(y) => {
+                write!(f, "scenario horizon must be positive and finite, got {y}")
+            }
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+/// Builds a [`Scenario`] field by field, validating on [`build`].
+///
+/// Only the name and population are mandatory; everything else defaults
+/// to the standard preset configuration (seed 0, three academic years,
+/// metro broadband with rare short outages, standard semester calendar).
+///
+/// ```
+/// use elc_core::scenario::Scenario;
+/// use elc_net::link::LinkProfile;
+///
+/// let s = Scenario::builder("evening-school", 800)
+///     .seed(42)
+///     .years(1.5)
+///     .link(LinkProfile::RuralInternet)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(s.students(), 800);
+/// assert_eq!(s.years(), 1.5);
+/// ```
+///
+/// [`build`]: ScenarioBuilder::build
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    students: u32,
+    seed: u64,
+    years: f64,
+    link: LinkProfile,
+    outages: OutageModel,
+    calendar: AcademicCalendar,
+}
+
+impl ScenarioBuilder {
+    /// The outage process shared by the wired presets.
+    fn standard_outages() -> OutageModel {
+        OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8))
+    }
+
+    fn new(name: impl Into<String>, students: u32) -> Self {
+        ScenarioBuilder {
+            name: name.into(),
+            students,
+            seed: 0,
+            years: 3.0,
+            link: LinkProfile::MetroInternet,
+            outages: Self::standard_outages(),
+            calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
+        }
+    }
+
+    /// Sets the root seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the planning horizon in years (default 3.0).
+    #[must_use]
+    pub fn years(mut self, years: f64) -> Self {
+        self.years = years;
+        self
+    }
+
+    /// Sets the learner access-link profile (default metro broadband).
+    #[must_use]
+    pub fn link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the connectivity outage process (default: rare, short).
+    #[must_use]
+    pub fn outages(mut self, outages: OutageModel) -> Self {
+        self.outages = outages;
+        self
+    }
+
+    /// Sets the academic calendar (default: standard semester from t=0).
+    #[must_use]
+    pub fn calendar(mut self, calendar: AcademicCalendar) -> Self {
+        self.calendar = calendar;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the population is zero or the horizon
+    /// is not a positive, finite number of years.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        if self.students == 0 {
+            return Err(ScenarioError::NoStudents);
+        }
+        if !(self.years.is_finite() && self.years > 0.0) {
+            return Err(ScenarioError::BadHorizon(self.years));
+        }
+        Ok(Scenario {
+            name: self.name,
+            students: self.students,
+            seed: self.seed,
+            years: self.years,
+            link: self.link,
+            outages: self.outages,
+            calendar: self.calendar,
+        })
+    }
+}
 
 /// A named evaluation context.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,11 +160,23 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Creates a scenario.
+    /// Starts building a scenario for `students` learners named `name`.
+    ///
+    /// See [`ScenarioBuilder`] for the optional knobs and defaults.
+    #[must_use]
+    pub fn builder(name: impl Into<String>, students: u32) -> ScenarioBuilder {
+        ScenarioBuilder::new(name, students)
+    }
+
+    /// Creates a scenario from positional arguments.
     ///
     /// # Panics
     ///
     /// Panics if `students` is zero or `years` is not positive.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scenario::builder(name, students)…build()`, which validates instead of panicking"
+    )]
     #[must_use]
     pub fn new(
         name: impl Into<String>,
@@ -39,70 +186,55 @@ impl Scenario {
         link: LinkProfile,
         outages: OutageModel,
     ) -> Self {
-        assert!(students > 0, "need students");
-        assert!(years > 0.0, "need a horizon");
-        Scenario {
-            name: name.into(),
-            students,
-            seed,
-            years,
-            link,
-            outages,
-            calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
-        }
+        Scenario::builder(name, students)
+            .seed(seed)
+            .years(years)
+            .link(link)
+            .outages(outages)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A 2 000-student college on metro broadband.
     #[must_use]
     pub fn small_college(seed: u64) -> Self {
-        Scenario::new(
-            "small-college",
-            2_000,
-            seed,
-            3.0,
-            LinkProfile::MetroInternet,
-            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
-        )
+        Scenario::builder("small-college", 2_000)
+            .seed(seed)
+            .build()
+            .expect("preset is valid")
     }
 
     /// A 25 000-student university on metro broadband.
     #[must_use]
     pub fn university(seed: u64) -> Self {
-        Scenario::new(
-            "university",
-            25_000,
-            seed,
-            3.0,
-            LinkProfile::MetroInternet,
-            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
-        )
+        Scenario::builder("university", 25_000)
+            .seed(seed)
+            .build()
+            .expect("preset is valid")
     }
 
     /// A 150 000-learner national platform.
     #[must_use]
     pub fn national_platform(seed: u64) -> Self {
-        Scenario::new(
-            "national-platform",
-            150_000,
-            seed,
-            3.0,
-            LinkProfile::MetroInternet,
-            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
-        )
+        Scenario::builder("national-platform", 150_000)
+            .seed(seed)
+            .build()
+            .expect("preset is valid")
     }
 
     /// Rural learners (the paper's closing motivation): degraded links,
     /// frequent outages.
     #[must_use]
     pub fn rural_learners(seed: u64) -> Self {
-        Scenario::new(
-            "rural-learners",
-            10_000,
-            seed,
-            3.0,
-            LinkProfile::RuralInternet,
-            OutageModel::new(SimDuration::from_hours(30), SimDuration::from_mins(12)),
-        )
+        Scenario::builder("rural-learners", 10_000)
+            .seed(seed)
+            .link(LinkProfile::RuralInternet)
+            .outages(OutageModel::new(
+                SimDuration::from_hours(30),
+                SimDuration::from_mins(12),
+            ))
+            .build()
+            .expect("preset is valid")
     }
 
     /// The scenario name.
@@ -228,5 +360,64 @@ mod tests {
         assert_eq!(s.years(), 3.0);
         assert_eq!(s.name(), "small-college");
         assert_eq!(s.calendar().term_start(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn builder_defaults_match_the_wired_presets() {
+        let built = Scenario::builder("small-college", 2_000)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(built, Scenario::small_college(7));
+    }
+
+    #[test]
+    fn builder_rejects_zero_students() {
+        let err = Scenario::builder("ghost-town", 0).build().unwrap_err();
+        assert_eq!(err, ScenarioError::NoStudents);
+        assert!(err.to_string().contains("student"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_horizons() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Scenario::builder("x", 10).years(bad).build().unwrap_err();
+            assert!(matches!(err, ScenarioError::BadHorizon(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let outages = OutageModel::new(SimDuration::from_hours(1), SimDuration::from_mins(30));
+        let s = Scenario::builder("harsh", 123)
+            .seed(9)
+            .years(0.5)
+            .link(LinkProfile::RuralInternet)
+            .outages(outages)
+            .calendar(AcademicCalendar::standard_semester(SimTime::from_secs(60)))
+            .build()
+            .unwrap();
+        assert_eq!(s.name(), "harsh");
+        assert_eq!(s.students(), 123);
+        assert_eq!(s.seed(), 9);
+        assert_eq!(s.years(), 0.5);
+        assert_eq!(s.link(), LinkProfile::RuralInternet);
+        assert_eq!(s.outages(), outages);
+        assert_eq!(s.calendar().term_start(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let s = Scenario::new(
+            "legacy",
+            10,
+            1,
+            2.0,
+            LinkProfile::MetroInternet,
+            OutageModel::new(SimDuration::from_hours(400), SimDuration::from_mins(8)),
+        );
+        assert_eq!(s.name(), "legacy");
+        assert_eq!(s.years(), 2.0);
     }
 }

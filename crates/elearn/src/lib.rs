@@ -32,6 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Trace target every `elc-elearn` event is recorded under.
+pub(crate) const TRACE_TARGET: &str = "elearn";
+
 pub mod assessment;
 pub mod calendar;
 pub mod client;
@@ -48,6 +51,6 @@ pub use client::{ClientKind, ClientModel};
 pub use content::{Catalog, ContentItem, ContentKind, Sensitivity};
 pub use forum::{Forum, Interactivity, Post, Thread, ThreadId};
 pub use model::{Course, CourseId, Lms, LmsError, Role, User, UserId};
-pub use request::{RequestKind, RequestMix};
+pub use request::{RequestKind, RequestLifecycle, RequestMix};
 pub use session::{LossLedger, SessionPolicy, StateLocation, WorkSession};
 pub use workload::{PhaseFactors, WorkloadModel};

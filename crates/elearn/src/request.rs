@@ -8,7 +8,11 @@
 use elc_net::units::Bytes;
 use elc_simcore::dist::{DistError, Weighted};
 use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
 use elc_simcore::Distribution;
+use elc_trace::{Field, Level};
+
+use crate::TRACE_TARGET;
 
 /// One kind of LMS request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +124,76 @@ impl std::fmt::Display for RequestKind {
             RequestKind::ForumPost => "forum-post",
         };
         f.write_str(s)
+    }
+}
+
+/// One request's timeline through the service: arrival → queue → service
+/// → done.
+///
+/// Models (closed-form or event-driven) compute the queueing and service
+/// phases however they like; [`RequestLifecycle::emit`] writes the result
+/// to the installed tracer as a `request` span tagged with the request
+/// class, with a `request.service` instant marking the queue → service
+/// transition. Guarded internally, so callers on hot paths still pay one
+/// branch when tracing is off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestLifecycle {
+    /// The request class.
+    pub kind: RequestKind,
+    /// When the request reached the service.
+    pub arrival: SimTime,
+    /// Time spent queued before a worker picked it up.
+    pub queue_wait: SimDuration,
+    /// Service time once picked up.
+    pub service: SimDuration,
+}
+
+impl RequestLifecycle {
+    /// When service on this request began.
+    #[must_use]
+    pub fn service_start(&self) -> SimTime {
+        self.arrival + self.queue_wait
+    }
+
+    /// When the response left the service.
+    #[must_use]
+    pub fn done_at(&self) -> SimTime {
+        self.arrival + self.queue_wait + self.service
+    }
+
+    /// Records the lifecycle on the installed tracer (no-op when tracing
+    /// is off or `elearn` is filtered below debug).
+    pub fn emit(&self) {
+        if !elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+            return;
+        }
+        let class = self.kind.to_string();
+        let span = elc_trace::span_begin(
+            self.arrival.as_nanos(),
+            TRACE_TARGET,
+            "request",
+            Level::Debug,
+            &[Field::str("class", class.clone())],
+        );
+        elc_trace::instant(
+            self.service_start().as_nanos(),
+            TRACE_TARGET,
+            "request.service",
+            Level::Debug,
+            &[Field::str("class", class.clone())],
+        );
+        elc_trace::span_end(
+            self.done_at().as_nanos(),
+            TRACE_TARGET,
+            "request",
+            Level::Debug,
+            span,
+            &[
+                Field::str("class", class),
+                Field::duration_ns("queued", self.queue_wait.as_nanos()),
+                Field::duration_ns("service", self.service.as_nanos()),
+            ],
+        );
     }
 }
 
@@ -277,6 +351,44 @@ mod tests {
         assert!(
             RequestMix::teaching().mean_response_size() > RequestMix::exam().mean_response_size()
         );
+    }
+
+    #[test]
+    fn lifecycle_emits_tagged_span() {
+        use elc_trace::{EventKind, TraceFilter, Tracer};
+        let lifecycle = RequestLifecycle {
+            kind: RequestKind::QuizSubmit,
+            arrival: SimTime::from_secs(100),
+            queue_wait: SimDuration::from_secs(2),
+            service: SimDuration::from_secs(3),
+        };
+        assert_eq!(lifecycle.service_start(), SimTime::from_secs(102));
+        assert_eq!(lifecycle.done_at(), SimTime::from_secs(105));
+        let ((), tracer) =
+            elc_trace::with_tracer(Tracer::new(TraceFilter::all(Level::Debug)), || {
+                lifecycle.emit();
+            });
+        let events: Vec<_> = tracer.events().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Begin);
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[2].kind, EventKind::End);
+        assert_eq!(events[0].span, events[2].span);
+        assert_eq!(tracer.resolve(events[1].name), "request.service");
+        assert_eq!(events[2].time_ns, SimTime::from_secs(105).as_nanos());
+        let json = elc_trace::export::jsonl_string(&tracer, &[]);
+        assert!(json.contains("\"class\":\"quiz-submit\""));
+    }
+
+    #[test]
+    fn lifecycle_emit_without_tracer_is_noop() {
+        RequestLifecycle {
+            kind: RequestKind::Login,
+            arrival: SimTime::ZERO,
+            queue_wait: SimDuration::ZERO,
+            service: SimDuration::from_secs(1),
+        }
+        .emit();
     }
 
     #[test]

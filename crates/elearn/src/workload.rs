@@ -8,6 +8,7 @@
 use elc_simcore::dist::{Distribution, Poisson};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
 
 use crate::calendar::{AcademicCalendar, Phase};
 use crate::request::RequestMix;
@@ -194,6 +195,18 @@ impl WorkloadModel {
             out.push(SimDuration::from_secs_f64(rng.range_f64(0.0, span)));
         }
         out.sort_unstable();
+        if elc_trace::enabled(crate::TRACE_TARGET, Level::Debug) {
+            elc_trace::instant(
+                t.as_nanos(),
+                crate::TRACE_TARGET,
+                "arrivals",
+                Level::Debug,
+                &[
+                    Field::u64("count", n),
+                    Field::duration_ns("slot", slot.as_nanos()),
+                ],
+            );
+        }
     }
 }
 

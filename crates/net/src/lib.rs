@@ -43,6 +43,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Trace target every `elc-net` event is recorded under.
+pub(crate) const TRACE_TARGET: &str = "net";
+
 pub mod link;
 pub mod outage;
 pub mod topology;

@@ -13,6 +13,9 @@
 use elc_simcore::dist::{Distribution, Exp};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
+
+use crate::TRACE_TARGET;
 
 /// Parameters of an alternating up/down connectivity process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +90,28 @@ impl OutageModel {
             t = restore_at;
             if t >= horizon {
                 break;
+            }
+        }
+        if elc_trace::enabled(TRACE_TARGET, Level::Info) {
+            for &(fail_at, restore_at) in &windows {
+                let span = elc_trace::span_begin(
+                    fail_at.as_nanos(),
+                    TRACE_TARGET,
+                    "outage",
+                    Level::Info,
+                    &[Field::duration_ns(
+                        "down",
+                        (restore_at - fail_at).as_nanos(),
+                    )],
+                );
+                elc_trace::span_end(
+                    restore_at.as_nanos(),
+                    TRACE_TARGET,
+                    "outage",
+                    Level::Info,
+                    span,
+                    &[],
+                );
             }
         }
         OutageSchedule { windows, horizon }
@@ -255,6 +280,44 @@ mod tests {
         assert!(sched.is_up(secs(20))); // end is exclusive
         assert_eq!(sched.window_covering(secs(15)), Some((secs(10), secs(20))));
         assert_eq!(sched.window_covering(secs(30)), None);
+    }
+
+    #[test]
+    fn is_up_boundary_semantics_at_window_edges() {
+        let sched = OutageSchedule::from_windows(
+            vec![(secs(10), secs(20)), (secs(50), secs(60))],
+            secs(100),
+        );
+        let ns = SimDuration::from_nanos(1);
+
+        // A window's start instant is down (inclusive lower edge): the
+        // failure has happened by the time anyone observes t = start.
+        assert!(sched.is_up(secs(10) - ns));
+        assert!(!sched.is_up(secs(10)));
+        assert!(!sched.is_up(secs(10) + ns));
+        assert_eq!(sched.window_covering(secs(10)), Some((secs(10), secs(20))));
+
+        // A window's end instant is up (exclusive upper edge): repair
+        // completes *at* t = end, so service is restored there.
+        assert!(!sched.is_up(secs(20) - ns));
+        assert!(sched.is_up(secs(20)));
+        assert_eq!(sched.window_covering(secs(20)), None);
+
+        // The same contract holds for a later window (binary search must
+        // land on the right neighbour on both sides).
+        assert!(!sched.is_up(secs(50)));
+        assert!(sched.is_up(secs(60)));
+
+        // Boundary instants agree with the interval queries built on them.
+        assert_eq!(
+            sched.downtime_within(secs(10), secs(20)),
+            SimDuration::from_secs(10)
+        );
+        assert_eq!(sched.downtime_within(secs(20), secs(50)), SimDuration::ZERO);
+        assert_eq!(
+            sched.next_outage_after(secs(20)),
+            Some((secs(50), secs(60)))
+        );
     }
 
     #[test]

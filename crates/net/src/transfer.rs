@@ -7,10 +7,12 @@
 //! naive clients that restart uploads).
 
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
 
 use crate::link::Link;
 use crate::outage::OutageSchedule;
 use crate::units::Bytes;
+use crate::TRACE_TARGET;
 
 /// How a transfer reacts to a connection drop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,58 @@ pub struct TransferOutcome {
 /// Panics if the link has zero bandwidth.
 #[must_use]
 pub fn plan_transfer(
+    start: SimTime,
+    size: Bytes,
+    link: &Link,
+    outages: &OutageSchedule,
+    policy: ResumePolicy,
+) -> Option<TransferOutcome> {
+    if !elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+        return plan_transfer_inner(start, size, link, outages, policy);
+    }
+    let span = elc_trace::span_begin(
+        start.as_nanos(),
+        TRACE_TARGET,
+        "transfer",
+        Level::Debug,
+        &[Field::u64("bytes", size.as_u64())],
+    );
+    let outcome = plan_transfer_inner(start, size, link, outages, policy);
+    match &outcome {
+        Some(o) => elc_trace::span_end(
+            o.completed_at.as_nanos(),
+            TRACE_TARGET,
+            "transfer",
+            Level::Debug,
+            span,
+            &[
+                Field::duration_ns("stalled", o.stalled.as_nanos()),
+                Field::u64("interruptions", u64::from(o.interruptions)),
+                Field::u64("wasted_bytes", o.wasted.as_u64()),
+            ],
+        ),
+        None => {
+            elc_trace::span_end(
+                outages.horizon().as_nanos(),
+                TRACE_TARGET,
+                "transfer",
+                Level::Debug,
+                span,
+                &[Field::bool("gave_up", true)],
+            );
+            elc_trace::instant(
+                outages.horizon().as_nanos(),
+                TRACE_TARGET,
+                "transfer.gave_up",
+                Level::Warn,
+                &[Field::u64("bytes", size.as_u64())],
+            );
+        }
+    }
+    outcome
+}
+
+fn plan_transfer_inner(
     start: SimTime,
     size: Bytes,
     link: &Link,

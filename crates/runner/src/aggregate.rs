@@ -174,6 +174,7 @@ mod tests {
             index,
             seed: u64::from(index),
             metrics: metrics.iter().map(|&(n, v)| (intern(n), v)).collect(),
+            trace: None,
             wall: Duration::from_millis(1),
         }
     }

@@ -61,6 +61,10 @@ pub struct RunOutcome {
     pub summaries: Vec<MetricSummary>,
     /// Metric keys dropped because not every replication reported them.
     pub dropped: Vec<elc_analysis::metrics::MetricKey>,
+    /// Per-replication traces in replication-index order — empty unless
+    /// the spec enabled tracing with [`RunSpec::trace`]. Byte-identical
+    /// at any thread count once exported in this order.
+    pub traces: Vec<elc_trace::Tracer>,
     /// Provenance and timing.
     pub manifest: RunManifest,
 }
@@ -91,14 +95,17 @@ impl RunOutcome {
 /// Executes a replicated run end to end.
 pub fn run(spec: &RunSpec, progress: &mut dyn Progress) -> RunOutcome {
     let start = Instant::now();
-    let results = pool::run_tasks(spec, progress);
+    let mut results = pool::run_tasks(spec, progress);
     let total_wall = start.elapsed();
     progress.finished(total_wall);
     let (summaries, dropped) = aggregate::aggregate(&results);
     let manifest = RunManifest::new(spec, &results, total_wall);
+    // `run_tasks` already sorted by replication index.
+    let traces = results.iter_mut().filter_map(|r| r.trace.take()).collect();
     RunOutcome {
         summaries,
         dropped,
+        traces,
         manifest,
     }
 }

@@ -3,6 +3,7 @@
 use elc_core::experiments::Experiment;
 use elc_core::scenario::Scenario;
 use elc_simcore::SimRng;
+use elc_trace::TraceFilter;
 
 /// Derives the root seed for replication `index` of a run with base seed
 /// `base_seed`.
@@ -27,6 +28,7 @@ pub struct RunSpec {
     scenario: Scenario,
     replications: u32,
     threads: usize,
+    trace: Option<TraceFilter>,
 }
 
 impl RunSpec {
@@ -44,6 +46,7 @@ impl RunSpec {
             scenario,
             replications,
             threads: 1,
+            trace: None,
         }
     }
 
@@ -57,6 +60,23 @@ impl RunSpec {
         assert!(threads > 0, "need at least one thread");
         self.threads = threads;
         self
+    }
+
+    /// Enables per-replication tracing under `filter`.
+    ///
+    /// Each replication records into its own [`elc_trace::Tracer`]; the
+    /// outcome returns them in replication-index order, so the assembled
+    /// trace is byte-identical at any thread count.
+    #[must_use]
+    pub fn trace(mut self, filter: TraceFilter) -> Self {
+        self.trace = Some(filter);
+        self
+    }
+
+    /// The trace filter, if tracing was requested.
+    #[must_use]
+    pub fn trace_filter(&self) -> Option<&TraceFilter> {
+        self.trace.as_ref()
     }
 
     /// The experiment to replicate.
@@ -106,6 +126,7 @@ impl std::fmt::Debug for RunSpec {
             .field("base_seed", &self.base_seed())
             .field("replications", &self.replications)
             .field("threads", &self.threads)
+            .field("trace", &self.trace)
             .finish()
     }
 }

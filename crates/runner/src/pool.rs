@@ -14,6 +14,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use elc_analysis::metrics::MetricSet;
+use elc_trace::Tracer;
 
 use crate::plan::RunSpec;
 use crate::progress::Progress;
@@ -27,6 +28,10 @@ pub struct TaskResult {
     pub seed: u64,
     /// Typed metrics emitted by the experiment, in table order.
     pub metrics: MetricSet,
+    /// The replication's trace, when the spec requested tracing. A pure
+    /// function of `(scenario, seed, filter)` — worker identity never
+    /// leaks in.
+    pub trace: Option<Tracer>,
     /// Wall-clock execution time of this task (non-deterministic; never
     /// feeds the aggregates).
     pub wall: Duration,
@@ -102,11 +107,23 @@ fn execute(spec: &RunSpec, index: u32) -> TaskResult {
     let start = Instant::now();
     // The metrics-only entry point: the section render (title strings,
     // notes, row formatting) would be thrown away here, so skip it.
-    let metrics = spec.experiment().run_metrics(&scenario);
+    let (metrics, trace) = match spec.trace_filter() {
+        None => (spec.experiment().run_metrics(&scenario), None),
+        Some(filter) => {
+            // One tracer per task, installed only for this replication:
+            // the trace depends on (scenario, seed, filter), never on
+            // which worker thread ran it.
+            let (metrics, tracer) = elc_trace::with_tracer(Tracer::new(filter.clone()), || {
+                spec.experiment().run_metrics(&scenario)
+            });
+            (metrics, Some(tracer))
+        }
+    };
     TaskResult {
         index,
         seed,
         metrics,
+        trace,
         wall: start.elapsed(),
     }
 }

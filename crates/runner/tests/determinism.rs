@@ -61,3 +61,42 @@ fn replication_count_is_reported_in_the_section() {
     assert!(text.contains("5 replications"), "{text}");
     assert!(text.contains("ci95"));
 }
+
+/// Renders the replicated run's full JSONL trace, one tracer per
+/// replication, labelled with its index — the artifact `elc-run --trace`
+/// writes.
+fn trace_bytes(threads: usize) -> String {
+    let spec = RunSpec::new(find("e09").unwrap(), Scenario::small_college(42), 8)
+        .threads(threads)
+        .trace(elc_trace::TraceFilter::default());
+    let outcome = run(&spec, &mut Silent);
+    assert_eq!(outcome.traces.len(), 8, "one trace per replication");
+    let mut out = String::new();
+    for (i, tracer) in outcome.traces.iter().enumerate() {
+        out.push_str(&elc_trace::export::jsonl_string(
+            tracer,
+            &[("rep", &i.to_string())],
+        ));
+    }
+    out
+}
+
+#[test]
+fn traces_are_byte_identical_at_1_and_8_threads() {
+    let serial = trace_bytes(1);
+    let parallel = trace_bytes(8);
+    assert_eq!(serial, parallel, "traces diverged across thread counts");
+    // The trace must cross every layer of the stack.
+    for target in ["simcore", "cloud", "net", "elearn"] {
+        assert!(
+            serial.contains(&format!("\"target\":\"{target}\"")),
+            "trace missing target {target:?}"
+        );
+    }
+}
+
+#[test]
+fn untraced_runs_carry_no_tracers() {
+    let spec = RunSpec::new(find("e09").unwrap(), Scenario::small_college(42), 2);
+    assert!(run(&spec, &mut Silent).traces.is_empty());
+}

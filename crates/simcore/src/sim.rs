@@ -15,9 +15,18 @@
 
 use std::fmt;
 
+use elc_trace::{Field, Level};
+
 use crate::queue::{EventId, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+
+/// Trace target for kernel events.
+const TRACE_TARGET: &str = "simcore";
+
+/// Queue-depth sample cadence (in executed events) when tracing at debug.
+/// Power of two so the hot-path modulo folds to a mask.
+const QUEUE_SAMPLE_EVERY: u64 = 1024;
 
 /// An event handler: runs once at its scheduled instant.
 pub type EventFn<S> = Box<dyn FnOnce(&mut Simulation<S>)>;
@@ -197,7 +206,20 @@ impl<S> Simulation<S> {
 
     /// Cancels a pending event. Returns `true` if it had not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        let hit = self.queue.cancel(id);
+        if elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+            elc_trace::instant(
+                self.now.as_nanos(),
+                TRACE_TARGET,
+                "event.cancel",
+                Level::Debug,
+                &[
+                    Field::bool("hit", hit),
+                    Field::u64("pending", self.queue.len() as u64),
+                ],
+            );
+        }
+        hit
     }
 
     /// Executes the next pending event, if any. Returns `false` when the
@@ -208,10 +230,44 @@ impl<S> Simulation<S> {
                 debug_assert!(time >= self.now, "event queue returned a past event");
                 self.now = time;
                 self.executed += 1;
+                // One branch when tracing is disabled (thread-local byte
+                // load + compare); everything else stays inside the gate.
+                if elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+                    self.trace_step(time);
+                }
                 handler(self);
                 true
             }
             None => false,
+        }
+    }
+
+    /// Kernel-event emission, out of line to keep `step` lean.
+    #[cold]
+    fn trace_step(&self, time: SimTime) {
+        if self.executed.is_multiple_of(QUEUE_SAMPLE_EVERY) {
+            elc_trace::instant(
+                time.as_nanos(),
+                TRACE_TARGET,
+                "queue.depth",
+                Level::Debug,
+                &[
+                    Field::u64("executed", self.executed),
+                    Field::u64("pending", self.queue.len() as u64),
+                ],
+            );
+        }
+        if elc_trace::enabled(TRACE_TARGET, Level::Trace) {
+            elc_trace::instant(
+                time.as_nanos(),
+                TRACE_TARGET,
+                "event.exec",
+                Level::Trace,
+                &[
+                    Field::u64("seq", self.executed),
+                    Field::u64("pending", self.queue.len() as u64),
+                ],
+            );
         }
     }
 
@@ -253,6 +309,18 @@ impl<S> Simulation<S> {
     }
 
     fn stats(&self) -> RunStats {
+        if elc_trace::enabled(TRACE_TARGET, Level::Info) {
+            elc_trace::instant(
+                self.now.as_nanos(),
+                TRACE_TARGET,
+                "run.complete",
+                Level::Info,
+                &[
+                    Field::u64("executed", self.executed),
+                    Field::u64("pending", self.queue.len() as u64),
+                ],
+            );
+        }
         RunStats {
             executed: self.executed,
             end_time: self.now,
@@ -451,5 +519,40 @@ mod tests {
         let sim = Simulation::new(1, 42u32);
         let dbg = format!("{sim:?}");
         assert!(dbg.contains("Simulation") && dbg.contains("42"));
+    }
+
+    #[test]
+    fn tracing_captures_kernel_events() {
+        use elc_trace::{TraceFilter, Tracer};
+        let (result, tracer) =
+            elc_trace::with_tracer(Tracer::new(TraceFilter::all(Level::Trace)), || {
+                let mut sim = Simulation::new(1, 0u32);
+                let id = sim.schedule_in(SimDuration::from_secs(1), |_| {});
+                sim.schedule_in(SimDuration::from_secs(2), |s| *s.state_mut() += 1);
+                sim.cancel(id);
+                sim.run();
+                *sim.state()
+            });
+        assert_eq!(result, 1);
+        let names: Vec<&str> = tracer.events().map(|e| tracer.resolve(e.name)).collect();
+        assert!(names.contains(&"event.cancel"));
+        assert!(names.contains(&"event.exec"));
+        assert!(names.contains(&"run.complete"));
+        // Kernel events stamp sim time, not wall time.
+        let exec = tracer
+            .events()
+            .find(|e| tracer.resolve(e.name) == "event.exec")
+            .unwrap();
+        assert_eq!(exec.time_ns, SimTime::from_secs(2).as_nanos());
+    }
+
+    #[test]
+    fn tracing_disabled_leaves_run_unchanged() {
+        // No tracer installed: the instrumented path must not observe one.
+        assert!(!elc_trace::installed());
+        let mut sim = Simulation::new(1, 0u32);
+        sim.schedule_in(SimDuration::from_secs(1), |s| *s.state_mut() += 1);
+        let stats = sim.run();
+        assert_eq!(stats.executed, 1);
     }
 }

@@ -1,0 +1,188 @@
+//! The thread-local "current tracer" and its one-branch fast gate.
+//!
+//! Model code deep inside the stack (`Simulation::step`, `plan_transfer`)
+//! cannot take a `&mut Tracer` parameter without rewriting every
+//! signature in the workspace, so the active tracer is installed
+//! per-thread. Two thread-locals keep the disabled path cheap:
+//!
+//! * `GATE` — a `Cell<u8>` holding the installed filter's most verbose
+//!   threshold (0 when no tracer is installed). [`enabled`] reads it and
+//!   compares: with tracing off, that is the *entire* cost on the sim
+//!   kernel's hot path.
+//! * `CURRENT` — the tracer itself, consulted only after the gate passes.
+//!
+//! The replication engine installs a fresh tracer per task on whichever
+//! worker thread picks it up, and collects it when the task completes —
+//! trace content therefore depends only on `(experiment, scenario,
+//! filter)`, never on thread assignment.
+
+use std::cell::{Cell, RefCell};
+
+use crate::event::{Field, SpanId};
+use crate::level::Level;
+use crate::tracer::Tracer;
+
+thread_local! {
+    static GATE: Cell<u8> = const { Cell::new(0) };
+    static CURRENT: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+}
+
+/// Installs `tracer` as this thread's current tracer, returning the one
+/// it displaced (if any).
+pub fn install(tracer: Tracer) -> Option<Tracer> {
+    GATE.with(|g| g.set(tracer.max_level().as_u8()));
+    CURRENT.with(|c| c.borrow_mut().replace(tracer))
+}
+
+/// Removes and returns this thread's current tracer.
+pub fn uninstall() -> Option<Tracer> {
+    GATE.with(|g| g.set(0));
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// Whether a tracer that can record *something* is installed on this
+/// thread (a tracer with an all-off filter reads as not installed).
+/// Trace-only work — like E9's first-service rehearsal — keys off this.
+#[must_use]
+pub fn installed() -> bool {
+    GATE.with(|g| g.get()) != 0
+}
+
+/// Whether an event for `target` at `level` would be recorded.
+///
+/// Call this **before** building fields — with no tracer installed it is
+/// a thread-local byte load and one compare, which is the entire tracing
+/// cost on the disabled hot path.
+#[inline]
+#[must_use]
+pub fn enabled(target: &str, level: Level) -> bool {
+    if GATE.with(|g| g.get()) < level as u8 {
+        return false;
+    }
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|t| t.enabled(target, level))
+    })
+}
+
+/// Records a point event on the current tracer (no-op when none).
+pub fn instant(
+    time_ns: u64,
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    fields: &[Field],
+) {
+    CURRENT.with(|c| {
+        if let Some(t) = c.borrow_mut().as_mut() {
+            t.instant(time_ns, target, name, level, fields);
+        }
+    });
+}
+
+/// Opens a span on the current tracer; [`SpanId::NONE`] when none.
+#[must_use]
+pub fn span_begin(
+    time_ns: u64,
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    fields: &[Field],
+) -> SpanId {
+    CURRENT.with(|c| {
+        c.borrow_mut().as_mut().map_or(SpanId::NONE, |t| {
+            t.span_begin(time_ns, target, name, level, fields)
+        })
+    })
+}
+
+/// Closes a span on the current tracer (no-op when none or `NONE`).
+pub fn span_end(
+    time_ns: u64,
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    span: SpanId,
+    fields: &[Field],
+) {
+    CURRENT.with(|c| {
+        if let Some(t) = c.borrow_mut().as_mut() {
+            t.span_end(time_ns, target, name, level, span, fields);
+        }
+    });
+}
+
+/// Runs `f` with `tracer` installed, then returns `f`'s result together
+/// with the (now populated) tracer. Restores whatever tracer was
+/// installed before, so scopes nest.
+pub fn with_tracer<R>(tracer: Tracer, f: impl FnOnce() -> R) -> (R, Tracer) {
+    let previous = install(tracer);
+    let result = f();
+    let captured = uninstall().expect("tracer uninstalled inside with_tracer scope");
+    if let Some(prev) = previous {
+        install(prev);
+    }
+    (result, captured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::TraceFilter;
+
+    #[test]
+    fn no_tracer_means_disabled_and_noop() {
+        assert!(!installed());
+        assert!(!enabled("simcore", Level::Error));
+        instant(0, "simcore", "event.exec", Level::Trace, &[]);
+        assert_eq!(
+            span_begin(0, "net", "outage", Level::Info, &[]),
+            SpanId::NONE
+        );
+    }
+
+    #[test]
+    fn with_tracer_captures_events() {
+        let ((), tracer) = with_tracer(Tracer::new(TraceFilter::all(Level::Debug)), || {
+            assert!(installed());
+            assert!(enabled("cloud", Level::Info));
+            assert!(!enabled("cloud", Level::Trace));
+            if enabled("cloud", Level::Info) {
+                instant(3, "cloud", "vm.stop", Level::Info, &[Field::u64("vm", 7)]);
+            }
+        });
+        assert!(!installed());
+        assert_eq!(tracer.len(), 1);
+        assert_eq!(tracer.events().next().unwrap().time_ns, 3);
+    }
+
+    #[test]
+    fn with_tracer_restores_outer_scope() {
+        let ((), outer) = with_tracer(Tracer::new(TraceFilter::all(Level::Info)), || {
+            instant(1, "net", "outage", Level::Info, &[]);
+            let ((), inner) = with_tracer(Tracer::new(TraceFilter::all(Level::Info)), || {
+                instant(2, "net", "outage", Level::Info, &[]);
+            });
+            assert_eq!(inner.len(), 1);
+            // Outer tracer is active again.
+            assert!(installed());
+            instant(3, "net", "outage", Level::Info, &[]);
+        });
+        let times: Vec<u64> = outer.events().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![1, 3]);
+    }
+
+    #[test]
+    fn gate_tracks_filter_max_level() {
+        let ((), _t) = with_tracer(Tracer::new(TraceFilter::all(Level::Warn)), || {
+            // Gate rejects info without consulting the tracer.
+            assert!(!enabled("anything", Level::Info));
+            assert!(enabled("anything", Level::Warn));
+        });
+        let ((), _t) = with_tracer(Tracer::new(TraceFilter::off()), || {
+            assert!(!installed());
+            assert!(!enabled("anything", Level::Error));
+        });
+    }
+}

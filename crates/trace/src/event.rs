@@ -1,0 +1,207 @@
+//! Trace events and their typed fields.
+
+use std::fmt;
+
+/// Index into a [`crate::Tracer`]'s intern table; resolves back to the
+/// original `&'static str` via [`crate::Tracer::resolve`].
+///
+/// Targets and names share one pool per tracer, so an event is two bytes
+/// of identity instead of two string clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(pub(crate) u16);
+
+/// Identity of a span; `SpanId::NONE` marks a recording that was filtered
+/// out at `begin` time (the matching `end` is then dropped too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The null span: produced when a `span_begin` was filtered out.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is a real, recorded span.
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// What a record means on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A point event.
+    Instant,
+    /// Opens a span; paired with the `End` carrying the same span id.
+    Begin,
+    /// Closes a span.
+    End,
+}
+
+impl EventKind {
+    /// The lowercase name used in JSONL output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Instant => "instant",
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+        }
+    }
+}
+
+/// A typed field value. Durations are nanoseconds, matching the sim
+/// kernel's integer clock, so no float rounding sneaks into traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned counter / id.
+    U64(u64),
+    /// Signed quantity (deltas).
+    I64(i64),
+    /// Measured rate / ratio.
+    F64(f64),
+    /// Short label (request class, scale action).
+    Str(String),
+    /// Sim duration in integer nanoseconds.
+    DurationNs(u64),
+    /// Flag.
+    Bool(bool),
+}
+
+/// A `key: value` pair attached to an event.
+///
+/// Keys are `&'static str` by design: field names are part of the
+/// instrumentation, not data, so they cost nothing to attach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub key: &'static str,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+impl Field {
+    /// An unsigned integer field.
+    #[must_use]
+    pub fn u64(key: &'static str, value: u64) -> Field {
+        Field {
+            key,
+            value: FieldValue::U64(value),
+        }
+    }
+
+    /// A signed integer field.
+    #[must_use]
+    pub fn i64(key: &'static str, value: i64) -> Field {
+        Field {
+            key,
+            value: FieldValue::I64(value),
+        }
+    }
+
+    /// A float field.
+    #[must_use]
+    pub fn f64(key: &'static str, value: f64) -> Field {
+        Field {
+            key,
+            value: FieldValue::F64(value),
+        }
+    }
+
+    /// A string field (allocates; guard with `enabled` first).
+    #[must_use]
+    pub fn str(key: &'static str, value: impl Into<String>) -> Field {
+        Field {
+            key,
+            value: FieldValue::Str(value.into()),
+        }
+    }
+
+    /// A duration field, in integer nanoseconds.
+    #[must_use]
+    pub fn duration_ns(key: &'static str, nanos: u64) -> Field {
+        Field {
+            key,
+            value: FieldValue::DurationNs(nanos),
+        }
+    }
+
+    /// A boolean field.
+    #[must_use]
+    pub fn bool(key: &'static str, value: bool) -> Field {
+        Field {
+            key,
+            value: FieldValue::Bool(value),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::DurationNs(v) => write!(f, "{v}ns"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One recorded event. Sim time is raw nanoseconds (`elc-trace` sits
+/// below `elc-simcore`, so it cannot name `SimTime`); `seq` is the
+/// tracer-local record index, monotone even across ring overwrites, so a
+/// reader can detect dropped gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Tracer-local sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Sim time in nanoseconds since the run epoch.
+    pub time_ns: u64,
+    /// Interned subsystem target (`simcore`, `cloud`, `net`, `elearn`...).
+    pub target: Sym,
+    /// Interned event name (`vm.boot`, `request`, ...).
+    pub name: Sym,
+    /// Severity.
+    pub level: crate::Level,
+    /// Instant, span begin, or span end.
+    pub kind: EventKind,
+    /// Span identity for begin/end pairs; `SpanId::NONE` on instants.
+    pub span: SpanId,
+    /// Typed payload.
+    pub fields: Vec<Field>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_constructors_tag_values() {
+        assert_eq!(Field::u64("n", 3).value, FieldValue::U64(3));
+        assert_eq!(Field::i64("d", -2).value, FieldValue::I64(-2));
+        assert_eq!(Field::f64("r", 0.5).value, FieldValue::F64(0.5));
+        assert_eq!(
+            Field::str("class", "quiz-submit").value,
+            FieldValue::Str("quiz-submit".to_string())
+        );
+        assert_eq!(
+            Field::duration_ns("boot", 120).value,
+            FieldValue::DurationNs(120)
+        );
+        assert_eq!(Field::bool("hit", true).value, FieldValue::Bool(true));
+    }
+
+    #[test]
+    fn span_id_none_sentinel() {
+        assert!(!SpanId::NONE.is_some());
+        assert!(SpanId(1).is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FieldValue::DurationNs(5).to_string(), "5ns");
+        assert_eq!(FieldValue::Bool(false).to_string(), "false");
+        assert_eq!(EventKind::Begin.as_str(), "begin");
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace exporters: a JSONL event stream and merged per-target summaries.
+//!
+//! The JSON is written by hand (the crate is zero-dep) with a fixed key
+//! order and `{}`-formatted floats (Rust's shortest round-trip form), so
+//! a trace's bytes are a deterministic function of its events — the
+//! property the cross-thread byte-identity test pins.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::{EventKind, FieldValue, TraceEvent};
+use crate::tracer::{TargetSummary, Tracer};
+
+/// Writes one `{"key":"value",...}\n` JSON line per event, oldest first.
+///
+/// `labels` are constant string fields prepended to every line — the
+/// callers use them to tag lines with the replication index or scenario
+/// name so multiple tracers can share one file.
+///
+/// # Errors
+/// Propagates I/O errors from `out`.
+pub fn write_jsonl<W: Write>(
+    out: &mut W,
+    tracer: &Tracer,
+    labels: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut line = String::new();
+    for event in tracer.events() {
+        line.clear();
+        render_line(&mut line, tracer, event, labels);
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// [`write_jsonl`] into a `String`.
+#[must_use]
+pub fn jsonl_string(tracer: &Tracer, labels: &[(&str, &str)]) -> String {
+    let mut line = String::new();
+    for event in tracer.events() {
+        render_line(&mut line, tracer, event, labels);
+    }
+    line
+}
+
+fn render_line(out: &mut String, tracer: &Tracer, event: &TraceEvent, labels: &[(&str, &str)]) {
+    out.push('{');
+    for (key, value) in labels {
+        push_json_str(out, key);
+        out.push(':');
+        push_json_str(out, value);
+        out.push(',');
+    }
+    let _ = write!(out, "\"seq\":{},\"t\":{},", event.seq, event.time_ns);
+    out.push_str("\"target\":");
+    push_json_str(out, tracer.resolve(event.target));
+    out.push_str(",\"name\":");
+    push_json_str(out, tracer.resolve(event.name));
+    let _ = write!(
+        out,
+        ",\"level\":\"{}\",\"kind\":\"{}\"",
+        event.level.as_str(),
+        event.kind.as_str()
+    );
+    if event.kind != EventKind::Instant {
+        let _ = write!(out, ",\"span\":{}", event.span.0);
+    }
+    if !event.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, field) in event.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(out, field.key);
+            out.push(':');
+            push_json_value(out, &field.value);
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
+}
+
+fn push_json_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) | FieldValue::DurationNs(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Str(v) => push_json_str(out, v),
+        FieldValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Merges per-target summaries from several tracers (one per
+/// replication) into one sorted set.
+#[must_use]
+pub fn merge_summaries<'a>(tracers: impl IntoIterator<Item = &'a Tracer>) -> Vec<TargetSummary> {
+    let mut merged: Vec<TargetSummary> = Vec::new();
+    for tracer in tracers {
+        for summary in tracer.summary() {
+            match merged.iter_mut().find(|m| m.target == summary.target) {
+                Some(m) => m.merge(&summary),
+                None => merged.push(summary),
+            }
+        }
+    }
+    merged.sort_by_key(|s| s.target);
+    merged
+}
+
+/// Total events dropped to ring overwrites across `tracers`.
+#[must_use]
+pub fn total_dropped<'a>(tracers: impl IntoIterator<Item = &'a Tracer>) -> u64 {
+    tracers.into_iter().map(Tracer::dropped).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Field;
+    use crate::filter::TraceFilter;
+    use crate::level::Level;
+
+    fn sample() -> Tracer {
+        let mut t = Tracer::new(TraceFilter::all(Level::Debug));
+        let span = t.span_begin(
+            0,
+            "cloud",
+            "vm.boot",
+            Level::Info,
+            &[
+                Field::u64("vm", 1),
+                Field::str("size", "medium"),
+                Field::f64("util", 0.5),
+            ],
+        );
+        t.span_end(120_000_000_000, "cloud", "vm.boot", Level::Info, span, &[]);
+        t.instant(
+            5,
+            "net",
+            "transfer.gave_up",
+            Level::Warn,
+            &[Field::bool("resumable", true)],
+        );
+        t
+    }
+
+    #[test]
+    fn jsonl_shape_and_key_order() {
+        let json = jsonl_string(&sample(), &[("rep", "0")]);
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"rep\":\"0\",\"seq\":0,\"t\":0,\"target\":\"cloud\",\"name\":\"vm.boot\",\
+             \"level\":\"info\",\"kind\":\"begin\",\"span\":1,\
+             \"fields\":{\"vm\":1,\"size\":\"medium\",\"util\":0.5}}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"rep\":\"0\",\"seq\":1,\"t\":120000000000,\"target\":\"cloud\",\
+             \"name\":\"vm.boot\",\"level\":\"info\",\"kind\":\"end\",\"span\":1}"
+        );
+        assert!(lines[2].contains("\"kind\":\"instant\""));
+        assert!(!lines[2].contains("\"span\""));
+        assert!(lines[2].contains("\"resumable\":true"));
+    }
+
+    #[test]
+    fn write_jsonl_matches_string_form() {
+        let tracer = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &tracer, &[("scenario", "university")]).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            jsonl_string(&tracer, &[("scenario", "university")])
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut t = Tracer::new(TraceFilter::all(Level::Debug));
+        t.instant(
+            0,
+            "elearn",
+            "request.arrival",
+            Level::Debug,
+            &[Field::str("class", "a\"b\\c\nd\u{1}")],
+        );
+        let json = jsonl_string(&t, &[]);
+        assert!(json.contains("\"class\":\"a\\\"b\\\\c\\nd\\u0001\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut t = Tracer::new(TraceFilter::all(Level::Debug));
+        t.instant(0, "cloud", "x", Level::Info, &[Field::f64("r", f64::NAN)]);
+        assert!(jsonl_string(&t, &[]).contains("\"r\":null"));
+    }
+
+    #[test]
+    fn merge_summaries_accumulates_across_tracers() {
+        let a = sample();
+        let b = sample();
+        let merged = merge_summaries([&a, &b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].target, "cloud");
+        assert_eq!(merged[0].events, 4);
+        assert_eq!(merged[0].spans, 2);
+        assert_eq!(merged[1].target, "net");
+        assert_eq!(merged[1].events, 2);
+        assert_eq!(total_dropped([&a, &b]), 0);
+    }
+}

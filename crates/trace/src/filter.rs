@@ -1,0 +1,175 @@
+//! Per-target level filtering, parsed from `--trace-filter` strings.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::level::{Level, LevelFilter};
+
+/// A per-target verbosity map: a default threshold plus overrides for
+/// named targets.
+///
+/// The string form mirrors `env_logger`/`tracing` conventions:
+///
+/// * `"info"` — every target at info.
+/// * `"cloud=trace"` — cloud at trace, everything else at the default
+///   (debug).
+/// * `"warn,net=debug"` — net at debug, the rest at warn.
+///
+/// ```
+/// use elc_trace::{Level, TraceFilter};
+///
+/// let f: TraceFilter = "warn,net=debug".parse().unwrap();
+/// assert!(f.level_for("net").allows(Level::Debug));
+/// assert!(!f.level_for("cloud").allows(Level::Info));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFilter {
+    default: LevelFilter,
+    overrides: Vec<(String, LevelFilter)>,
+}
+
+impl TraceFilter {
+    /// Everything off.
+    #[must_use]
+    pub fn off() -> TraceFilter {
+        TraceFilter::all_at(LevelFilter::OFF)
+    }
+
+    /// Every target at `level`.
+    #[must_use]
+    pub fn all(level: Level) -> TraceFilter {
+        TraceFilter::all_at(LevelFilter::at(level))
+    }
+
+    fn all_at(default: LevelFilter) -> TraceFilter {
+        TraceFilter {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides one target's threshold (replacing any previous override).
+    #[must_use]
+    pub fn with_target(mut self, target: &str, level: LevelFilter) -> TraceFilter {
+        if let Some(slot) = self.overrides.iter_mut().find(|(t, _)| t == target) {
+            slot.1 = level;
+        } else {
+            self.overrides.push((target.to_string(), level));
+        }
+        self
+    }
+
+    /// The threshold applied to `target`.
+    #[must_use]
+    pub fn level_for(&self, target: &str) -> LevelFilter {
+        self.overrides
+            .iter()
+            .find(|(t, _)| t == target)
+            .map_or(self.default, |(_, l)| *l)
+    }
+
+    /// The most verbose threshold any target can reach — the value the
+    /// thread-local fast gate caches.
+    #[must_use]
+    pub fn max_level(&self) -> LevelFilter {
+        self.overrides
+            .iter()
+            .map(|(_, l)| *l)
+            .chain([self.default])
+            .max()
+            .unwrap_or(LevelFilter::OFF)
+    }
+}
+
+/// The CLI default when `--trace` is given without `--trace-filter`:
+/// everything at debug (per-entity detail without the kernel firehose).
+impl Default for TraceFilter {
+    fn default() -> TraceFilter {
+        TraceFilter::all(Level::Debug)
+    }
+}
+
+impl fmt::Display for TraceFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.default)?;
+        for (t, l) in &self.overrides {
+            write!(f, ",{t}={l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TraceFilter {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut filter = TraceFilter::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    let level: LevelFilter = level.trim().parse()?;
+                    filter = filter.with_target(target.trim(), level);
+                }
+                None => filter.default = part.parse()?,
+            }
+        }
+        Ok(filter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_debug_everywhere() {
+        let f = TraceFilter::default();
+        assert_eq!(f.level_for("anything"), LevelFilter::at(Level::Debug));
+        assert_eq!(f.max_level(), LevelFilter::at(Level::Debug));
+    }
+
+    #[test]
+    fn parses_overrides_and_default() {
+        let f: TraceFilter = "warn,cloud=trace, net = info".parse().unwrap();
+        assert_eq!(f.level_for("cloud"), LevelFilter::at(Level::Trace));
+        assert_eq!(f.level_for("net"), LevelFilter::at(Level::Info));
+        assert_eq!(f.level_for("simcore"), LevelFilter::at(Level::Warn));
+        assert_eq!(f.max_level(), LevelFilter::at(Level::Trace));
+    }
+
+    #[test]
+    fn bare_level_sets_default_only() {
+        let f: TraceFilter = "info".parse().unwrap();
+        assert_eq!(f.level_for("elearn"), LevelFilter::at(Level::Info));
+    }
+
+    #[test]
+    fn off_target_drops_below_default() {
+        let f: TraceFilter = "debug,simcore=off".parse().unwrap();
+        assert!(!f.level_for("simcore").allows(Level::Error));
+        assert!(f.level_for("cloud").allows(Level::Debug));
+    }
+
+    #[test]
+    fn rejects_bad_levels() {
+        assert!("cloud=verbose".parse::<TraceFilter>().is_err());
+        assert!("shout".parse::<TraceFilter>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let f: TraceFilter = "warn,cloud=trace,net=off".parse().unwrap();
+        let back: TraceFilter = f.to_string().parse().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn repeated_override_takes_last() {
+        let f: TraceFilter = "info,cloud=trace,cloud=warn".parse().unwrap();
+        assert_eq!(f.level_for("cloud"), LevelFilter::at(Level::Warn));
+    }
+}

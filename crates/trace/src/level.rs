@@ -1,0 +1,150 @@
+//! Severity levels and per-target level thresholds.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity, ordered from most to least severe.
+///
+/// The numeric representation is load-bearing: the thread-local fast gate
+/// in [`crate::enabled`] compares `level as u8` against the installed
+/// filter's most-verbose threshold with a single integer compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The model hit a state it treats as a fault (lost work, abandoned
+    /// transfer).
+    Error = 1,
+    /// Notable adversity: host crashes, disasters, abandoned transfers.
+    Warn = 2,
+    /// Lifecycle milestones: VM boots, autoscale decisions, outage windows.
+    Info = 3,
+    /// Per-entity detail: request lifecycles, transfer spans, queue samples.
+    Debug = 4,
+    /// Kernel-granularity firehose: one event per executed sim event.
+    Trace = 5,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// The lowercase name used in filters and JSONL output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown level {other:?} (known: off, error, warn, info, debug, trace)"
+            )),
+        }
+    }
+}
+
+/// A verbosity threshold: either off, or "everything at least this severe".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LevelFilter(u8);
+
+impl LevelFilter {
+    /// Nothing passes.
+    pub const OFF: LevelFilter = LevelFilter(0);
+
+    /// Everything at `level` or more severe passes.
+    #[must_use]
+    pub fn at(level: Level) -> LevelFilter {
+        LevelFilter(level as u8)
+    }
+
+    /// Whether an event at `level` passes this threshold.
+    #[must_use]
+    pub fn allows(self, level: Level) -> bool {
+        level as u8 <= self.0
+    }
+
+    /// The raw threshold byte (0 = off, 5 = trace), for the fast gate.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for LevelFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => f.write_str("off"),
+            1 => f.write_str("error"),
+            2 => f.write_str("warn"),
+            3 => f.write_str("info"),
+            4 => f.write_str("debug"),
+            _ => f.write_str("trace"),
+        }
+    }
+}
+
+impl FromStr for LevelFilter {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "off" {
+            return Ok(LevelFilter::OFF);
+        }
+        s.parse::<Level>().map(LevelFilter::at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_severity() {
+        assert!(Level::Error < Level::Trace);
+        assert!(LevelFilter::at(Level::Info).allows(Level::Warn));
+        assert!(LevelFilter::at(Level::Info).allows(Level::Info));
+        assert!(!LevelFilter::at(Level::Info).allows(Level::Debug));
+        for l in Level::ALL {
+            assert!(!LevelFilter::OFF.allows(l));
+            assert!(LevelFilter::at(Level::Trace).allows(l));
+        }
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for l in Level::ALL {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+            let f = LevelFilter::at(l);
+            assert_eq!(f.to_string().parse::<LevelFilter>().unwrap(), f);
+        }
+        assert_eq!("off".parse::<LevelFilter>().unwrap(), LevelFilter::OFF);
+        assert!("verbose".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! # elc-trace — deterministic sim-time structured event tracing
+//!
+//! The simulator's reports are end-of-run aggregates; this crate is the
+//! timeline underneath them. Every layer of the stack records *sim-time*
+//! stamped structured events into a [`Tracer`]: the kernel's event loop
+//! (`simcore`), VM boot and autoscale decisions (`cloud`), outage windows
+//! and transfers (`net`) and request lifecycles (`elearn`). A trace makes
+//! a run inspectable — *why* did the hybrid deployment's p95 spike during
+//! the enrollment burst, *when* did the autoscaler lag the outage window —
+//! without changing a single reported number.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Disabled tracing is one branch.** Call sites guard with
+//!    [`enabled`] before constructing any argument; `enabled` with no
+//!    tracer installed is a thread-local byte load and a compare.
+//! 2. **Determinism.** A trace is a pure function of `(model, seed,
+//!    filter)`: no wall clock, no thread ids, no allocation addresses.
+//!    The same run traced on one thread or eight produces byte-identical
+//!    output (the replication engine keeps one [`Tracer`] per task and
+//!    reassembles them in task order).
+//! 3. **Bounded memory.** Events land in a ring buffer; when it fills,
+//!    the oldest events are overwritten and counted as dropped.
+//! 4. **Zero dependencies.** The crate sits below `elc-simcore`, so sim
+//!    times cross the API as raw nanosecond `u64`s.
+//!
+//! # Examples
+//!
+//! ```
+//! use elc_trace::{Field, Level, TraceFilter, Tracer};
+//!
+//! let mut tracer = Tracer::new(TraceFilter::all(Level::Debug));
+//! if tracer.enabled("cloud", Level::Info) {
+//!     let span = tracer.span_begin(0, "cloud", "vm.boot", Level::Info, &[
+//!         Field::u64("vm", 0),
+//!     ]);
+//!     tracer.span_end(120_000_000_000, "cloud", "vm.boot", Level::Info, span, &[]);
+//! }
+//! assert_eq!(tracer.len(), 2);
+//! let json = elc_trace::export::jsonl_string(&tracer, &[]);
+//! assert!(json.contains("\"name\":\"vm.boot\""));
+//! ```
+//!
+//! Model code records through the *installed* tracer instead, so layers
+//! need no tracer parameter in every signature:
+//!
+//! ```
+//! use elc_trace::{Field, Level, TraceFilter, Tracer};
+//!
+//! let (sum, tracer) = elc_trace::with_tracer(
+//!     Tracer::new(TraceFilter::all(Level::Trace)),
+//!     || {
+//!         // ... deep inside a model:
+//!         if elc_trace::enabled("elearn", Level::Debug) {
+//!             elc_trace::instant(5, "elearn", "request.arrival", Level::Debug, &[
+//!                 Field::str("class", "quiz-submit"),
+//!             ]);
+//!         }
+//!         2 + 2
+//!     },
+//! );
+//! assert_eq!(sum, 4);
+//! assert_eq!(tracer.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod filter;
+pub mod level;
+pub mod tracer;
+
+mod current;
+
+pub use current::{
+    enabled, install, installed, instant, span_begin, span_end, uninstall, with_tracer,
+};
+pub use event::{EventKind, Field, FieldValue, SpanId, TraceEvent};
+pub use filter::TraceFilter;
+pub use level::{Level, LevelFilter};
+pub use tracer::{TargetSummary, Tracer};

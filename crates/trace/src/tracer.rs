@@ -1,0 +1,387 @@
+//! The tracer: intern pool + bounded ring buffer + per-target counters.
+
+use std::collections::HashMap;
+
+use crate::event::{EventKind, Field, SpanId, Sym, TraceEvent};
+use crate::filter::TraceFilter;
+use crate::level::{Level, LevelFilter};
+
+/// Default ring capacity: enough for the densest single replication in
+/// the suite (E12's diurnal day is ~20k records at debug) with headroom.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Per-target aggregate counters, kept outside the ring so summaries
+/// survive overwrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetSummary {
+    /// The target name.
+    pub target: &'static str,
+    /// Total records (instants + begins + ends).
+    pub events: u64,
+    /// Spans opened (begin records).
+    pub spans: u64,
+    /// Records per level, indexed `[error, warn, info, debug, trace]`.
+    pub by_level: [u64; 5],
+    /// Earliest sim time recorded, nanoseconds.
+    pub first_ns: u64,
+    /// Latest sim time recorded, nanoseconds.
+    pub last_ns: u64,
+}
+
+impl TargetSummary {
+    fn new(target: &'static str) -> TargetSummary {
+        TargetSummary {
+            target,
+            events: 0,
+            spans: 0,
+            by_level: [0; 5],
+            first_ns: u64::MAX,
+            last_ns: 0,
+        }
+    }
+
+    fn record(&mut self, time_ns: u64, level: Level, kind: EventKind) {
+        self.events += 1;
+        self.by_level[level as usize - 1] += 1;
+        if kind == EventKind::Begin {
+            self.spans += 1;
+        }
+        self.first_ns = self.first_ns.min(time_ns);
+        self.last_ns = self.last_ns.max(time_ns);
+    }
+
+    /// Merges another summary for the same target into this one.
+    pub fn merge(&mut self, other: &TargetSummary) {
+        debug_assert_eq!(self.target, other.target);
+        self.events += other.events;
+        self.spans += other.spans;
+        for (a, b) in self.by_level.iter_mut().zip(other.by_level) {
+            *a += b;
+        }
+        self.first_ns = self.first_ns.min(other.first_ns);
+        self.last_ns = self.last_ns.max(other.last_ns);
+    }
+}
+
+/// A sim-time structured event recorder.
+///
+/// One tracer per replication: single-threaded, deterministic, bounded.
+/// Interning maps the `&'static str` target/name literals at call sites
+/// to `u16` symbols, so a record is a handful of words plus its fields.
+///
+/// The ring keeps the **newest** `capacity` events: when full, the
+/// oldest record is overwritten and [`Tracer::dropped`] is incremented.
+/// Per-target counters ([`Tracer::summary`]) are updated on every record
+/// and are therefore exact even after overwrites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tracer {
+    filter: TraceFilter,
+    capacity: usize,
+    ring: Vec<TraceEvent>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    next_seq: u64,
+    next_span: u64,
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, Sym>,
+    stats: Vec<TargetSummary>,
+}
+
+impl Tracer {
+    /// A tracer with the default ring capacity.
+    #[must_use]
+    pub fn new(filter: TraceFilter) -> Tracer {
+        Tracer::with_capacity(filter, DEFAULT_CAPACITY)
+    }
+
+    /// A tracer with an explicit ring capacity (min 1).
+    #[must_use]
+    pub fn with_capacity(filter: TraceFilter, capacity: usize) -> Tracer {
+        Tracer {
+            filter,
+            capacity: capacity.max(1),
+            ring: Vec::new(),
+            head: 0,
+            dropped: 0,
+            next_seq: 0,
+            next_span: 0,
+            names: Vec::new(),
+            ids: HashMap::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// The filter this tracer applies.
+    #[must_use]
+    pub fn filter(&self) -> &TraceFilter {
+        &self.filter
+    }
+
+    /// Whether an event for `target` at `level` would be recorded.
+    #[must_use]
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        self.filter.level_for(target).allows(level)
+    }
+
+    /// The most verbose threshold any target can reach.
+    #[must_use]
+    pub fn max_level(&self) -> LevelFilter {
+        self.filter.max_level()
+    }
+
+    /// Records a point event.
+    pub fn instant(
+        &mut self,
+        time_ns: u64,
+        target: &'static str,
+        name: &'static str,
+        level: Level,
+        fields: &[Field],
+    ) {
+        if self.enabled(target, level) {
+            self.record(
+                time_ns,
+                target,
+                name,
+                level,
+                EventKind::Instant,
+                SpanId::NONE,
+                fields,
+            );
+        }
+    }
+
+    /// Opens a span; the returned id must be passed to
+    /// [`Tracer::span_end`]. Returns [`SpanId::NONE`] when filtered out.
+    #[must_use]
+    pub fn span_begin(
+        &mut self,
+        time_ns: u64,
+        target: &'static str,
+        name: &'static str,
+        level: Level,
+        fields: &[Field],
+    ) -> SpanId {
+        if !self.enabled(target, level) {
+            return SpanId::NONE;
+        }
+        self.next_span += 1;
+        let span = SpanId(self.next_span);
+        self.record(time_ns, target, name, level, EventKind::Begin, span, fields);
+        span
+    }
+
+    /// Closes a span. A [`SpanId::NONE`] (filtered-out begin) is ignored.
+    pub fn span_end(
+        &mut self,
+        time_ns: u64,
+        target: &'static str,
+        name: &'static str,
+        level: Level,
+        span: SpanId,
+        fields: &[Field],
+    ) {
+        if span.is_some() && self.enabled(target, level) {
+            self.record(time_ns, target, name, level, EventKind::End, span, fields);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        time_ns: u64,
+        target: &'static str,
+        name: &'static str,
+        level: Level,
+        kind: EventKind,
+        span: SpanId,
+        fields: &[Field],
+    ) {
+        let target_sym = self.intern(target);
+        let name_sym = self.intern(name);
+        self.stat_for(target).record(time_ns, level, kind);
+        let event = TraceEvent {
+            seq: self.next_seq,
+            time_ns,
+            target: target_sym,
+            name: name_sym,
+            level,
+            kind,
+            span,
+            fields: fields.to_vec(),
+        };
+        self.next_seq += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn intern(&mut self, s: &'static str) -> Sym {
+        if let Some(&sym) = self.ids.get(s) {
+            return sym;
+        }
+        let sym = Sym(u16::try_from(self.names.len()).expect("intern pool overflow"));
+        self.names.push(s);
+        self.ids.insert(s, sym);
+        sym
+    }
+
+    fn stat_for(&mut self, target: &'static str) -> &mut TargetSummary {
+        if let Some(i) = self.stats.iter().position(|s| s.target == target) {
+            return &mut self.stats[i];
+        }
+        self.stats.push(TargetSummary::new(target));
+        self.stats.last_mut().expect("just pushed")
+    }
+
+    /// Resolves an interned symbol back to its string.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &'static str {
+        self.names[sym.0 as usize]
+    }
+
+    /// Number of events currently held in the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded (or everything was filtered).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events oldest → newest.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, tail) = self.ring.split_at(self.head);
+        tail.iter().chain(wrapped.iter())
+    }
+
+    /// Per-target counters, sorted by target name. Exact across ring
+    /// overwrites.
+    #[must_use]
+    pub fn summary(&self) -> Vec<TargetSummary> {
+        let mut out = self.stats.clone();
+        out.sort_by_key(|s| s.target);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn debug_tracer() -> Tracer {
+        Tracer::new(TraceFilter::all(Level::Debug))
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut t = debug_tracer();
+        t.instant(10, "net", "outage", Level::Info, &[Field::u64("w", 1)]);
+        t.instant(20, "net", "outage", Level::Info, &[]);
+        let times: Vec<u64> = t.events().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![10, 20]);
+        assert_eq!(t.events().next().unwrap().seq, 0);
+        assert_eq!(t.resolve(t.events().next().unwrap().target), "net");
+    }
+
+    #[test]
+    fn filtering_drops_below_threshold() {
+        let mut t = Tracer::new(TraceFilter::all(Level::Info));
+        t.instant(0, "elearn", "request.arrival", Level::Debug, &[]);
+        assert!(t.is_empty());
+        assert!(t.summary().is_empty());
+    }
+
+    #[test]
+    fn span_pair_shares_identity() {
+        let mut t = debug_tracer();
+        let span = t.span_begin(0, "cloud", "vm.boot", Level::Info, &[]);
+        t.span_end(5, "cloud", "vm.boot", Level::Info, span, &[]);
+        let events: Vec<&TraceEvent> = t.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Begin);
+        assert_eq!(events[1].kind, EventKind::End);
+        assert_eq!(events[0].span, events[1].span);
+        assert!(events[0].span.is_some());
+    }
+
+    #[test]
+    fn filtered_span_begin_suppresses_end() {
+        let mut t = Tracer::new(TraceFilter::all(Level::Warn));
+        let span = t.span_begin(0, "cloud", "vm.boot", Level::Info, &[]);
+        assert_eq!(span, SpanId::NONE);
+        t.span_end(5, "cloud", "vm.boot", Level::Info, span, &[]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut t = Tracer::with_capacity(TraceFilter::all(Level::Trace), 4);
+        for i in 0..10u64 {
+            t.instant(i, "simcore", "event.exec", Level::Trace, &[]);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let times: Vec<u64> = t.events().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Summary counters are exact despite the overwrites.
+        assert_eq!(t.summary()[0].events, 10);
+    }
+
+    #[test]
+    fn interning_dedups_strings() {
+        let mut t = debug_tracer();
+        for i in 0..100 {
+            t.instant(i, "cloud", "autoscale.decide", Level::Info, &[]);
+        }
+        let first = t.events().next().unwrap();
+        let last = t.events().last().unwrap();
+        assert_eq!(first.target, last.target);
+        assert_eq!(first.name, last.name);
+    }
+
+    #[test]
+    fn summary_counts_by_target_and_level() {
+        let mut t = debug_tracer();
+        t.instant(5, "cloud", "host.fail", Level::Warn, &[]);
+        let s = t.span_begin(0, "cloud", "vm.boot", Level::Info, &[]);
+        t.span_end(7, "cloud", "vm.boot", Level::Info, s, &[]);
+        t.instant(9, "net", "transfer.gave_up", Level::Warn, &[]);
+        let summary = t.summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].target, "cloud");
+        assert_eq!(summary[0].events, 3);
+        assert_eq!(summary[0].spans, 1);
+        assert_eq!(summary[0].by_level, [0, 1, 2, 0, 0]);
+        assert_eq!(summary[0].first_ns, 0);
+        assert_eq!(summary[0].last_ns, 7);
+        assert_eq!(summary[1].target, "net");
+    }
+
+    #[test]
+    fn per_target_override_applies() {
+        let filter: TraceFilter = "off,cloud=info".parse().unwrap();
+        let mut t = Tracer::new(filter);
+        t.instant(0, "cloud", "vm.stop", Level::Info, &[]);
+        t.instant(0, "net", "outage", Level::Error, &[]);
+        assert_eq!(t.len(), 1);
+        assert!(t.enabled("cloud", Level::Info));
+        assert!(!t.enabled("net", Level::Error));
+    }
+}

@@ -8,100 +8,94 @@
 //! elc-run --list
 //! elc-run --experiment e01 [--scenario NAME] [--replications N]
 //!         [--threads T] [--seed S] [--quiet]
+//!         [--trace PATH.jsonl] [--trace-filter SPEC]
 //! ```
 //!
 //! The aggregate table is a pure function of `(experiment, scenario,
 //! seed, replications)` — re-running with a different `--threads` value
-//! reproduces it byte for byte.
+//! reproduces it byte for byte. So is the trace: `--trace run.jsonl`
+//! writes one JSONL event stream (each line labelled with its
+//! replication index) that is byte-identical at any thread count, plus a
+//! per-target summary table on stdout.
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use elearn_cloud::core::experiments::{find, registry};
-use elearn_cloud::core::Scenario;
+use elearn_cloud::analysis::table::Table;
+use elearn_cloud::core::cli_args::{
+    experiment_list, flag, parse_or, scenario_by_name, split_args, unknown_experiment,
+    unknown_scenario, TraceOptions, SCENARIO_USAGE,
+};
+use elearn_cloud::core::experiments::find;
 use elearn_cloud::runner::progress::{Silent, Stderr};
-use elearn_cloud::runner::{run, Progress, RunSpec};
+use elearn_cloud::runner::{run, Progress, RunOutcome, RunSpec};
+use elearn_cloud::trace::export::{merge_summaries, total_dropped, write_jsonl};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elc-run --list\n  \
          elc-run --experiment <ID> [--scenario NAME] [--replications N] \
-         [--threads T] [--seed S] [--quiet]\n\
+         [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC]\n\
          experiments: e1..e15, t1\n\
-         scenarios: small-college (default) | rural-learners | university | national-platform\n\
-         defaults: --replications 8, --seed 2013, --threads <available cores>"
+         {SCENARIO_USAGE}\n\
+         defaults: --scenario small-college, --replications 8, --seed 2013, \
+         --threads <available cores>\n\
+         trace filter: LEVEL or LEVEL,target=LEVEL,... (e.g. warn,cloud=trace,net=off)"
     );
     ExitCode::from(2)
-}
-
-fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
-    Some(match name {
-        "small-college" => Scenario::small_college(seed),
-        "rural-learners" => Scenario::rural_learners(seed),
-        "university" => Scenario::university(seed),
-        "national-platform" => Scenario::national_platform(seed),
-        _ => return None,
-    })
-}
-
-/// Pulls `--flag [value]` pairs out of the argument list; boolean flags
-/// (`--list`, `--quiet`) get an empty value.
-fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
-    let mut flags = Vec::new();
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        let Some(name) = a.strip_prefix("--") else {
-            return Err(format!("unexpected positional argument {a:?}"));
-        };
-        let value = match it.peek() {
-            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
-            _ => String::new(),
-        };
-        flags.push((name.to_string(), value));
-    }
-    Ok(flags)
-}
-
-fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .find(|(n, _)| n == name)
-        .map(|(_, v)| v.as_str())
-}
-
-fn parse_or<T: std::str::FromStr>(
-    flags: &[(String, String)],
-    name: &str,
-    default: T,
-) -> Result<T, String> {
-    match flag(flags, name) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
-    }
 }
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Writes the labelled JSONL trace and returns the per-target summary
+/// table plus a one-line accounting note.
+fn export_trace(outcome: &RunOutcome, opts: &TraceOptions) -> std::io::Result<(Table, String)> {
+    let file = std::fs::File::create(&opts.path)?;
+    let mut out = std::io::BufWriter::new(file);
+    for (index, tracer) in outcome.traces.iter().enumerate() {
+        write_jsonl(&mut out, tracer, &[("rep", &index.to_string())])?;
+    }
+    out.flush()?;
+
+    let mut table = Table::new([
+        "target", "events", "spans", "error", "warn", "info", "debug", "trace",
+    ]);
+    let mut total = 0u64;
+    for s in merge_summaries(outcome.traces.iter()) {
+        total += s.events;
+        table.row([
+            s.target.to_string(),
+            s.events.to_string(),
+            s.spans.to_string(),
+            s.by_level[0].to_string(),
+            s.by_level[1].to_string(),
+            s.by_level[2].to_string(),
+            s.by_level[3].to_string(),
+            s.by_level[4].to_string(),
+        ]);
+    }
+    let dropped = total_dropped(outcome.traces.iter());
+    let note = format!(
+        "trace: {total} events across {} replications written to {} ({dropped} dropped by ring capacity)",
+        outcome.traces.len(),
+        opts.path.display(),
+    );
+    Ok((table, note))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flags = match parse_flags(&args) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("{e}");
-            return usage();
-        }
-    };
+    let (positional, flags) = split_args(&args);
+    if let Some(p) = positional.first() {
+        eprintln!("unexpected positional argument {p:?}");
+        return usage();
+    }
 
     if flag(&flags, "list").is_some() {
-        let mut out = std::io::stdout().lock();
-        for e in registry() {
-            // Ignore EPIPE so `elc-run --list | head` exits cleanly.
-            let _ = writeln!(out, "{:<4} {}", e.id(), e.name());
-        }
+        // Ignore EPIPE so `elc-run --list | head` exits cleanly.
+        let _ = write!(std::io::stdout().lock(), "{}", experiment_list());
         return ExitCode::SUCCESS;
     }
 
@@ -109,7 +103,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let Some(experiment) = find(id) else {
-        eprintln!("unknown experiment {id:?} (try --list)");
+        eprintln!("{}", unknown_experiment(id));
         return usage();
     };
 
@@ -132,13 +126,24 @@ fn main() -> ExitCode {
         return usage();
     }
 
+    let trace_opts = match TraceOptions::from_flags(&flags) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+
     let scenario_name = flag(&flags, "scenario").unwrap_or("small-college");
     let Some(scenario) = scenario_by_name(scenario_name, seed) else {
-        eprintln!("unknown scenario {scenario_name:?}");
+        eprintln!("{}", unknown_scenario(scenario_name));
         return usage();
     };
 
-    let spec = RunSpec::new(experiment, scenario, replications).threads(threads);
+    let mut spec = RunSpec::new(experiment, scenario, replications).threads(threads);
+    if let Some(opts) = &trace_opts {
+        spec = spec.trace(opts.filter.clone());
+    }
     let mut silent = Silent;
     let mut stderr = Stderr;
     let progress: &mut dyn Progress = if flag(&flags, "quiet").is_some() {
@@ -150,5 +155,17 @@ fn main() -> ExitCode {
     let outcome = run(&spec, progress);
     // Ignore EPIPE so `elc-run ... | head` exits cleanly.
     let _ = writeln!(std::io::stdout().lock(), "{}", outcome.report());
+
+    if let Some(opts) = &trace_opts {
+        match export_trace(&outcome, opts) {
+            Ok((table, note)) => {
+                let _ = writeln!(std::io::stdout().lock(), "{table}\n{note}");
+            }
+            Err(e) => {
+                eprintln!("cannot write trace {}: {e}", opts.path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

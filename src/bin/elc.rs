@@ -16,7 +16,11 @@
 
 use std::process::ExitCode;
 
-use elearn_cloud::core::experiments::{find, registry, run_all};
+use elearn_cloud::core::cli_args::{
+    flag, parse_or, scenario_by_name, scenario_list, split_args, unknown_experiment,
+    unknown_scenario, SCENARIO_USAGE,
+};
+use elearn_cloud::core::experiments::{find, run_all};
 use elearn_cloud::core::{advise, Requirements, Scenario};
 
 fn usage() -> ExitCode {
@@ -25,54 +29,9 @@ fn usage() -> ExitCode {
          elc experiment <ID> [SCENARIO] [--seed N]\n  \
          elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
          [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
-         scenarios: small-college | rural-learners | university | national-platform"
+         {SCENARIO_USAGE}"
     );
     ExitCode::from(2)
-}
-
-fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
-    Some(match name {
-        "small-college" => Scenario::small_college(seed),
-        "rural-learners" => Scenario::rural_learners(seed),
-        "university" => Scenario::university(seed),
-        "national-platform" => Scenario::national_platform(seed),
-        _ => return None,
-    })
-}
-
-/// Pulls `--flag value` pairs out of the argument list, returning the
-/// remaining positional arguments.
-fn split_flags(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
-    let mut positional = Vec::new();
-    let mut flags = Vec::new();
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        if let Some(name) = a.strip_prefix("--") {
-            match it.next() {
-                Some(v) => flags.push((name.to_string(), v.clone())),
-                None => flags.push((name.to_string(), String::new())),
-            }
-        } else {
-            positional.push(a.clone());
-        }
-    }
-    (positional, flags)
-}
-
-fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .find(|(n, _)| n == name)
-        .map(|(_, v)| v.as_str())
-}
-
-fn parse_weight(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
-    match flag(flags, name) {
-        None => Ok(default),
-        Some(v) => v
-            .parse::<f64>()
-            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
-    }
 }
 
 fn run_experiment(id: &str, scenario: &Scenario) -> Option<String> {
@@ -86,45 +45,29 @@ fn main() -> ExitCode {
     let Some(command) = args.first().cloned() else {
         return usage();
     };
-    let (positional, flags) = split_flags(&args[1..]);
+    let (positional, flags) = split_args(&args[1..]);
 
-    let seed = match flag(&flags, "seed").map(str::parse::<u64>) {
-        None => 2013,
-        Some(Ok(s)) => s,
-        Some(Err(_)) => {
-            eprintln!("--seed expects an unsigned integer");
+    let seed = match parse_or(&flags, "seed", 2013u64) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
             return usage();
         }
     };
 
     match command.as_str() {
         "scenarios" => {
-            for name in [
-                "small-college",
-                "rural-learners",
-                "university",
-                "national-platform",
-            ] {
-                let s = scenario_by_name(name, seed).expect("preset exists");
-                println!(
-                    "{name:<18} {:>7} students, link {}, availability {:.3}%",
-                    s.students(),
-                    s.link(),
-                    s.outages().availability() * 100.0
-                );
-            }
+            print!("{}", scenario_list(seed));
             ExitCode::SUCCESS
         }
         "experiments" => {
-            for e in registry() {
-                println!("{:<4} {}", e.id(), e.name());
-            }
+            print!("{}", elearn_cloud::core::cli_args::experiment_list());
             ExitCode::SUCCESS
         }
         "report" => {
             let name = positional.first().map_or("small-college", String::as_str);
             let Some(scenario) = scenario_by_name(name, seed) else {
-                eprintln!("unknown scenario {name:?}");
+                eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
             let outputs = run_all(&scenario);
@@ -137,7 +80,7 @@ fn main() -> ExitCode {
             };
             let name = positional.get(1).map_or("small-college", String::as_str);
             let Some(scenario) = scenario_by_name(name, seed) else {
-                eprintln!("unknown scenario {name:?}");
+                eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
             match run_experiment(&id.to_lowercase(), &scenario) {
@@ -146,7 +89,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 None => {
-                    eprintln!("unknown experiment {id:?} (e1..e15, t1)");
+                    eprintln!("{}", unknown_experiment(id));
                     usage()
                 }
             }
@@ -154,7 +97,7 @@ fn main() -> ExitCode {
         "advise" => {
             let name = positional.first().map_or("small-college", String::as_str);
             let Some(scenario) = scenario_by_name(name, seed) else {
-                eprintln!("unknown scenario {name:?}");
+                eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
             let base = match flag(&flags, "profile") {
@@ -168,20 +111,12 @@ fn main() -> ExitCode {
             };
             let reqs = (|| -> Result<Requirements, String> {
                 Ok(Requirements {
-                    cost_sensitivity: parse_weight(&flags, "cost", base.cost_sensitivity)?,
-                    security_sensitivity: parse_weight(
-                        &flags,
-                        "security",
-                        base.security_sensitivity,
-                    )?,
-                    elasticity_need: parse_weight(&flags, "elasticity", base.elasticity_need)?,
-                    portability_concern: parse_weight(
-                        &flags,
-                        "portability",
-                        base.portability_concern,
-                    )?,
-                    time_pressure: parse_weight(&flags, "time", base.time_pressure)?,
-                    ops_capacity: parse_weight(&flags, "ops", base.ops_capacity)?,
+                    cost_sensitivity: parse_or(&flags, "cost", base.cost_sensitivity)?,
+                    security_sensitivity: parse_or(&flags, "security", base.security_sensitivity)?,
+                    elasticity_need: parse_or(&flags, "elasticity", base.elasticity_need)?,
+                    portability_concern: parse_or(&flags, "portability", base.portability_concern)?,
+                    time_pressure: parse_or(&flags, "time", base.time_pressure)?,
+                    ops_capacity: parse_or(&flags, "ops", base.ops_capacity)?,
                 })
             })();
             let reqs = match reqs {

@@ -4,6 +4,7 @@
 //! This umbrella crate re-exports the whole workspace (see `DESIGN.md` for
 //! the architecture and the paper-claim → experiment index):
 //!
+//! * [`trace`] — deterministic sim-time structured event tracing,
 //! * [`simcore`] — deterministic discrete-event simulation kernel,
 //! * [`net`] — links, topology, outages, transfers,
 //! * [`cloud`] — datacenters, VMs, autoscaling, storage, failures, billing,
@@ -40,3 +41,4 @@ pub use elc_elearn as elearn;
 pub use elc_net as net;
 pub use elc_runner as runner;
 pub use elc_simcore as simcore;
+pub use elc_trace as trace;
