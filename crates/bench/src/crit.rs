@@ -6,7 +6,10 @@
 //! builds in has no crates.io access, so the harness ships its own timing
 //! loop instead of depending on the `criterion` crate: per benchmark it
 //! warms up, calibrates a batch size, takes `sample_size` wall-clock
-//! samples and reports the median ns/iter with the min–max spread.
+//! samples per repetition and reports the minimum over `repetitions` of
+//! the per-repetition median ns/iter, with the global min–max spread
+//! (min-of-N medians filters transient machine load out of regression
+//! comparisons — see [`Criterion::repetitions`]).
 //!
 //! It intentionally does *not* reproduce Criterion's statistics (outlier
 //! classification, regression to baseline); the numbers are for
@@ -21,6 +24,7 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    repetitions: usize,
 }
 
 impl Default for Criterion {
@@ -29,6 +33,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
+            repetitions: 1,
         }
     }
 }
@@ -64,6 +69,26 @@ impl Criterion {
     #[must_use]
     pub fn warm_up_time(mut self, d: Duration) -> Self {
         self.warm_up_time = d;
+        self
+    }
+
+    /// Number of independent measurement repetitions per benchmark; the
+    /// reported median is the **minimum of the per-repetition medians**.
+    ///
+    /// One repetition's median still carries the machine's transient load
+    /// (a background task landing on the sampled core shifts every sample
+    /// the same way), so back-to-back runs of an unchanged benchmark can
+    /// disagree by a few percent — enough to read as a fake regression.
+    /// The minimum over N repetitions is a robust estimate of the
+    /// undisturbed cost: noise only ever slows a repetition down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn repetitions(mut self, n: usize) -> Self {
+        assert!(n > 0, "repetitions must be positive");
+        self.repetitions = n;
         self
     }
 
@@ -151,6 +176,7 @@ pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    repetitions: usize,
     /// Median / min / max ns-per-iteration, filled by [`Bencher::iter`].
     result: Option<(f64, f64, f64)>,
 }
@@ -190,18 +216,29 @@ impl Bencher {
             iters *= 2;
         }
 
-        let mut samples: Vec<f64> = (0..self.sample_size)
-            .map(|_| {
-                let start = Instant::now();
-                for _ in 0..iters {
-                    std::hint::black_box(f());
-                }
-                start.elapsed().as_secs_f64() * 1e9 / iters as f64
-            })
-            .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
-        let median = samples[samples.len() / 2];
-        self.result = Some((median, samples[0], samples[samples.len() - 1]));
+        // One warm-up and calibration serve all repetitions; each
+        // repetition is an independent sample set, and the reported median
+        // is the minimum of the per-repetition medians (see
+        // [`Criterion::repetitions`]).
+        let mut best_median = f64::INFINITY;
+        let mut global_min = f64::INFINITY;
+        let mut global_max = f64::NEG_INFINITY;
+        for _ in 0..self.repetitions {
+            let mut samples: Vec<f64> = (0..self.sample_size)
+                .map(|_| {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+            best_median = best_median.min(samples[samples.len() / 2]);
+            global_min = global_min.min(samples[0]);
+            global_max = global_max.max(samples[samples.len() - 1]);
+        }
+        self.result = Some((best_median, global_min, global_max));
     }
 }
 
@@ -214,17 +251,19 @@ fn run_one(
         sample_size: criterion.sample_size,
         measurement_time: criterion.measurement_time,
         warm_up_time: criterion.warm_up_time,
+        repetitions: criterion.repetitions,
         result: None,
     };
     f(&mut b);
     match b.result {
         Some((median, min, max)) => {
             println!(
-                "bench: {label:<48} {:>14} ns/iter (min {}, max {}, {} samples)",
+                "bench: {label:<48} {:>14} ns/iter (min {}, max {}, {} samples x {} reps)",
                 fmt_ns(median),
                 fmt_ns(min),
                 fmt_ns(max),
-                criterion.sample_size
+                criterion.sample_size,
+                criterion.repetitions
             );
             Some(Measurement {
                 median_ns: median,
@@ -314,6 +353,24 @@ mod tests {
             b.iter(|| xs.iter().sum::<u64>())
         });
         g.finish();
+    }
+
+    #[test]
+    fn repetitions_report_the_best_median() {
+        let mut c = fast_config().repetitions(3);
+        let m = c
+            .bench_measured("noop", |b| b.iter(|| std::hint::black_box(1 + 1)))
+            .expect("iter was called");
+        // The reported median is one of the repetition medians, so it must
+        // sit inside the global spread.
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.median_ns > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetitions must be positive")]
+    fn zero_repetitions_rejected() {
+        let _ = Criterion::default().repetitions(0);
     }
 
     #[test]

@@ -210,7 +210,11 @@ fn autoscale(sim: &mut Simulation<World>) {
 }
 
 /// Simulates one strategy over 24 hours of the exam day.
-fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
+///
+/// `buckets` is caller-owned histogram storage: it is consumed via
+/// `Histogram::from_buckets` and handed back alongside the row so a
+/// replication loop re-runs without re-allocating it.
+fn simulate(scenario: &Scenario, strategy: Strategy, buckets: Vec<u64>) -> (SurgeRow, Vec<u64>) {
     let workload = scenario.workload();
     let cal = scenario.calendar();
     // Day 2 of the exam period (a weekday under the standard calendar).
@@ -259,7 +263,7 @@ fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
             .derive(&strategy.to_string()),
         offered: 0,
         rejected: 0,
-        latency: Histogram::new(),
+        latency: Histogram::from_buckets(buckets),
     };
 
     let mut sim = Simulation::new(scenario.seed(), world);
@@ -290,7 +294,7 @@ fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
     sim.run_until(horizon);
 
     let w = sim.into_state();
-    SurgeRow {
+    let row = SurgeRow {
         strategy,
         rejected_fraction: if w.offered == 0 {
             0.0
@@ -300,18 +304,29 @@ fn simulate(scenario: &Scenario, strategy: Strategy) -> SurgeRow {
         p95_latency_s: w.latency.p95(),
         vm_hours: w.fleet.integral(horizon) / 3_600.0,
         peak_vms: w.fleet.max(),
-    }
+    };
+    (row, w.latency.into_buckets())
 }
 
-/// Runs all three strategies.
+/// Runs all five strategies.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
-    Output {
-        rows: Strategy::ALL
-            .iter()
-            .map(|&s| simulate(scenario, s))
-            .collect(),
+    run_with_buckets(scenario, &mut Vec::new())
+}
+
+/// Runs all five strategies, reusing `buckets` as the latency histogram's
+/// storage — across strategies here, and across replications when the
+/// caller keeps the vector around (the `elc-runner` scratch path). Output
+/// is identical to [`run`]: the buffer is storage, never state.
+#[must_use]
+pub fn run_with_buckets(scenario: &Scenario, buckets: &mut Vec<u64>) -> Output {
+    let mut rows = Vec::with_capacity(Strategy::ALL.len());
+    for &s in &Strategy::ALL {
+        let (row, reclaimed) = simulate(scenario, s, std::mem::take(buckets));
+        *buckets = reclaimed;
+        rows.push(row);
     }
+    Output { rows }
 }
 
 impl Output {
@@ -482,5 +497,18 @@ mod tests {
         let a = run(&Scenario::university(8));
         let b = run(&Scenario::university(8));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_reuse_is_invisible_in_the_output() {
+        // Back-to-back replications through one reused buffer must match
+        // fresh runs exactly — scratch is storage, never state.
+        let mut buckets = Vec::new();
+        for seed in [8, 9, 41] {
+            let scenario = Scenario::university(seed);
+            let reused = run_with_buckets(&scenario, &mut buckets);
+            assert_eq!(reused, run(&scenario), "seed {seed} diverged");
+            assert!(!buckets.is_empty(), "storage must be handed back");
+        }
     }
 }

@@ -28,7 +28,7 @@ pub mod e15;
 pub mod registry;
 pub mod t1;
 
-pub use registry::{find, registry, Experiment, ExperimentRun};
+pub use registry::{find, registry, Experiment, ExperimentRun, ExperimentScratch};
 
 use elc_analysis::report::Report;
 

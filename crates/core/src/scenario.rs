@@ -289,8 +289,17 @@ impl Scenario {
     #[must_use]
     pub fn with_seed(&self, seed: u64) -> Scenario {
         let mut s = self.clone();
-        s.seed = seed;
+        s.reseed(seed);
         s
+    }
+
+    /// Changes the root seed in place.
+    ///
+    /// The clone-free counterpart of [`Scenario::with_seed`] for
+    /// replication loops that keep one scenario and re-aim it at each
+    /// derived seed.
+    pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
     }
 
     /// A copy with a different population (for sweeps).

@@ -9,7 +9,6 @@ use elc_net::units::Bytes;
 use elc_simcore::dist::{DistError, Weighted};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
-use elc_simcore::Distribution;
 use elc_trace::{Field, Level};
 
 use crate::TRACE_TARGET;
@@ -267,7 +266,8 @@ impl RequestMix {
 
     /// Draws one request kind.
     pub fn sample(&self, rng: &mut SimRng) -> RequestKind {
-        self.dist.sample(rng)
+        // `RequestKind` is `Copy`: sample by reference, no clone machinery.
+        *self.dist.sample_ref(rng)
     }
 
     /// Mean service weight of the mix — converts request rates into

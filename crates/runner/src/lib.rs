@@ -42,6 +42,7 @@ pub mod manifest;
 pub mod plan;
 pub mod pool;
 pub mod progress;
+pub mod scratch;
 
 use std::time::Instant;
 

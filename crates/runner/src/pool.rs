@@ -18,6 +18,7 @@ use elc_trace::Tracer;
 
 use crate::plan::RunSpec;
 use crate::progress::Progress;
+use crate::scratch::Scratch;
 
 /// One completed replication.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +55,11 @@ pub fn run_tasks(spec: &RunSpec, progress: &mut dyn Progress) -> Vec<TaskResult>
 
 fn run_serial(spec: &RunSpec, progress: &mut dyn Progress) -> Vec<TaskResult> {
     let total = spec.replications();
+    // The serial path is one worker: one scratch covers the whole run.
+    let mut scratch = Scratch::new();
     (0..total)
         .map(|index| {
-            let result = execute(spec, index);
+            let result = execute(spec, index, &mut scratch);
             progress.task_done(index + 1, total, result.wall);
             result
         })
@@ -78,11 +81,14 @@ fn run_parallel(spec: &RunSpec, progress: &mut dyn Progress, workers: usize) -> 
             let task_rx = Arc::clone(&task_rx);
             let result_tx = result_tx.clone();
             scope.spawn(move || {
+                // Each worker owns its scratch for its whole lifetime;
+                // tasks reuse the previous task's working set.
+                let mut scratch = Scratch::new();
                 loop {
                     // Hold the lock only to dequeue, not while running.
                     let task = task_rx.lock().expect("queue lock poisoned").recv();
                     let Ok(index) = task else { break };
-                    if result_tx.send(execute(spec, index)).is_err() {
+                    if result_tx.send(execute(spec, index, &mut scratch)).is_err() {
                         break;
                     }
                 }
@@ -101,20 +107,22 @@ fn run_parallel(spec: &RunSpec, progress: &mut dyn Progress, workers: usize) -> 
     })
 }
 
-fn execute(spec: &RunSpec, index: u32) -> TaskResult {
-    let scenario = spec.scenario_for(index);
+fn execute(spec: &RunSpec, index: u32, scratch: &mut Scratch) -> TaskResult {
+    let (scenario, buffers) = scratch.parts(spec, index);
     let seed = scenario.seed();
     let start = Instant::now();
     // The metrics-only entry point: the section render (title strings,
-    // notes, row formatting) would be thrown away here, so skip it.
+    // notes, row formatting) would be thrown away here, so skip it. The
+    // scratch variant reuses this worker's buffers; scratch is storage,
+    // never state, so the result still depends only on (scenario, seed).
     let (metrics, trace) = match spec.trace_filter() {
-        None => (spec.experiment().run_metrics(&scenario), None),
+        None => (spec.experiment().run_metrics_with(scenario, buffers), None),
         Some(filter) => {
             // One tracer per task, installed only for this replication:
             // the trace depends on (scenario, seed, filter), never on
             // which worker thread ran it.
             let (metrics, tracer) = elc_trace::with_tracer(Tracer::new(filter.clone()), || {
-                spec.experiment().run_metrics(&scenario)
+                spec.experiment().run_metrics_with(scenario, buffers)
             });
             (metrics, Some(tracer))
         }

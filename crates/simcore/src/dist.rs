@@ -371,7 +371,7 @@ pub struct Weighted<T> {
     cdf: Vec<f64>,
 }
 
-impl<T: Clone> Weighted<T> {
+impl<T> Weighted<T> {
     /// Creates a weighted distribution from `(item, weight)` pairs.
     ///
     /// # Errors
@@ -413,18 +413,31 @@ impl<T: Clone> Weighted<T> {
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
-}
 
-impl<T: Clone> Distribution<T> for Weighted<T> {
-    fn sample(&self, rng: &mut SimRng) -> T {
+    /// Draws the index of a weighted item without touching the item itself.
+    ///
+    /// This is the clone-free primitive behind [`Distribution::sample`]; use
+    /// it (or [`Weighted::sample_ref`]) on the hot path when the item is
+    /// `Copy` or cheap to dereference.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
         let u = rng.next_f64();
-        let i = match self
+        match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
         {
             Ok(i) | Err(i) => i.min(self.items.len() - 1),
-        };
-        self.items[i].clone()
+        }
+    }
+
+    /// Draws a weighted item by reference, without cloning.
+    pub fn sample_ref(&self, rng: &mut SimRng) -> &T {
+        &self.items[self.sample_index(rng)]
+    }
+}
+
+impl<T: Clone> Distribution<T> for Weighted<T> {
+    fn sample(&self, rng: &mut SimRng) -> T {
+        self.items[self.sample_index(rng)].clone()
     }
 }
 
@@ -624,6 +637,31 @@ mod tests {
         for _ in 0..1_000 {
             assert_eq!(d.sample(&mut rng), "always");
         }
+    }
+
+    #[test]
+    fn weighted_sample_ref_matches_sample() {
+        // The clone-free path consumes the same randomness and picks the
+        // same item as the cloning `Distribution::sample`.
+        let d = Weighted::new([("a", 3.0), ("b", 1.0), ("c", 2.0)]).unwrap();
+        let mut by_clone = SimRng::seed(18);
+        let mut by_ref = SimRng::seed(18);
+        for _ in 0..1_000 {
+            let cloned: &str = d.sample(&mut by_clone);
+            assert_eq!(*d.sample_ref(&mut by_ref), cloned);
+        }
+    }
+
+    #[test]
+    fn weighted_works_without_clone() {
+        // `sample_index`/`sample_ref` are available for non-`Clone` items.
+        struct NotClone(u8);
+        let d = Weighted::new([(NotClone(1), 1.0), (NotClone(2), 1.0)]).unwrap();
+        let mut rng = SimRng::seed(19);
+        assert_eq!(d.len(), 2);
+        let i = d.sample_index(&mut rng);
+        assert!(i < 2);
+        assert!(matches!(d.sample_ref(&mut rng), NotClone(1 | 2)));
     }
 
     #[test]

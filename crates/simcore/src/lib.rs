@@ -59,11 +59,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `event` opts in locally for the inline-payload buffer
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod dist;
+pub mod event;
 pub mod id;
 pub mod metrics;
 pub mod queue;

@@ -113,37 +113,38 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` at `time` and returns a handle for cancellation.
+    #[inline]
     pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
+        let pos = self.heap.len() as u32;
+        // Fill the slot in one borrow: `heap_pos` is written and
+        // `generation` read while the slot is already in hand, so the hot
+        // loop touches `slots` exactly once per push.
+        let (slot, generation) = match self.free.pop() {
             Some(i) => {
                 let s = &mut self.slots[i as usize];
                 s.time = time;
                 s.seq = seq;
+                s.heap_pos = pos;
                 s.payload = Some(payload);
-                i
+                (i, s.generation)
             }
             None => {
                 let i = u32::try_from(self.slots.len()).expect("more than u32::MAX pending events");
                 self.slots.push(Slot {
                     generation: 0,
-                    heap_pos: 0,
+                    heap_pos: pos,
                     seq,
                     time,
                     payload: Some(payload),
                 });
-                i
+                (i, 0)
             }
         };
-        let pos = self.heap.len();
         self.heap.push(slot);
-        self.slots[slot as usize].heap_pos = pos as u32;
-        self.sift_up(pos);
-        EventId {
-            slot,
-            generation: self.slots[slot as usize].generation,
-        }
+        self.sift_up(pos as usize);
+        EventId { slot, generation }
     }
 
     /// Schedules a batch of events in one call.
@@ -175,7 +176,10 @@ impl<E> EventQueue<E> {
         match self.slots.get(id.slot as usize) {
             Some(s) if s.generation == id.generation && s.payload.is_some() => {
                 let pos = s.heap_pos as usize;
-                let _ = self.remove_at(pos);
+                let slot = self.detach_at(pos);
+                // Drop the payload in place — a cancelled event's handler
+                // is never moved out of the arena.
+                self.slots[slot as usize].payload = None;
                 true
             }
             _ => false,
@@ -185,11 +189,17 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest pending event.
     ///
     /// Ties fire in scheduling (FIFO) order.
+    #[inline(always)]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if self.heap.is_empty() {
             None
         } else {
-            Some(self.remove_at(0))
+            let slot = self.detach_at(0);
+            // The payload moves slot → caller here, in inlined code with no
+            // intervening call site, so it is copied exactly once.
+            let s = &mut self.slots[slot as usize];
+            let payload = s.payload.take().expect("pending slot holds a payload");
+            Some((s.time, payload))
         }
     }
 
@@ -213,9 +223,18 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Removes the heap entry at `pos`, releases its slot to the free list
-    /// and returns the event. The caller guarantees `pos` is in bounds.
-    fn remove_at(&mut self, pos: usize) -> (SimTime, E) {
+    /// Detaches the heap entry at `pos`: removes it from the heap, bumps
+    /// the slot generation and releases the slot index to the free list.
+    /// Returns the slot; the *payload is left in the slot* for the caller
+    /// to move out ([`EventQueue::pop`]) or drop in place
+    /// ([`EventQueue::cancel`]). Keeping the payload out of this function
+    /// means its one potentially allocating call (`free.push`) never has a
+    /// live payload on the stack across it — the compiler then moves the
+    /// payload slot → caller in a single copy. The caller guarantees `pos`
+    /// is in bounds and must clear `payload` before the next push reuses
+    /// the slot.
+    #[inline(always)]
+    fn detach_at(&mut self, pos: usize) -> u32 {
         let slot = self.heap[pos];
         let last = self.heap.pop().expect("heap entry exists at pos");
         if last != slot {
@@ -227,12 +246,9 @@ impl<E> EventQueue<E> {
                 self.sift_down(pos);
             }
         }
-        let s = &mut self.slots[slot as usize];
-        s.generation = s.generation.wrapping_add(1);
-        let payload = s.payload.take().expect("pending slot holds a payload");
-        let time = s.time;
         self.free.push(slot);
-        (time, payload)
+        self.slots[slot as usize].generation = self.slots[slot as usize].generation.wrapping_add(1);
+        slot
     }
 
     /// True when the event in `slots[a]` fires before the one in `slots[b]`.
@@ -244,6 +260,7 @@ impl<E> EventQueue<E> {
 
     /// Moves the element at `pos` up while it beats its parent. Returns
     /// whether it moved.
+    #[inline]
     fn sift_up(&mut self, mut pos: usize) -> bool {
         let mut moved = false;
         while pos > 0 {

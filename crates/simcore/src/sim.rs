@@ -2,12 +2,15 @@
 //!
 //! [`Simulation<S>`] owns the model state `S`, the virtual clock, the
 //! pending-event set (a slab-backed arena, see [`crate::queue`]) and the
-//! root RNG. Events are boxed `FnOnce` closures that receive
+//! root RNG. Events are `FnOnce` closures that receive
 //! `&mut Simulation<S>`, so a handler can read the clock, mutate state, draw
-//! randomness and schedule further events. Boxing a zero-sized handler — a
-//! fn item or a capture-less closure, the common case in the deployment
-//! models — does not allocate, so with the arena reusing its slots the
-//! steady-state event loop is allocation-free.
+//! randomness and schedule further events. Handlers are stored **inline**
+//! in the arena slot whenever they fit [`crate::event::INLINE_EVENT_BYTES`]
+//! (the small-closure optimization in [`crate::event`]); only oversized
+//! captures spill to a heap allocation, and both cases are counted per run
+//! ([`RunStats::inline_scheduled`] / [`RunStats::spilled_scheduled`]), so
+//! with the arena reusing its slots the steady-state event loop performs
+//! zero allocations per event — pinned by `tests/zero_alloc.rs`.
 //!
 //! The executive is single-threaded by design: determinism is a hard
 //! requirement (see DESIGN.md §4) and the models in this project are far from
@@ -17,6 +20,7 @@ use std::fmt;
 
 use elc_trace::{Field, Level};
 
+use crate::event::EventFn;
 use crate::queue::{EventId, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -28,9 +32,6 @@ const TRACE_TARGET: &str = "simcore";
 /// Power of two so the hot-path modulo folds to a mask.
 const QUEUE_SAMPLE_EVERY: u64 = 1024;
 
-/// An event handler: runs once at its scheduled instant.
-pub type EventFn<S> = Box<dyn FnOnce(&mut Simulation<S>)>;
-
 /// Summary of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
@@ -41,6 +42,13 @@ pub struct RunStats {
     /// Events still pending when the run stopped (nonzero when a horizon cut
     /// the run short).
     pub pending: usize,
+    /// Events whose handler was stored inline in the arena slot (no heap
+    /// allocation on schedule).
+    pub inline_scheduled: u64,
+    /// Events whose handler exceeded the inline payload buffer and spilled
+    /// to a heap allocation. A nonzero steady-state value here is a perf
+    /// regression in whichever model grew its captures.
+    pub spilled_scheduled: u64,
 }
 
 /// A discrete-event simulation over model state `S`.
@@ -76,6 +84,8 @@ pub struct Simulation<S> {
     state: S,
     rng: SimRng,
     executed: u64,
+    inline_scheduled: u64,
+    spilled_scheduled: u64,
 }
 
 impl<S> Simulation<S> {
@@ -87,6 +97,8 @@ impl<S> Simulation<S> {
             state,
             rng: SimRng::seed(seed),
             executed: 0,
+            inline_scheduled: 0,
+            spilled_scheduled: 0,
         }
     }
 
@@ -133,13 +145,44 @@ impl<S> Simulation<S> {
         self.queue.len()
     }
 
+    /// Events scheduled so far whose handler was stored inline (no heap
+    /// allocation).
+    #[must_use]
+    pub fn inline_scheduled(&self) -> u64 {
+        self.inline_scheduled
+    }
+
+    /// Events scheduled so far whose handler spilled to a `Box`.
+    #[must_use]
+    pub fn spilled_scheduled(&self) -> u64 {
+        self.spilled_scheduled
+    }
+
+    /// Wraps `handler` for the arena, bumping the inline/spilled counter.
+    /// Which counter is a property of the closure *type*, so the branch
+    /// folds away at monomorphization time.
+    #[inline]
+    fn wrap<F>(&mut self, handler: F) -> EventFn<S>
+    where
+        F: FnOnce(&mut Simulation<S>) + 'static,
+    {
+        if const { EventFn::<S>::stores_inline::<F>() } {
+            self.inline_scheduled += 1;
+        } else {
+            self.spilled_scheduled += 1;
+        }
+        EventFn::new(handler)
+    }
+
     /// Schedules `handler` to run after `delay`.
+    #[inline]
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
         handler: impl FnOnce(&mut Simulation<S>) + 'static,
     ) -> EventId {
-        self.queue.push(self.now + delay, Box::new(handler))
+        let ev = self.wrap(handler);
+        self.queue.push(self.now + delay, ev)
     }
 
     /// Schedules `handler` at an absolute instant.
@@ -159,7 +202,8 @@ impl<S> Simulation<S> {
             self.now,
             time
         );
-        self.queue.push(time, Box::new(handler))
+        let ev = self.wrap(handler);
+        self.queue.push(time, ev)
     }
 
     /// Schedules one run of `handler` at each offset in `offsets`, relative
@@ -168,18 +212,26 @@ impl<S> Simulation<S> {
     /// The batch entry point for bursty arrival models (e.g.
     /// `elc-elearn`'s workload sampling a whole slot of Poisson arrivals at
     /// once): the pending-event set reserves space for the entire batch up
-    /// front, and with a zero-sized `handler` the per-event clone-and-box is
-    /// allocation-free. Events fire in offset order; equal offsets keep the
-    /// slice's FIFO order.
+    /// front, and with a `handler` at or under the inline payload threshold
+    /// the per-event clone is allocation-free. Events fire in offset order;
+    /// equal offsets keep the slice's FIFO order.
     pub fn schedule_batch<F>(&mut self, offsets: &[SimDuration], handler: F)
     where
         F: Fn(&mut Simulation<S>) + Clone + 'static,
     {
+        // Inline-vs-spill is a property of `F`, so one check covers the
+        // whole batch.
+        let n = offsets.len() as u64;
+        if EventFn::<S>::stores_inline::<F>() {
+            self.inline_scheduled += n;
+        } else {
+            self.spilled_scheduled += n;
+        }
         let now = self.now;
         self.queue.push_batch(
             offsets
                 .iter()
-                .map(|&delay| (now + delay, Box::new(handler.clone()) as EventFn<S>)),
+                .map(|&delay| (now + delay, EventFn::new(handler.clone()))),
         );
     }
 
@@ -224,18 +276,40 @@ impl<S> Simulation<S> {
 
     /// Executes the next pending event, if any. Returns `false` when the
     /// queue is empty.
+    #[inline]
     pub fn step(&mut self) -> bool {
+        // Read the trace gate (a thread-local byte load + compare) *before*
+        // taking the payload out of the arena, and keep the whole traced
+        // variant out of line: on the untraced path there is then no call
+        // site between the pop and the handler dispatch, so the popped
+        // `EventFn` never needs to survive an unwind edge and the compiler
+        // moves it slot → stack → call in a single copy.
+        if elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+            return self.step_traced();
+        }
         match self.queue.pop() {
             Some((time, handler)) => {
                 debug_assert!(time >= self.now, "event queue returned a past event");
                 self.now = time;
                 self.executed += 1;
-                // One branch when tracing is disabled (thread-local byte
-                // load + compare); everything else stays inside the gate.
-                if elc_trace::enabled(TRACE_TARGET, Level::Debug) {
-                    self.trace_step(time);
-                }
-                handler(self);
+                handler.call(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`Simulation::step`] with kernel-event emission; only reached when a
+    /// tracer whose filter passes `Level::Debug` is installed.
+    #[cold]
+    fn step_traced(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, handler)) => {
+                debug_assert!(time >= self.now, "event queue returned a past event");
+                self.now = time;
+                self.executed += 1;
+                self.trace_step(time);
+                handler.call(self);
                 true
             }
             None => false,
@@ -318,6 +392,8 @@ impl<S> Simulation<S> {
                 &[
                     Field::u64("executed", self.executed),
                     Field::u64("pending", self.queue.len() as u64),
+                    Field::u64("inline", self.inline_scheduled),
+                    Field::u64("spilled", self.spilled_scheduled),
                 ],
             );
         }
@@ -325,6 +401,8 @@ impl<S> Simulation<S> {
             executed: self.executed,
             end_time: self.now,
             pending: self.queue.len(),
+            inline_scheduled: self.inline_scheduled,
+            spilled_scheduled: self.spilled_scheduled,
         }
     }
 }
@@ -502,6 +580,52 @@ mod tests {
         let stats = sim.run_until(SimTime::from_secs(5));
         assert_eq!(stats.executed, 1);
         assert_eq!(stats.pending, 1);
+    }
+
+    #[test]
+    fn stats_count_inline_and_spilled_payloads() {
+        use crate::event::INLINE_EVENT_BYTES;
+        let mut sim = Simulation::new(1, 0u64);
+        // Small capture: inline.
+        let x = 7u64;
+        sim.schedule_in(SimDuration::from_secs(1), move |s| *s.state_mut() += x);
+        // Oversized capture: spills.
+        let big = [0u8; INLINE_EVENT_BYTES + 1];
+        sim.schedule_in(SimDuration::from_secs(2), move |s| {
+            *s.state_mut() += u64::from(big[0]);
+        });
+        // Batch of ZST handlers: inline, counted once per offset.
+        let offsets = [SimDuration::from_secs(3), SimDuration::from_secs(4)];
+        sim.schedule_batch(&offsets, |s| *s.state_mut() += 1);
+        assert_eq!(sim.inline_scheduled(), 3);
+        assert_eq!(sim.spilled_scheduled(), 1);
+        let stats = sim.run();
+        assert_eq!(stats.inline_scheduled, 3);
+        assert_eq!(stats.spilled_scheduled, 1);
+        assert_eq!(*sim.state(), 9);
+    }
+
+    #[test]
+    fn model_style_handlers_never_spill() {
+        // The shapes the model crates schedule: fn items, capture-less
+        // closures, and `schedule_every` ticks over small user closures.
+        // If any of these spill, the allocation-free claim is gone.
+        let mut sim = Simulation::new(1, 0u32);
+        fn item(s: &mut Simulation<u32>) {
+            *s.state_mut() += 1;
+        }
+        sim.schedule_in(SimDuration::from_secs(1), item);
+        sim.schedule_every(SimDuration::from_secs(2), SimDuration::from_secs(1), |s| {
+            *s.state_mut() += 1;
+            *s.state() < 5
+        });
+        sim.run();
+        assert_eq!(
+            sim.spilled_scheduled(),
+            0,
+            "model event mix must stay inline"
+        );
+        assert_eq!(sim.inline_scheduled(), sim.executed());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Arena slot recycling under a mixed inline/spilled event workload.
+//!
+//! The slab arena reuses slots; each slot now owns a fixed-size inline
+//! payload buffer (`elc_simcore::event`) whose occupant may be stored in
+//! place or spilled to a `Box`. These tests drive slots through many
+//! generations with payloads straddling the inline threshold and check the
+//! two properties that matter:
+//!
+//! * **no slot aliasing** — a stale `EventId` from an earlier generation
+//!   never cancels (or observes) the event currently occupying the slot;
+//! * **exactly-once `Drop`** — a cancelled spilled event releases its
+//!   captures once: no leak, no double-drop.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use elc_simcore::event::INLINE_EVENT_BYTES;
+use elc_simcore::queue::EventId;
+use elc_simcore::time::{SimDuration, SimTime};
+use elc_simcore::Simulation;
+
+/// Spills: one byte over the inline payload threshold.
+const SPILL_PAD: usize = INLINE_EVENT_BYTES + 1;
+
+fn slot_of(id: EventId) -> u32 {
+    (id.as_u64() & 0xffff_ffff) as u32
+}
+
+fn generation_of(id: EventId) -> u32 {
+    (id.as_u64() >> 32) as u32
+}
+
+#[test]
+fn stale_ids_never_cancel_recycled_slots() {
+    let mut sim = Simulation::new(7, 0u64);
+
+    // Drive one slot through many generations, alternating the payload
+    // across the inline threshold each time. Every retired id must stay
+    // dead even though the slot index is being reused.
+    let mut stale: Vec<EventId> = Vec::new();
+    for round in 0..32u32 {
+        let id = if round % 2 == 0 {
+            let small = round; // 4 bytes: inline
+            sim.schedule_in(SimDuration::from_secs(1), move |s: &mut Simulation<u64>| {
+                *s.state_mut() += u64::from(small);
+            })
+        } else {
+            let pad = [round as u8; SPILL_PAD]; // over threshold: spilled
+            sim.schedule_in(SimDuration::from_secs(1), move |s: &mut Simulation<u64>| {
+                *s.state_mut() += u64::from(std::hint::black_box(pad)[0]);
+            })
+        };
+
+        if let Some(&prev) = stale.last() {
+            // The freed slot is recycled LIFO, so consecutive rounds share
+            // a slot index but never a generation.
+            assert_eq!(
+                slot_of(prev),
+                slot_of(id),
+                "round {round}: slot not recycled"
+            );
+            assert_ne!(
+                generation_of(prev),
+                generation_of(id),
+                "round {round}: generation did not advance"
+            );
+        }
+
+        // Every stale id must refuse to cancel the new occupant.
+        for &old in &stale {
+            assert!(!sim.cancel(old), "stale id {old:?} aliased a live slot");
+        }
+        assert!(sim.cancel(id), "fresh id must cancel its own event");
+        assert!(!sim.cancel(id), "double-cancel must be a no-op");
+        stale.push(id);
+    }
+
+    // Nothing should ever have fired.
+    let stats = sim.run();
+    assert_eq!(stats.executed, 0);
+    assert_eq!(*sim.state(), 0);
+    // 16 inline + 16 spilled were scheduled (then cancelled).
+    assert_eq!(sim.inline_scheduled(), 16);
+    assert_eq!(sim.spilled_scheduled(), 16);
+}
+
+#[test]
+fn mixed_generations_fire_with_correct_payloads() {
+    // Interleave inline and spilled events, cancel a third of them, and
+    // check the survivors fire with exactly their own captures — a slot
+    // that held a spilled payload in one generation and an inline payload
+    // in the next must not mix them up.
+    let fired: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(11, ());
+
+    let mut expected: Vec<u32> = Vec::new();
+    let mut pending: Vec<(u32, EventId)> = Vec::new();
+    for wave in 0..8u32 {
+        for k in 0..12u32 {
+            let tag = wave * 100 + k;
+            let at = SimTime::from_secs(u64::from(wave) + 1);
+            let log = Rc::clone(&fired);
+            let id = if k % 2 == 0 {
+                sim.schedule_at(at, move |_s: &mut Simulation<()>| {
+                    log.borrow_mut().push(tag);
+                })
+            } else {
+                let pad = [0u8; SPILL_PAD];
+                sim.schedule_at(at, move |_s: &mut Simulation<()>| {
+                    std::hint::black_box(&pad);
+                    log.borrow_mut().push(tag);
+                })
+            };
+            pending.push((tag, id));
+        }
+        // Cancel every third event of the wave; recycled slots are refilled
+        // by the next wave's mix.
+        let mut idx = 0;
+        pending.retain(|&(_, id)| {
+            let keep = idx % 3 != 2;
+            idx += 1;
+            if !keep {
+                assert!(sim.cancel(id));
+            }
+            keep
+        });
+        expected.extend(pending.drain(..).map(|(tag, _)| tag));
+    }
+
+    let stats = sim.run();
+    assert_eq!(stats.executed as usize, expected.len());
+    // Events at the same instant fire in schedule order, so the log is
+    // exactly the per-wave survivor order.
+    assert_eq!(*fired.borrow(), expected);
+}
+
+#[test]
+fn cancelled_spilled_events_drop_captures_exactly_once() {
+    let token = Rc::new(());
+    let mut sim = Simulation::new(3, ());
+
+    // One spilled and one inline event, both capturing the token.
+    let keep = Rc::clone(&token);
+    let pad = [0u8; SPILL_PAD];
+    let spilled_id = sim.schedule_in(SimDuration::from_secs(1), move |_s| {
+        std::hint::black_box(&pad);
+        drop(keep);
+    });
+    let keep = Rc::clone(&token);
+    let inline_id = sim.schedule_in(SimDuration::from_secs(1), move |_s| {
+        drop(keep);
+    });
+    assert_eq!(sim.spilled_scheduled(), 1);
+    assert_eq!(sim.inline_scheduled(), 1);
+    assert_eq!(Rc::strong_count(&token), 3);
+
+    // Cancelling the spilled event must free its Box and run the capture's
+    // Drop exactly once.
+    assert!(sim.cancel(spilled_id));
+    assert_eq!(
+        Rc::strong_count(&token),
+        2,
+        "cancel leaked the spilled capture"
+    );
+    assert!(!sim.cancel(spilled_id), "stale id must not double-drop");
+    assert_eq!(Rc::strong_count(&token), 2);
+
+    assert!(sim.cancel(inline_id));
+    assert_eq!(
+        Rc::strong_count(&token),
+        1,
+        "cancel leaked the inline capture"
+    );
+
+    // Refill the recycled slots with firing events: captures are released
+    // by the call itself, again exactly once.
+    let keep = Rc::clone(&token);
+    let pad = [0u8; SPILL_PAD];
+    sim.schedule_in(SimDuration::from_secs(1), move |_s| {
+        std::hint::black_box(&pad);
+        drop(keep);
+    });
+    let stats = sim.run();
+    assert_eq!(stats.executed, 1);
+    assert_eq!(Rc::strong_count(&token), 1, "firing leaked or double-freed");
+}
+
+#[test]
+fn dropping_the_simulation_releases_pending_mixed_payloads() {
+    let token = Rc::new(());
+    {
+        let mut sim = Simulation::new(5, ());
+        for i in 0..10 {
+            let keep = Rc::clone(&token);
+            if i % 2 == 0 {
+                sim.schedule_in(SimDuration::from_secs(1), move |_s| drop(keep));
+            } else {
+                let pad = [0u8; SPILL_PAD];
+                sim.schedule_in(SimDuration::from_secs(1), move |_s| {
+                    std::hint::black_box(&pad);
+                    drop(keep);
+                });
+            }
+        }
+        assert_eq!(Rc::strong_count(&token), 11);
+        // `sim` dropped here with all ten events still pending.
+    }
+    assert_eq!(
+        Rc::strong_count(&token),
+        1,
+        "dropping the queue must release every pending capture exactly once"
+    );
+}
