@@ -1,6 +1,6 @@
-//! Regenerates every table of the reproduction (E1–E12 and T1) for the
-//! three harness scenarios, printing the report and writing one CSV per
-//! section under `results/<scenario>/`.
+//! Regenerates every table of the reproduction (E1–E15, T1, plus the E16
+//! resilience appendix) for the harness scenarios, printing the report
+//! and writing one CSV per section under `results/<scenario>/`.
 //!
 //! ```sh
 //! cargo run --release -p elc-bench --bin paper-tables
@@ -13,6 +13,8 @@
 //! cargo run --release -p elc-bench --bin paper-tables -- --list
 //! # additionally record a sim-time trace of every run:
 //! cargo run --release -p elc-bench --bin paper-tables -- --trace tables.jsonl
+//! # override E16's fault campaign (default: the exam-day crisis):
+//! cargo run --release -p elc-bench --bin paper-tables -- --chaos disaster@0.5
 //! ```
 //!
 //! With no arguments the output is unchanged from the original harness:
@@ -26,9 +28,9 @@ use elc_analysis::plot::line_chart;
 use elc_bench::{harness_scenarios, HARNESS_SEED};
 use elc_core::advisor::advise;
 use elc_core::cli_args::{
-    experiment_list, flag, parse_or, split_args, unknown_scenario, TraceOptions,
+    chaos_from_flags, experiment_list, flag, parse_or, split_args, unknown_scenario, TraceOptions,
 };
-use elc_core::experiments::run_all;
+use elc_core::experiments::{e16, run_all};
 use elc_core::requirements::Requirements;
 
 /// Parsed command line: a seed, an optional scenario-name filter, and
@@ -37,6 +39,7 @@ struct Args {
     seed: u64,
     scenario: Option<String>,
     trace: Option<TraceOptions>,
+    chaos: Option<elc_resil::chaos::ChaosSpec>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -57,6 +60,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         seed,
         scenario: flag(&flags, "scenario").map(ToString::to_string),
         trace: TraceOptions::from_flags(&flags)?,
+        chaos: chaos_from_flags(&flags)?,
     }))
 }
 
@@ -68,7 +72,7 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: paper-tables [SEED] [--seed N] [--scenario NAME] [--list] \
-                 [--trace PATH.jsonl] [--trace-filter SPEC]"
+                 [--trace PATH.jsonl] [--trace-filter SPEC] [--chaos SPEC]"
             );
             exit(2);
         }
@@ -76,6 +80,10 @@ fn main() {
     let seed = args.seed;
     let scenarios: Vec<_> = harness_scenarios(seed)
         .into_iter()
+        .map(|s| match &args.chaos {
+            Some(spec) => s.with_chaos(spec.clone()),
+            None => s,
+        })
         .filter(|s| args.scenario.as_deref().is_none_or(|want| s.name() == want))
         .collect();
     if scenarios.is_empty() {
@@ -105,12 +113,12 @@ fn main() {
         );
         println!("########################################################\n");
 
-        let outputs = match &args.trace {
-            None => run_all(&scenario),
+        let (outputs, resilience) = match &args.trace {
+            None => (run_all(&scenario), e16::run(&scenario)),
             Some(opts) => {
-                let (outputs, tracer) =
+                let ((outputs, resilience), tracer) =
                     elc_trace::with_tracer(elc_trace::Tracer::new(opts.filter.clone()), || {
-                        run_all(&scenario)
+                        (run_all(&scenario), e16::run(&scenario))
                     });
                 if let Some(out) = trace_out.as_mut() {
                     let labels = [("scenario", scenario.name())];
@@ -118,11 +126,15 @@ fn main() {
                         eprintln!("warning: cannot write trace: {e}");
                     }
                 }
-                outputs
+                (outputs, resilience)
             }
         };
         let report = outputs.report();
         println!("{report}\n");
+        // E16 is an appendix: its chaos campaign is a knob, so it renders
+        // outside the pinned E1–E15/T1 report.
+        let e16_section = resilience.section();
+        println!("{e16_section}\n");
 
         // Figures for the sweep-shaped experiments.
         let e1_series: Vec<Vec<(f64, f64)>> = (0..3)
@@ -178,6 +190,10 @@ fn main() {
             if let Err(e) = fs::write(&path, section.table().to_csv()) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             }
+        }
+        let e16_csv = dir.join("e16.csv");
+        if let Err(e) = fs::write(&e16_csv, e16_section.table().to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", e16_csv.display());
         }
         let report_path = dir.join("report.txt");
         if let Err(e) = fs::write(&report_path, report.to_string()) {

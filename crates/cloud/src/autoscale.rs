@@ -33,8 +33,72 @@ pub struct AutoScaler {
     last_action_at: Option<SimTime>,
 }
 
+/// Why a capacity-controller configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityError {
+    /// `target_utilization` was outside `(0, 1]` (or not finite).
+    BadTargetUtilization(f64),
+    /// A fleet floor of zero instances.
+    ZeroInstances,
+    /// `min_instances` exceeded `max_instances`.
+    InvertedBounds {
+        /// The configured floor.
+        min: u32,
+        /// The configured ceiling.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityError::BadTargetUtilization(u) => {
+                write!(f, "target utilization must be in (0, 1], got {u}")
+            }
+            CapacityError::ZeroInstances => write!(f, "need at least one instance"),
+            CapacityError::InvertedBounds { min, max } => write!(f, "min {min} > max {max}"),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 impl AutoScaler {
     /// Creates a target-tracking scaler.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `target_utilization` outside `(0, 1]`, a zero
+    /// `min_instances`, and `min_instances > max_instances`.
+    pub fn try_new(
+        min_instances: u32,
+        max_instances: u32,
+        target_utilization: f64,
+        cooldown: SimDuration,
+    ) -> Result<Self, CapacityError> {
+        if !target_utilization.is_finite() || target_utilization <= 0.0 || target_utilization > 1.0
+        {
+            return Err(CapacityError::BadTargetUtilization(target_utilization));
+        }
+        if min_instances < 1 {
+            return Err(CapacityError::ZeroInstances);
+        }
+        if min_instances > max_instances {
+            return Err(CapacityError::InvertedBounds {
+                min: min_instances,
+                max: max_instances,
+            });
+        }
+        Ok(AutoScaler {
+            min_instances,
+            max_instances,
+            target_utilization,
+            cooldown,
+            last_action_at: None,
+        })
+    }
+
+    /// Panicking counterpart of [`AutoScaler::try_new`].
     ///
     /// # Panics
     ///
@@ -47,22 +111,8 @@ impl AutoScaler {
         target_utilization: f64,
         cooldown: SimDuration,
     ) -> Self {
-        assert!(
-            target_utilization > 0.0 && target_utilization <= 1.0,
-            "target utilization must be in (0, 1], got {target_utilization}"
-        );
-        assert!(min_instances >= 1, "need at least one instance");
-        assert!(
-            min_instances <= max_instances,
-            "min {min_instances} > max {max_instances}"
-        );
-        AutoScaler {
-            min_instances,
-            max_instances,
-            target_utilization,
-            cooldown,
-            last_action_at: None,
-        }
+        AutoScaler::try_new(min_instances, max_instances, target_utilization, cooldown)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The fleet size this scaler would choose for `load_rps` given each
@@ -148,13 +198,24 @@ pub struct FixedCapacity {
 impl FixedCapacity {
     /// Creates a fixed fleet of `instances`.
     ///
+    /// # Errors
+    ///
+    /// Rejects an empty fleet.
+    pub fn try_new(instances: u32) -> Result<Self, CapacityError> {
+        if instances < 1 {
+            return Err(CapacityError::ZeroInstances);
+        }
+        Ok(FixedCapacity { instances })
+    }
+
+    /// Panicking counterpart of [`FixedCapacity::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `instances` is zero.
     #[must_use]
     pub fn new(instances: u32) -> Self {
-        assert!(instances >= 1, "need at least one instance");
-        FixedCapacity { instances }
+        FixedCapacity::try_new(instances).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Sizes a fixed fleet for an expected *average* load — the procurement
@@ -243,6 +304,30 @@ mod tests {
             s.decide(SimTime::from_secs(1), 5, 600.0, 100.0),
             ScaleDecision::ScaleUp(5)
         );
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_knob() {
+        assert_eq!(
+            AutoScaler::try_new(1, 10, 0.0, SimDuration::ZERO),
+            Err(CapacityError::BadTargetUtilization(0.0))
+        );
+        assert_eq!(
+            AutoScaler::try_new(1, 10, 1.5, SimDuration::ZERO),
+            Err(CapacityError::BadTargetUtilization(1.5))
+        );
+        assert!(AutoScaler::try_new(1, 10, f64::NAN, SimDuration::ZERO).is_err());
+        assert_eq!(
+            AutoScaler::try_new(0, 10, 0.5, SimDuration::ZERO),
+            Err(CapacityError::ZeroInstances)
+        );
+        assert_eq!(
+            AutoScaler::try_new(5, 2, 0.5, SimDuration::ZERO),
+            Err(CapacityError::InvertedBounds { min: 5, max: 2 })
+        );
+        assert!(AutoScaler::try_new(1, 10, 0.5, SimDuration::ZERO).is_ok());
+        assert_eq!(FixedCapacity::try_new(0), Err(CapacityError::ZeroInstances));
+        assert_eq!(FixedCapacity::try_new(3).map(|f| f.instances()), Ok(3));
     }
 
     #[test]

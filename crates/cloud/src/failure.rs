@@ -24,6 +24,31 @@ pub struct FailureModel {
     site_disasters_per_year: f64,
 }
 
+/// Why a [`FailureModel`] configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureModelError {
+    /// A rate was negative or non-finite. Carries the knob name (as used
+    /// in the panic message of [`FailureModel::new`]) and the value.
+    NegativeRate(&'static str, f64),
+    /// `disk_afr` exceeded 1 — an AFR is an annual *probability*.
+    AfrAboveOne(f64),
+}
+
+impl std::fmt::Display for FailureModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureModelError::NegativeRate(name, v) => {
+                write!(f, "{name} must be >= 0, got {v}")
+            }
+            FailureModelError::AfrAboveOne(v) => {
+                write!(f, "disk AFR is a fraction, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailureModelError {}
+
 impl FailureModel {
     /// Creates a failure model.
     ///
@@ -34,24 +59,42 @@ impl FailureModel {
     /// * `site_disasters_per_year` — rate of events destroying the whole
     ///   site's storage.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any rate is negative, non-finite, or `disk_afr > 1`.
-    #[must_use]
-    pub fn new(host_failures_per_year: f64, disk_afr: f64, site_disasters_per_year: f64) -> Self {
+    /// Rejects rates that are negative or non-finite, and `disk_afr > 1`.
+    pub fn try_new(
+        host_failures_per_year: f64,
+        disk_afr: f64,
+        site_disasters_per_year: f64,
+    ) -> Result<Self, FailureModelError> {
         for (name, v) in [
             ("host rate", host_failures_per_year),
             ("disk afr", disk_afr),
             ("disaster rate", site_disasters_per_year),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be >= 0, got {v}");
+            if !v.is_finite() || v < 0.0 {
+                return Err(FailureModelError::NegativeRate(name, v));
+            }
         }
-        assert!(disk_afr <= 1.0, "disk AFR is a fraction, got {disk_afr}");
-        FailureModel {
+        if disk_afr > 1.0 {
+            return Err(FailureModelError::AfrAboveOne(disk_afr));
+        }
+        Ok(FailureModel {
             host_failures_per_year,
             disk_afr,
             site_disasters_per_year,
-        }
+        })
+    }
+
+    /// Panicking counterpart of [`FailureModel::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative, non-finite, or `disk_afr > 1`.
+    #[must_use]
+    pub fn new(host_failures_per_year: f64, disk_afr: f64, site_disasters_per_year: f64) -> Self {
+        FailureModel::try_new(host_failures_per_year, disk_afr, site_disasters_per_year)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A professionally run datacenter: rare host faults, 2% disk AFR,
@@ -185,6 +228,37 @@ mod tests {
 
     fn years(n: f64) -> SimTime {
         SimTime::from_secs((n * SECONDS_PER_YEAR) as u64)
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_rate() {
+        assert_eq!(
+            FailureModel::try_new(-0.1, 0.02, 0.005),
+            Err(FailureModelError::NegativeRate("host rate", -0.1))
+        );
+        assert_eq!(
+            FailureModel::try_new(0.1, -0.02, 0.005),
+            Err(FailureModelError::NegativeRate("disk afr", -0.02))
+        );
+        assert_eq!(
+            FailureModel::try_new(0.1, 0.02, f64::INFINITY),
+            Err(FailureModelError::NegativeRate(
+                "disaster rate",
+                f64::INFINITY
+            ))
+        );
+        assert_eq!(
+            FailureModel::try_new(0.1, 1.2, 0.005),
+            Err(FailureModelError::AfrAboveOne(1.2))
+        );
+        assert!(FailureModel::try_new(0.1, 0.02, 0.005).is_ok());
+        // The error messages back the unchanged panic contract of `new`.
+        assert_eq!(
+            FailureModel::try_new(0.1, 1.2, 0.005)
+                .unwrap_err()
+                .to_string(),
+            "disk AFR is a fraction, got 1.2"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use elc_resil::chaos::ChaosSpec;
 use elc_trace::TraceFilter;
 
 use crate::experiments::registry;
@@ -108,7 +109,7 @@ pub fn unknown_scenario(name: &str) -> String {
 /// The uniform "unknown experiment" diagnostic.
 #[must_use]
 pub fn unknown_experiment(id: &str) -> String {
-    format!("unknown experiment {id:?} (e1..e15, t1; try --list)")
+    format!("unknown experiment {id:?} (e1..e16, t1; try --list)")
 }
 
 /// The experiment registry rendered one `id  name` line at a time — the
@@ -137,6 +138,28 @@ pub fn scenario_list(seed: u64) -> String {
         );
     }
     out
+}
+
+/// Extracts `--chaos <spec>`, the fault-campaign override for E16.
+///
+/// The spec grammar is `elc-resil`'s ([`ChaosSpec`]): `off`, or campaigns
+/// joined with `;` — `storm@0.3:n=4,mins=6`, `cascade@0.55:n=3`,
+/// `disaster@0.79`. Returns `None` when the flag is absent (experiments
+/// then use their own default campaign).
+///
+/// # Errors
+///
+/// Returns a message when the flag has no value or the spec does not
+/// parse.
+pub fn chaos_from_flags(flags: &[(String, String)]) -> Result<Option<ChaosSpec>, String> {
+    match flag(flags, "chaos") {
+        None => Ok(None),
+        Some("") => Err("--chaos expects a campaign spec (e.g. disaster@0.79, or off)".to_string()),
+        Some(spec) => spec
+            .parse()
+            .map(Some)
+            .map_err(|e: elc_resil::chaos::ChaosParseError| format!("--chaos: {e}")),
+    }
 }
 
 /// Parsed `--trace`/`--trace-filter` pair.
@@ -226,7 +249,7 @@ mod tests {
     #[test]
     fn listings_cover_registry_and_presets() {
         let e = experiment_list();
-        for id in ["e01", "e15", "t1"] {
+        for id in ["e01", "e15", "e16", "t1"] {
             assert!(e.contains(id), "missing {id} in {e}");
         }
         let s = scenario_list(1);
@@ -239,6 +262,29 @@ mod tests {
     fn diagnostics_share_one_spelling() {
         assert!(unknown_scenario("x").starts_with("unknown scenario \"x\""));
         assert!(unknown_experiment("e99").starts_with("unknown experiment \"e99\""));
+    }
+
+    #[test]
+    fn chaos_flag_parses_or_diagnoses() {
+        let (_, flags) = split_args(&args(&["--seed", "1"]));
+        assert_eq!(chaos_from_flags(&flags), Ok(None));
+
+        let (_, flags) = split_args(&args(&["--chaos", "off"]));
+        assert_eq!(chaos_from_flags(&flags), Ok(Some(ChaosSpec::off())));
+
+        let (_, flags) = split_args(&args(&["--chaos", "storm@0.3:n=4,mins=6;disaster@0.79"]));
+        let spec = chaos_from_flags(&flags).unwrap().unwrap();
+        assert_eq!(spec.campaigns().len(), 2);
+
+        let (_, flags) = split_args(&args(&["--chaos"]));
+        assert!(chaos_from_flags(&flags)
+            .unwrap_err()
+            .contains("expects a campaign spec"));
+
+        let (_, flags) = split_args(&args(&["--chaos", "meteor@0.5"]));
+        assert!(chaos_from_flags(&flags)
+            .unwrap_err()
+            .starts_with("--chaos:"));
     }
 
     #[test]

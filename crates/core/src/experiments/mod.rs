@@ -25,6 +25,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod registry;
 pub mod t1;
 

@@ -118,6 +118,7 @@ experiments! {
     E13: e13, "e13", "Community cloud: per-member economics vs consortium size";
     E14: e14, "e14", "Service models on the public cloud: IaaS / PaaS / SaaS";
     E15: e15, "e15", "Capacity planning under enrollment growth";
+    E16: e16, "e16", "Resilience under injected faults: deployment models compared";
 }
 
 /// E12 is the one discrete-event-simulation experiment heavy enough to
@@ -178,11 +179,12 @@ impl Experiment for T1 {
     }
 }
 
-static REGISTRY: [&dyn Experiment; 16] = [
-    &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15, &T1,
+static REGISTRY: [&dyn Experiment; 17] = [
+    &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15, &E16,
+    &T1,
 ];
 
-/// Every experiment, suite order (E1–E15 then T1).
+/// Every experiment, suite order (E1–E16 then T1).
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
     &REGISTRY
@@ -207,10 +209,11 @@ mod tests {
     #[test]
     fn registry_covers_the_suite() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
         assert_eq!(ids[0], "e01");
         assert_eq!(ids[14], "e15");
-        assert_eq!(ids[15], "t1");
+        assert_eq!(ids[15], "e16");
+        assert_eq!(ids[16], "t1");
         // Ids are unique.
         let mut dedup = ids.clone();
         dedup.sort_unstable();

@@ -13,6 +13,7 @@ use elc_elearn::calendar::AcademicCalendar;
 use elc_elearn::workload::WorkloadModel;
 use elc_net::link::LinkProfile;
 use elc_net::outage::OutageModel;
+use elc_resil::chaos::ChaosSpec;
 use elc_simcore::time::{SimDuration, SimTime};
 
 /// Why a [`ScenarioBuilder`] refused to build.
@@ -67,6 +68,7 @@ pub struct ScenarioBuilder {
     link: LinkProfile,
     outages: OutageModel,
     calendar: AcademicCalendar,
+    chaos: Option<ChaosSpec>,
 }
 
 impl ScenarioBuilder {
@@ -84,6 +86,7 @@ impl ScenarioBuilder {
             link: LinkProfile::MetroInternet,
             outages: Self::standard_outages(),
             calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
+            chaos: None,
         }
     }
 
@@ -122,6 +125,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the chaos-injection campaign for fault experiments (default:
+    /// none — experiments that inject faults fall back to their own
+    /// default campaign; see E16).
+    #[must_use]
+    pub fn chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
@@ -143,6 +155,7 @@ impl ScenarioBuilder {
             link: self.link,
             outages: self.outages,
             calendar: self.calendar,
+            chaos: self.chaos,
         })
     }
 }
@@ -157,6 +170,7 @@ pub struct Scenario {
     link: LinkProfile,
     outages: OutageModel,
     calendar: AcademicCalendar,
+    chaos: Option<ChaosSpec>,
 }
 
 impl Scenario {
@@ -279,6 +293,21 @@ impl Scenario {
         self.calendar
     }
 
+    /// The chaos campaign, if one was configured (`None` lets fault
+    /// experiments pick their default).
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosSpec> {
+        self.chaos.as_ref()
+    }
+
+    /// A copy with the given chaos campaign.
+    #[must_use]
+    pub fn with_chaos(&self, chaos: ChaosSpec) -> Scenario {
+        let mut s = self.clone();
+        s.chaos = Some(chaos);
+        s
+    }
+
     /// The institutional workload model.
     #[must_use]
     pub fn workload(&self) -> WorkloadModel {
@@ -338,6 +367,24 @@ mod tests {
     fn workload_matches_population() {
         let s = Scenario::university(1);
         assert_eq!(s.workload().students(), 25_000);
+    }
+
+    #[test]
+    fn chaos_defaults_off_and_threads_through() {
+        let plain = Scenario::university(1);
+        assert!(plain.chaos().is_none(), "presets carry no campaign");
+        let spec = ChaosSpec::exam_day_crisis();
+        let chaotic = plain.with_chaos(spec.clone());
+        assert_eq!(chaotic.chaos(), Some(&spec));
+        // Everything else is untouched — and equality still holds for
+        // same-built scenarios (golden stability).
+        assert_eq!(chaotic.with_seed(1).students(), plain.students());
+        let built = Scenario::builder("c", 10)
+            .chaos(spec.clone())
+            .build()
+            .unwrap();
+        assert_eq!(built.chaos(), Some(&spec));
+        assert_eq!(plain, Scenario::university(1));
     }
 
     #[test]

@@ -68,6 +68,111 @@ pub fn sweep(inputs: &CostInputs, threat: &ThreatModel, data: Bytes) -> Vec<Spli
     points
 }
 
+/// Why a [`FailoverPlan`] configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailoverPlanError {
+    /// Primary and backup were the same site — nowhere to fail over to.
+    SameSite(Site),
+    /// The burst fraction was outside `(0, 1]` (or not finite).
+    BadBurstFraction(f64),
+}
+
+impl std::fmt::Display for FailoverPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailoverPlanError::SameSite(site) => {
+                write!(f, "failover needs two sites, got {site} twice")
+            }
+            FailoverPlanError::BadBurstFraction(frac) => {
+                write!(f, "burst fraction must be in (0, 1], got {frac}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailoverPlanError {}
+
+/// Where a hybrid deployment sends traffic when its primary site is
+/// unreachable (§IV.C: the hybrid's reliability story — burst into the
+/// other model's capacity instead of going dark).
+///
+/// `burst_fraction` is the share of the primary's unit count the backup
+/// site can absorb on short notice: standby capacity is provisioned (and
+/// paid for) ahead of the disaster, so it is a deliberate knob, not free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverPlan {
+    primary: Site,
+    backup: Site,
+    burst_fraction: f64,
+}
+
+impl FailoverPlan {
+    /// Creates a plan routing from `primary` to `backup` with
+    /// `burst_fraction` of the primary's capacity available there.
+    ///
+    /// # Errors
+    ///
+    /// Rejects identical sites and burst fractions outside `(0, 1]`.
+    pub fn try_new(
+        primary: Site,
+        backup: Site,
+        burst_fraction: f64,
+    ) -> Result<Self, FailoverPlanError> {
+        if primary == backup {
+            return Err(FailoverPlanError::SameSite(primary));
+        }
+        if !burst_fraction.is_finite() || burst_fraction <= 0.0 || burst_fraction > 1.0 {
+            return Err(FailoverPlanError::BadBurstFraction(burst_fraction));
+        }
+        Ok(FailoverPlan {
+            primary,
+            backup,
+            burst_fraction,
+        })
+    }
+
+    /// Panicking counterpart of [`FailoverPlan::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `try_new` would reject the configuration.
+    #[must_use]
+    pub fn new(primary: Site, backup: Site, burst_fraction: f64) -> Self {
+        FailoverPlan::try_new(primary, backup, burst_fraction).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The common hybrid plan: private primary bursting into public cloud.
+    #[must_use]
+    pub fn private_to_public(burst_fraction: f64) -> Self {
+        FailoverPlan::new(Site::PrivateCloud, Site::PublicCloud, burst_fraction)
+    }
+
+    /// The site traffic normally runs on.
+    #[must_use]
+    pub fn primary(&self) -> Site {
+        self.primary
+    }
+
+    /// The site traffic fails over to.
+    #[must_use]
+    pub fn backup(&self) -> Site {
+        self.backup
+    }
+
+    /// Share of primary capacity the backup can absorb.
+    #[must_use]
+    pub fn burst_fraction(&self) -> f64 {
+        self.burst_fraction
+    }
+
+    /// Units available at the backup when the primary runs
+    /// `primary_units`. At least one, so failing over is never a no-op.
+    #[must_use]
+    pub fn burst_capacity(&self, primary_units: u32) -> u32 {
+        ((f64::from(primary_units) * self.burst_fraction).floor() as u32).max(1)
+    }
+}
+
 /// True if `a` dominates `b`: no worse on every axis, strictly better on
 /// at least one (all axes are minimized).
 #[must_use]
@@ -169,6 +274,33 @@ mod tests {
                 assert!(!(dominates(a, b) && dominates(b, a)));
             }
         }
+    }
+
+    #[test]
+    fn failover_plan_validates_sites_and_fraction() {
+        assert_eq!(
+            FailoverPlan::try_new(Site::PrivateCloud, Site::PrivateCloud, 0.5),
+            Err(FailoverPlanError::SameSite(Site::PrivateCloud))
+        );
+        assert_eq!(
+            FailoverPlan::try_new(Site::PrivateCloud, Site::PublicCloud, 0.0),
+            Err(FailoverPlanError::BadBurstFraction(0.0))
+        );
+        assert_eq!(
+            FailoverPlan::try_new(Site::PrivateCloud, Site::PublicCloud, 1.5),
+            Err(FailoverPlanError::BadBurstFraction(1.5))
+        );
+        assert!(FailoverPlan::try_new(Site::PrivateCloud, Site::PublicCloud, 1.0).is_ok());
+    }
+
+    #[test]
+    fn burst_capacity_floors_but_never_hits_zero() {
+        let plan = FailoverPlan::private_to_public(0.6);
+        assert_eq!(plan.primary(), Site::PrivateCloud);
+        assert_eq!(plan.backup(), Site::PublicCloud);
+        assert_eq!(plan.burst_capacity(10), 6);
+        assert_eq!(plan.burst_capacity(5), 3);
+        assert_eq!(plan.burst_capacity(1), 1, "a burst site is never empty");
     }
 
     #[test]

@@ -126,6 +126,61 @@ impl std::fmt::Display for RequestKind {
     }
 }
 
+/// How a request ultimately fared once resilience policies (timeouts,
+/// retries, load shedding — see `elc-resil`) are in the path. A plain
+/// served/failed split hides the distinction the paper's reliability
+/// comparison turns on: traffic a deployment *chose* to drop under
+/// overload versus work the *user* lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestOutcome {
+    /// Served within its deadline.
+    Served,
+    /// Served, but late (deadline breached) or only after retries.
+    ServedDegraded,
+    /// Deliberately refused by admission control to protect writes.
+    Shed,
+    /// Never served: retries exhausted or no capacity reachable.
+    GaveUp,
+}
+
+impl RequestOutcome {
+    /// All outcomes, in severity order.
+    pub const ALL: [RequestOutcome; 4] = [
+        RequestOutcome::Served,
+        RequestOutcome::ServedDegraded,
+        RequestOutcome::Shed,
+        RequestOutcome::GaveUp,
+    ];
+
+    /// True if the user's request was answered at all.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        matches!(
+            self,
+            RequestOutcome::Served | RequestOutcome::ServedDegraded
+        )
+    }
+
+    /// True if the user's work or intent was lost (the §III failure the
+    /// stack must avoid for writes).
+    #[must_use]
+    pub fn is_loss(self) -> bool {
+        matches!(self, RequestOutcome::Shed | RequestOutcome::GaveUp)
+    }
+}
+
+impl std::fmt::Display for RequestOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RequestOutcome::Served => "served",
+            RequestOutcome::ServedDegraded => "served-degraded",
+            RequestOutcome::Shed => "shed",
+            RequestOutcome::GaveUp => "gave-up",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One request's timeline through the service: arrival → queue → service
 /// → done.
 ///
@@ -305,6 +360,22 @@ mod tests {
         assert!(RequestKind::ForumPost.is_write());
         assert!(!RequestKind::CoursePage.is_write());
         assert!(!RequestKind::ForumRead.is_write());
+    }
+
+    #[test]
+    fn outcomes_partition_into_success_and_loss() {
+        for o in RequestOutcome::ALL {
+            assert_ne!(o.is_success(), o.is_loss(), "{o} must be exactly one");
+            assert!(!o.to_string().is_empty());
+        }
+        assert!(RequestOutcome::Served.is_success());
+        assert!(RequestOutcome::ServedDegraded.is_success());
+        assert!(RequestOutcome::Shed.is_loss());
+        assert!(RequestOutcome::GaveUp.is_loss());
+        assert_eq!(
+            RequestOutcome::ServedDegraded.to_string(),
+            "served-degraded"
+        );
     }
 
     #[test]

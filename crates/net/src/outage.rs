@@ -24,18 +24,52 @@ pub struct OutageModel {
     mttr: SimDuration,
 }
 
+/// Why an [`OutageModel`] configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageModelError {
+    /// The mean time between failures was zero.
+    ZeroMtbf,
+    /// The mean time to repair was zero.
+    ZeroMttr,
+}
+
+impl std::fmt::Display for OutageModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutageModelError::ZeroMtbf => write!(f, "mtbf must be positive"),
+            OutageModelError::ZeroMttr => write!(f, "mttr must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for OutageModelError {}
+
 impl OutageModel {
     /// Creates a model with mean time between failures `mtbf` and mean time
     /// to repair `mttr`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero `mtbf` or `mttr` — the exponential sampler needs
+    /// positive means.
+    pub fn try_new(mtbf: SimDuration, mttr: SimDuration) -> Result<Self, OutageModelError> {
+        if mtbf.is_zero() {
+            return Err(OutageModelError::ZeroMtbf);
+        }
+        if mttr.is_zero() {
+            return Err(OutageModelError::ZeroMttr);
+        }
+        Ok(OutageModel { mtbf, mttr })
+    }
+
+    /// Panicking counterpart of [`OutageModel::try_new`].
     ///
     /// # Panics
     ///
     /// Panics if either duration is zero.
     #[must_use]
     pub fn new(mtbf: SimDuration, mttr: SimDuration) -> Self {
-        assert!(!mtbf.is_zero(), "mtbf must be positive");
-        assert!(!mttr.is_zero(), "mttr must be positive");
-        OutageModel { mtbf, mttr }
+        OutageModel::try_new(mtbf, mttr).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A connection that never fails within any practical horizon.
@@ -230,6 +264,26 @@ mod tests {
 
     fn secs(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn try_new_rejects_zero_durations() {
+        let h = SimDuration::from_hours(1);
+        assert_eq!(
+            OutageModel::try_new(SimDuration::ZERO, h),
+            Err(OutageModelError::ZeroMtbf)
+        );
+        assert_eq!(
+            OutageModel::try_new(h, SimDuration::ZERO),
+            Err(OutageModelError::ZeroMttr)
+        );
+        assert!(OutageModel::try_new(h, h).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "mtbf must be positive")]
+    fn new_keeps_the_panicking_contract() {
+        let _ = OutageModel::new(SimDuration::ZERO, SimDuration::from_hours(1));
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Retry policy: exponential backoff with decorrelated jitter, bounded
+//! attempt budgets, and idempotency gating.
+//!
+//! §III's network risk is a *transient* failure mode — a dropped
+//! connection usually comes back — so the right client response is to try
+//! again, but carefully: synchronized retries amplify an outage into a
+//! storm, and replaying a non-idempotent write (a quiz submission, an
+//! assignment upload) risks duplicating the one thing that must not be
+//! corrupted. [`RetryPolicy`] encodes all three concerns: *when* to retry
+//! (attempt budget + idempotency gate), *how long* to wait (decorrelated
+//! jitter, the AWS-style `min(cap, uniform(base, 3·prev))` scheme), and
+//! [`RetryBudget`] caps the global retry volume.
+
+use elc_elearn::request::RequestKind;
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+use elc_trace::{Field, Level};
+
+use crate::TRACE_TARGET;
+
+/// Why a [`RetryPolicy`] configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryError {
+    /// The base backoff was zero.
+    ZeroBase,
+    /// The cap was below the base backoff.
+    CapBelowBase,
+    /// The attempt budget was zero (not even a first attempt).
+    NoAttempts,
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::ZeroBase => write!(f, "base backoff must be positive"),
+            RetryError::CapBelowBase => write!(f, "backoff cap must be >= base"),
+            RetryError::NoAttempts => write!(f, "attempt budget must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// When and how a failed request is retried. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    base: SimDuration,
+    cap: SimDuration,
+    max_attempts: u32,
+    retry_writes: bool,
+}
+
+impl RetryPolicy {
+    /// Creates a policy: first backoff `base`, backoffs capped at `cap`,
+    /// at most `max_attempts` total attempts (first try included).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero base, a cap below the base, or a zero attempt
+    /// budget.
+    pub fn try_new(
+        base: SimDuration,
+        cap: SimDuration,
+        max_attempts: u32,
+    ) -> Result<Self, RetryError> {
+        if base.is_zero() {
+            return Err(RetryError::ZeroBase);
+        }
+        if cap < base {
+            return Err(RetryError::CapBelowBase);
+        }
+        if max_attempts == 0 {
+            return Err(RetryError::NoAttempts);
+        }
+        Ok(RetryPolicy {
+            base,
+            cap,
+            max_attempts,
+            retry_writes: false,
+        })
+    }
+
+    /// Panicking counterpart of [`RetryPolicy::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `try_new` would reject the configuration.
+    #[must_use]
+    pub fn new(base: SimDuration, cap: SimDuration, max_attempts: u32) -> Self {
+        RetryPolicy::try_new(base, cap, max_attempts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The standard client policy: 500 ms base, 30 s cap, 4 attempts.
+    #[must_use]
+    pub fn standard() -> Self {
+        RetryPolicy::new(SimDuration::from_millis(500), SimDuration::from_secs(30), 4)
+    }
+
+    /// Opts writes into retrying too (for callers with server-side
+    /// deduplication). Off by default: a blind replay of `QuizSubmit` or
+    /// `Upload` risks duplicating the write.
+    #[must_use]
+    pub fn retry_writes(mut self, yes: bool) -> Self {
+        self.retry_writes = yes;
+        self
+    }
+
+    /// First backoff.
+    #[must_use]
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+
+    /// Backoff ceiling.
+    #[must_use]
+    pub fn cap(&self) -> SimDuration {
+        self.cap
+    }
+
+    /// Total attempt budget, first try included.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// True if `kind` may be replayed at all (the idempotency gate).
+    #[must_use]
+    pub fn allows(&self, kind: RequestKind) -> bool {
+        self.retry_writes || !kind.is_write()
+    }
+
+    /// True if a request of `kind` that has already consumed `attempts`
+    /// attempts should be tried again.
+    #[must_use]
+    pub fn should_retry(&self, kind: RequestKind, attempts: u32) -> bool {
+        self.allows(kind) && attempts < self.max_attempts
+    }
+
+    /// Draws the next backoff at sim time `now`: decorrelated jitter,
+    /// `min(cap, uniform(base, 3·prev))`. Pass [`RetryPolicy::base`] as
+    /// `prev` for the first retry and the returned value thereafter.
+    ///
+    /// Traced as a `retry.attempt` instant (`attempt` is 1-based over the
+    /// *retries*, i.e. attempt 1 is the first replay).
+    pub fn backoff(
+        &self,
+        now: SimTime,
+        rng: &mut SimRng,
+        prev: SimDuration,
+        attempt: u32,
+    ) -> SimDuration {
+        let hi = SimDuration::from_nanos(prev.as_nanos().saturating_mul(3)).max(self.base);
+        let span = (hi - self.base).as_nanos();
+        let jittered = self.base + SimDuration::from_nanos(rng.range_u64(0, span));
+        let next = jittered.min(self.cap);
+        if elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+            elc_trace::instant(
+                now.as_nanos(),
+                TRACE_TARGET,
+                "retry.attempt",
+                Level::Debug,
+                &[
+                    Field::u64("attempt", u64::from(attempt)),
+                    Field::duration_ns("backoff", next.as_nanos()),
+                ],
+            );
+        }
+        next
+    }
+
+    /// The full backoff schedule for one request: `max_attempts - 1`
+    /// delays, each drawn with [`RetryPolicy::backoff`]. Derive the rng
+    /// per request (e.g. `rng.derive("retry")`) so the schedule is a pure
+    /// function of the seed lineage.
+    #[must_use]
+    pub fn backoff_schedule(&self, now: SimTime, rng: &mut SimRng) -> Vec<SimDuration> {
+        let mut prev = self.base;
+        (1..self.max_attempts)
+            .map(|attempt| {
+                prev = self.backoff(now, rng, prev, attempt);
+                prev
+            })
+            .collect()
+    }
+}
+
+/// A token bucket over retries: every retry spends a token, every success
+/// refills a fraction of one. When the bucket is empty the caller must
+/// fail fast instead of retrying — the standard defence against retry
+/// storms amplifying an outage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    tokens: f64,
+    max_tokens: f64,
+    refill_per_success: f64,
+}
+
+impl RetryBudget {
+    /// Creates a full bucket of `max_tokens`, refilling
+    /// `refill_per_success` tokens per recorded success.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_tokens > 0` and `refill_per_success >= 0`, both
+    /// finite.
+    #[must_use]
+    pub fn new(max_tokens: f64, refill_per_success: f64) -> Self {
+        assert!(
+            max_tokens.is_finite() && max_tokens > 0.0,
+            "budget needs positive max tokens, got {max_tokens}"
+        );
+        assert!(
+            refill_per_success.is_finite() && refill_per_success >= 0.0,
+            "refill must be >= 0, got {refill_per_success}"
+        );
+        RetryBudget {
+            tokens: max_tokens,
+            max_tokens,
+            refill_per_success,
+        }
+    }
+
+    /// The standard budget: 10% of traffic may be retries.
+    #[must_use]
+    pub fn standard() -> Self {
+        RetryBudget::new(100.0, 0.1)
+    }
+
+    /// Tokens currently available.
+    #[must_use]
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Spends one token for a retry. Returns `false` (and spends nothing)
+    /// when the bucket is empty.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a success, refilling the bucket toward its ceiling.
+    pub fn on_success(&mut self) {
+        self.tokens = (self.tokens + self.refill_per_success).min(self.max_tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_knob() {
+        let s = SimDuration::from_secs(1);
+        assert_eq!(
+            RetryPolicy::try_new(SimDuration::ZERO, s, 3),
+            Err(RetryError::ZeroBase)
+        );
+        assert_eq!(
+            RetryPolicy::try_new(s, SimDuration::from_millis(10), 3),
+            Err(RetryError::CapBelowBase)
+        );
+        assert_eq!(RetryPolicy::try_new(s, s, 0), Err(RetryError::NoAttempts));
+        assert!(RetryPolicy::try_new(s, s, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt budget")]
+    fn new_panics_like_try_new_rejects() {
+        let s = SimDuration::from_secs(1);
+        let _ = RetryPolicy::new(s, s, 0);
+    }
+
+    #[test]
+    fn idempotency_gate_blocks_writes() {
+        let p = policy();
+        assert!(p.allows(RequestKind::CoursePage));
+        assert!(p.allows(RequestKind::QuizFetch));
+        assert!(!p.allows(RequestKind::QuizSubmit));
+        assert!(!p.allows(RequestKind::Upload));
+        assert!(!p.allows(RequestKind::ForumPost));
+        assert!(p.retry_writes(true).allows(RequestKind::QuizSubmit));
+    }
+
+    #[test]
+    fn should_retry_respects_attempt_budget() {
+        let p = policy();
+        assert!(p.should_retry(RequestKind::Login, 1));
+        assert!(p.should_retry(RequestKind::Login, 3));
+        assert!(!p.should_retry(RequestKind::Login, 4));
+        assert!(!p.should_retry(RequestKind::QuizSubmit, 1));
+    }
+
+    #[test]
+    fn backoff_is_bounded_by_base_and_cap() {
+        let p = policy();
+        let mut rng = SimRng::seed(1).derive("retry");
+        let mut prev = p.base();
+        for attempt in 1..200 {
+            let b = p.backoff(SimTime::ZERO, &mut rng, prev, attempt);
+            assert!(b >= p.base(), "backoff {b} below base");
+            assert!(b <= p.cap(), "backoff {b} above cap");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_has_budget_minus_one_entries() {
+        let p = policy();
+        let mut rng = SimRng::seed(2).derive("retry");
+        let sched = p.backoff_schedule(SimTime::ZERO, &mut rng);
+        assert_eq!(sched.len(), 3);
+    }
+
+    #[test]
+    fn backoff_traced_as_retry_attempt() {
+        use elc_trace::{TraceFilter, Tracer};
+        let p = policy();
+        let ((), tracer) =
+            elc_trace::with_tracer(Tracer::new(TraceFilter::all(Level::Debug)), || {
+                let mut rng = SimRng::seed(3).derive("retry");
+                let _ = p.backoff_schedule(SimTime::from_secs(5), &mut rng);
+            });
+        assert_eq!(tracer.len(), 3);
+        let e = tracer.events().next().unwrap();
+        assert_eq!(tracer.resolve(e.name), "retry.attempt");
+    }
+
+    #[test]
+    fn budget_spends_and_refills() {
+        let mut b = RetryBudget::new(2.0, 0.5);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket must refuse");
+        b.on_success();
+        assert!(!b.try_spend(), "half a token is not a whole one");
+        b.on_success();
+        assert!(b.try_spend());
+    }
+
+    #[test]
+    fn budget_never_exceeds_ceiling() {
+        let mut b = RetryBudget::new(3.0, 1.0);
+        for _ in 0..10 {
+            b.on_success();
+        }
+        assert_eq!(b.tokens(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive max tokens")]
+    fn budget_rejects_zero_ceiling() {
+        let _ = RetryBudget::new(0.0, 0.1);
+    }
+}

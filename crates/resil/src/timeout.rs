@@ -1,0 +1,157 @@
+//! Per-request-kind client deadlines.
+//!
+//! A timeout converts an open-ended wait into a bounded one, which is what
+//! makes retries and failover *possible*: a client that waits forever
+//! never reaches the retry loop. Deadlines are per
+//! [`RequestKind`](elc_elearn::request::RequestKind) because the
+//! tolerable wait differs by an order of magnitude between an interactive
+//! quiz fetch and a bulk upload.
+
+use elc_elearn::request::RequestKind;
+use elc_simcore::time::SimDuration;
+
+/// Why a [`TimeoutPolicy`] configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutError {
+    /// A deadline was zero for the named kind.
+    ZeroDeadline(RequestKind),
+}
+
+impl std::fmt::Display for TimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimeoutError::ZeroDeadline(kind) => {
+                write!(f, "deadline for {kind} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeoutError {}
+
+/// Per-kind deadlines. Interactive kinds get tight deadlines, bulk
+/// transfers loose ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeoutPolicy {
+    deadlines: [(RequestKind, SimDuration); RequestKind::ALL.len()],
+}
+
+impl TimeoutPolicy {
+    /// Creates a policy from an explicit deadline per kind. Kinds missing
+    /// from `pairs` fall back to the [`TimeoutPolicy::standard`] value.
+    ///
+    /// # Errors
+    ///
+    /// Rejects any zero deadline.
+    pub fn try_new(pairs: &[(RequestKind, SimDuration)]) -> Result<Self, TimeoutError> {
+        let mut policy = TimeoutPolicy::standard();
+        for &(kind, deadline) in pairs {
+            if deadline.is_zero() {
+                return Err(TimeoutError::ZeroDeadline(kind));
+            }
+            for slot in &mut policy.deadlines {
+                if slot.0 == kind {
+                    slot.1 = deadline;
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Panicking counterpart of [`TimeoutPolicy::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `try_new` would reject the configuration.
+    #[must_use]
+    pub fn new(pairs: &[(RequestKind, SimDuration)]) -> Self {
+        TimeoutPolicy::try_new(pairs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The standard deadlines: 5 s for interactive page/quiz traffic,
+    /// 10 s for login and video chunks, 30 s for forum writes, 120 s for
+    /// bulk transfers.
+    #[must_use]
+    pub fn standard() -> Self {
+        use RequestKind::*;
+        let d = |kind| match kind {
+            CoursePage | QuizFetch | QuizSubmit | ForumRead => SimDuration::from_secs(5),
+            Login | VideoChunk => SimDuration::from_secs(10),
+            ForumPost => SimDuration::from_secs(30),
+            Upload | Download => SimDuration::from_secs(120),
+        };
+        let mut deadlines = [(Login, SimDuration::ZERO); RequestKind::ALL.len()];
+        for (slot, &kind) in deadlines.iter_mut().zip(RequestKind::ALL.iter()) {
+            *slot = (kind, d(kind));
+        }
+        TimeoutPolicy { deadlines }
+    }
+
+    /// The deadline for `kind`.
+    #[must_use]
+    pub fn deadline(&self, kind: RequestKind) -> SimDuration {
+        self.deadlines
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, d)| *d)
+            .expect("every RequestKind has a deadline")
+    }
+
+    /// True if a request of `kind` that took `latency` blew its deadline.
+    #[must_use]
+    pub fn is_breach(&self, kind: RequestKind, latency: SimDuration) -> bool {
+        latency > self.deadline(kind)
+    }
+}
+
+impl Default for TimeoutPolicy {
+    fn default() -> Self {
+        TimeoutPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_every_kind_positively() {
+        let p = TimeoutPolicy::standard();
+        for &kind in RequestKind::ALL.iter() {
+            assert!(!p.deadline(kind).is_zero(), "{kind} has a zero deadline");
+        }
+    }
+
+    #[test]
+    fn interactive_deadlines_are_tighter_than_bulk() {
+        let p = TimeoutPolicy::standard();
+        assert!(p.deadline(RequestKind::QuizFetch) < p.deadline(RequestKind::Upload));
+        assert!(p.deadline(RequestKind::CoursePage) < p.deadline(RequestKind::Download));
+    }
+
+    #[test]
+    fn overrides_apply_and_others_keep_standard() {
+        let p = TimeoutPolicy::new(&[(RequestKind::Upload, SimDuration::from_secs(600))]);
+        assert_eq!(p.deadline(RequestKind::Upload), SimDuration::from_secs(600));
+        assert_eq!(
+            p.deadline(RequestKind::QuizFetch),
+            TimeoutPolicy::standard().deadline(RequestKind::QuizFetch)
+        );
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        assert_eq!(
+            TimeoutPolicy::try_new(&[(RequestKind::Login, SimDuration::ZERO)]),
+            Err(TimeoutError::ZeroDeadline(RequestKind::Login))
+        );
+    }
+
+    #[test]
+    fn breach_is_strictly_after_the_deadline() {
+        let p = TimeoutPolicy::standard();
+        let d = p.deadline(RequestKind::QuizSubmit);
+        assert!(!p.is_breach(RequestKind::QuizSubmit, d));
+        assert!(p.is_breach(RequestKind::QuizSubmit, d + SimDuration::from_nanos(1)));
+    }
+}

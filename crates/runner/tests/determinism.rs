@@ -40,6 +40,26 @@ fn aggregates_are_byte_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn e16_chaos_aggregates_are_byte_identical_at_1_2_and_8_threads() {
+    // E16 drives the whole resilience stack (chaos timeline, breaker,
+    // failover, retry jitter) from derived seeds — the experiment with
+    // the most RNG lineages to get wrong. Run it under an explicit
+    // campaign so the chaos-spec path is exercised end to end.
+    let spec: elc_resil::chaos::ChaosSpec = "storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79"
+        .parse()
+        .unwrap();
+    let scenario = Scenario::university(42).with_chaos(spec);
+    let serial = aggregate_bytes("e16", scenario.clone(), 6, 1);
+    for threads in [2, 8] {
+        let parallel = aggregate_bytes("e16", scenario.clone(), 6, threads);
+        assert_eq!(
+            serial, parallel,
+            "e16 aggregates diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn equivalence_holds_on_a_harsher_scenario() {
     let serial = aggregate_bytes("e09", Scenario::rural_learners(2013), 8, 1);
     let parallel = aggregate_bytes("e09", Scenario::rural_learners(2013), 8, 8);

@@ -51,6 +51,36 @@ pub struct RunStats {
     pub spilled_scheduled: u64,
 }
 
+/// Handle on a scheduled deadline event, from
+/// [`Simulation::schedule_deadline`]. Disarm it when the guarded work
+/// finishes in time; otherwise the handler fires and the handle goes
+/// stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    id: EventId,
+}
+
+impl Deadline {
+    /// The underlying event id.
+    #[must_use]
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// True if the deadline has neither fired nor been disarmed.
+    #[must_use]
+    pub fn is_armed<S>(&self, sim: &Simulation<S>) -> bool {
+        sim.is_pending(self.id)
+    }
+
+    /// Disarms the deadline: the handler will not fire. Returns `true` if
+    /// it was still armed, `false` if it already fired (the guarded work
+    /// was too late) or was disarmed before.
+    pub fn disarm<S>(self, sim: &mut Simulation<S>) -> bool {
+        sim.cancel(self.id)
+    }
+}
+
 /// A discrete-event simulation over model state `S`.
 ///
 /// # Examples
@@ -254,6 +284,28 @@ impl<S> Simulation<S> {
         }
         let f = handler;
         self.schedule_in(start, move |sim| tick(sim, f, interval))
+    }
+
+    /// Schedules `handler` as a *deadline*: it fires after `after` unless
+    /// the returned [`Deadline`] is disarmed first. Sugar over
+    /// [`Simulation::schedule_in`]/[`Simulation::cancel`] for the
+    /// timeout-then-maybe-cancel shape resilience policies use — the
+    /// deadline lives in the same arena as every other event, so nothing
+    /// new touches the pop spine.
+    pub fn schedule_deadline(
+        &mut self,
+        after: SimDuration,
+        handler: impl FnOnce(&mut Simulation<S>) + 'static,
+    ) -> Deadline {
+        Deadline {
+            id: self.schedule_in(after, handler),
+        }
+    }
+
+    /// True if the event behind `id` has neither fired nor been cancelled.
+    #[must_use]
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.queue.contains(id)
     }
 
     /// Cancels a pending event. Returns `true` if it had not yet fired.
@@ -515,6 +567,44 @@ mod tests {
         assert!(sim.cancel(id));
         sim.run();
         assert_eq!(*sim.state(), 10);
+    }
+
+    #[test]
+    fn is_pending_tracks_fire_and_cancel() {
+        let mut sim = Simulation::new(1, 0u32);
+        let id = sim.schedule_in(SimDuration::from_secs(1), |s| *s.state_mut() += 1);
+        assert!(sim.is_pending(id));
+        sim.run();
+        assert!(!sim.is_pending(id), "fired events are no longer pending");
+        let id2 = sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        assert!(sim.cancel(id2));
+        assert!(!sim.is_pending(id2));
+        assert!(!sim.is_pending(id), "stale id stays stale after slot reuse");
+    }
+
+    #[test]
+    fn deadline_fires_unless_disarmed() {
+        let mut sim = Simulation::new(1, 0u32);
+        // This deadline is disarmed in time: no penalty.
+        let d = sim.schedule_deadline(SimDuration::from_secs(5), |s| *s.state_mut() += 100);
+        sim.schedule_in(SimDuration::from_secs(2), move |s| {
+            assert!(d.is_armed(s));
+            assert!(d.disarm(s));
+        });
+        // This one is not: the handler runs at t=8.
+        sim.schedule_deadline(SimDuration::from_secs(8), |s| *s.state_mut() += 1);
+        sim.run();
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn disarming_a_fired_deadline_reports_false() {
+        let mut sim = Simulation::new(1, 0u32);
+        let d = sim.schedule_deadline(SimDuration::from_secs(1), |s| *s.state_mut() += 1);
+        sim.run();
+        assert!(!d.disarm(&mut sim));
+        assert_eq!(*sim.state(), 1);
     }
 
     #[test]

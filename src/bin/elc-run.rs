@@ -9,6 +9,7 @@
 //! elc-run --experiment e01 [--scenario NAME] [--replications N]
 //!         [--threads T] [--seed S] [--quiet]
 //!         [--trace PATH.jsonl] [--trace-filter SPEC]
+//!         [--chaos SPEC]
 //! ```
 //!
 //! The aggregate table is a pure function of `(experiment, scenario,
@@ -23,8 +24,8 @@ use std::process::ExitCode;
 
 use elearn_cloud::analysis::table::Table;
 use elearn_cloud::core::cli_args::{
-    experiment_list, flag, parse_or, scenario_by_name, split_args, unknown_experiment,
-    unknown_scenario, TraceOptions, SCENARIO_USAGE,
+    chaos_from_flags, experiment_list, flag, parse_or, scenario_by_name, split_args,
+    unknown_experiment, unknown_scenario, TraceOptions, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::find;
 use elearn_cloud::runner::progress::{Silent, Stderr};
@@ -35,12 +36,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elc-run --list\n  \
          elc-run --experiment <ID> [--scenario NAME] [--replications N] \
-         [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC]\n\
-         experiments: e1..e15, t1\n\
+         [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC] \
+         [--chaos SPEC]\n\
+         experiments: e1..e16, t1\n\
          {SCENARIO_USAGE}\n\
          defaults: --scenario small-college, --replications 8, --seed 2013, \
          --threads <available cores>\n\
-         trace filter: LEVEL or LEVEL,target=LEVEL,... (e.g. warn,cloud=trace,net=off)"
+         trace filter: LEVEL or LEVEL,target=LEVEL,... (e.g. warn,cloud=trace,net=off)\n\
+         chaos spec (e16): off | campaigns joined with ';' \
+         (e.g. storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79)"
     );
     ExitCode::from(2)
 }
@@ -134,11 +138,22 @@ fn main() -> ExitCode {
         }
     };
 
+    let chaos = match chaos_from_flags(&flags) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+
     let scenario_name = flag(&flags, "scenario").unwrap_or("small-college");
-    let Some(scenario) = scenario_by_name(scenario_name, seed) else {
+    let Some(mut scenario) = scenario_by_name(scenario_name, seed) else {
         eprintln!("{}", unknown_scenario(scenario_name));
         return usage();
     };
+    if let Some(spec) = chaos {
+        scenario = scenario.with_chaos(spec);
+    }
 
     let mut spec = RunSpec::new(experiment, scenario, replications).threads(threads);
     if let Some(opts) = &trace_opts {

@@ -4,7 +4,9 @@
 //! elc scenarios                              list scenario presets
 //! elc experiments                            list experiment registry ids
 //! elc report [SCENARIO] [--seed N]           run the full suite, print all tables
-//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e15, t1)
+//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e16, t1)
+//!     [--chaos SPEC]                         fault campaign for e16
+//!                                            (e.g. storm@0.3:n=4,mins=6;disaster@0.79, or off)
 //! elc advise [SCENARIO] [--seed N]
 //!     [--profile startup|exam|balanced]      advisor with a preset profile
 //!     [--cost W --security W --elasticity W
@@ -17,8 +19,8 @@
 use std::process::ExitCode;
 
 use elearn_cloud::core::cli_args::{
-    flag, parse_or, scenario_by_name, scenario_list, split_args, unknown_experiment,
-    unknown_scenario, SCENARIO_USAGE,
+    chaos_from_flags, flag, parse_or, scenario_by_name, scenario_list, split_args,
+    unknown_experiment, unknown_scenario, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::{find, run_all};
 use elearn_cloud::core::{advise, Requirements, Scenario};
@@ -26,7 +28,7 @@ use elearn_cloud::core::{advise, Requirements, Scenario};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elc scenarios\n  elc experiments\n  elc report [SCENARIO] [--seed N]\n  \
-         elc experiment <ID> [SCENARIO] [--seed N]\n  \
+         elc experiment <ID> [SCENARIO] [--seed N] [--chaos SPEC]\n  \
          elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
          [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
          {SCENARIO_USAGE}"
@@ -49,6 +51,13 @@ fn main() -> ExitCode {
 
     let seed = match parse_or(&flags, "seed", 2013u64) {
         Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let chaos = match chaos_from_flags(&flags) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return usage();
@@ -79,10 +88,13 @@ fn main() -> ExitCode {
                 return usage();
             };
             let name = positional.get(1).map_or("small-college", String::as_str);
-            let Some(scenario) = scenario_by_name(name, seed) else {
+            let Some(mut scenario) = scenario_by_name(name, seed) else {
                 eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
+            if let Some(spec) = &chaos {
+                scenario = scenario.with_chaos(spec.clone());
+            }
             match run_experiment(&id.to_lowercase(), &scenario) {
                 Some(text) => {
                     println!("{text}");

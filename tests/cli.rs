@@ -114,7 +114,7 @@ fn experiments_lists_the_registry() {
     let out = elc().arg("experiments").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).expect("utf8");
-    for id in ["e01", "e15", "t1"] {
+    for id in ["e01", "e15", "e16", "t1"] {
         assert!(text.contains(id), "missing {id} in:\n{text}");
     }
 }
@@ -129,6 +129,34 @@ fn experiment_e15_is_reachable() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("== E15"));
+}
+
+#[test]
+fn experiment_e16_accepts_a_chaos_campaign() {
+    let out = elc()
+        .args(["experiment", "e16", "--chaos", "disaster@0.5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("== E16"), "{text}");
+    assert!(text.contains("chaos campaign: disaster@0.5"), "{text}");
+    assert!(text.contains("| hybrid"), "{text}");
+}
+
+#[test]
+fn elc_rejects_a_malformed_chaos_spec() {
+    let out = elc()
+        .args(["experiment", "e16", "--chaos", "meteor@0.5"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("--chaos:"), "{err}");
 }
 
 #[test]

@@ -15,7 +15,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use elc_core::experiments::run_all;
+use elc_core::experiments::{e16, run_all};
 use elc_core::scenario::Scenario;
 
 const SEED: u64 = 42;
@@ -39,6 +39,21 @@ fn render(scenario: &Scenario) -> String {
     run_all(scenario).report().to_string()
 }
 
+/// E16 renders outside the pinned report (its chaos campaign is a CLI
+/// knob), so its paper-table section gets its own golden per scenario.
+fn e16_golden_path(scenario: &Scenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!(
+            "paper_tables_e16_seed{SEED}_{}.txt",
+            scenario.name()
+        ))
+}
+
+fn render_e16(scenario: &Scenario) -> String {
+    e16::run(scenario).section().to_string()
+}
+
 #[test]
 fn report_is_byte_identical_to_the_golden_capture() {
     for scenario in scenarios() {
@@ -56,6 +71,23 @@ fn report_is_byte_identical_to_the_golden_capture() {
     }
 }
 
+#[test]
+fn e16_section_is_byte_identical_to_the_golden_capture() {
+    for scenario in scenarios() {
+        let path = e16_golden_path(&scenario);
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let actual = render_e16(&scenario);
+        assert_eq!(
+            actual,
+            expected,
+            "E16 section for scenario {} (seed {SEED}) drifted from {}",
+            scenario.name(),
+            path.display()
+        );
+    }
+}
+
 /// Rewrites the golden files from the current implementation. Run
 /// explicitly (`--ignored regenerate`) after an intentional output change.
 #[test]
@@ -64,6 +96,9 @@ fn regenerate() {
     for scenario in scenarios() {
         let path = golden_path(&scenario);
         fs::write(&path, render(&scenario))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let path = e16_golden_path(&scenario);
+        fs::write(&path, render_e16(&scenario))
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     }
 }
