@@ -33,7 +33,7 @@ pub mod report;
 pub mod stats;
 pub mod table;
 
-pub use matrix::{ComparisonMatrix, Criterion, Direction, Rating};
+pub use matrix::{ComparisonMatrix, Criterion, Direction, Rating, WideCriterion, WideMatrix};
 pub use metrics::{intern, MetricKey, MetricSet, MetricTable};
 pub use report::{Report, Section};
 pub use stats::{ci95, mean, median, percentile, sorted_percentile, std_dev, Ci95};

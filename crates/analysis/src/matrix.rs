@@ -60,43 +60,55 @@ pub struct Criterion {
 /// a verdict (every real gap in the measured tables exceeds 10%).
 const TIE_EPSILON: f64 = 1e-2;
 
+/// Ordinal ratings for any number of columns on one criterion.
+///
+/// A column is `Good` when it loses to nobody and beats somebody (or
+/// everything is tied), `Poor` when it beats nobody and loses to somebody,
+/// `Fair` otherwise. Ties within [`TIE_EPSILON`] relative tolerance share
+/// the better rating.
+#[must_use]
+pub fn rate_columns(values: &[f64], direction: Direction) -> Vec<Rating> {
+    let n = values.len();
+    let better = |a: f64, b: f64| {
+        let scale = a.abs().max(b.abs());
+        if (a - b).abs() <= TIE_EPSILON * scale {
+            return false; // tied
+        }
+        match direction {
+            Direction::LowerIsBetter => a < b,
+            Direction::HigherIsBetter => a > b,
+        }
+    };
+    (0..n)
+        .map(|i| {
+            let wins = (0..n)
+                .filter(|&j| j != i && better(values[i], values[j]))
+                .count();
+            let losses = (0..n)
+                .filter(|&j| j != i && better(values[j], values[i]))
+                .count();
+            if losses == 0 && wins > 0 {
+                Rating::Good
+            } else if wins == 0 && losses > 0 {
+                Rating::Poor
+            } else if wins == 0 && losses == 0 {
+                // Full tie.
+                Rating::Good
+            } else {
+                Rating::Fair
+            }
+        })
+        .collect()
+}
+
 impl Criterion {
     /// Ordinal ratings for (public, private, hybrid).
     ///
     /// Ties (within a 1% relative tolerance) share the better rating.
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // index couples two arrays
     pub fn ratings(&self) -> [Rating; 3] {
-        let mut out = [Rating::Fair; 3];
-        let better = |a: f64, b: f64| {
-            let scale = a.abs().max(b.abs());
-            if (a - b).abs() <= TIE_EPSILON * scale {
-                return false; // tied
-            }
-            match self.direction {
-                Direction::LowerIsBetter => a < b,
-                Direction::HigherIsBetter => a > b,
-            }
-        };
-        for i in 0..3 {
-            let wins = (0..3)
-                .filter(|&j| j != i && better(self.values[i], self.values[j]))
-                .count();
-            let losses = (0..3)
-                .filter(|&j| j != i && better(self.values[j], self.values[i]))
-                .count();
-            out[i] = if losses == 0 && wins > 0 {
-                Rating::Good
-            } else if wins == 0 && losses > 0 {
-                Rating::Poor
-            } else if wins == 0 && losses == 0 {
-                // Three-way tie.
-                Rating::Good
-            } else {
-                Rating::Fair
-            };
-        }
-        out
+        let rated = rate_columns(&self.values, self.direction);
+        [rated[0], rated[1], rated[2]]
     }
 
     /// Index (0=public, 1=private, 2=hybrid) of the winning model; ties
@@ -207,6 +219,159 @@ impl fmt::Display for ComparisonMatrix {
     }
 }
 
+/// One row of a [`WideMatrix`]: a criterion measured for N models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideCriterion {
+    /// Name, e.g. "3-year TCO (USD)".
+    pub name: String,
+    /// Which experiment produced it, e.g. "E1".
+    pub experiment: String,
+    /// Metric values, one per model column.
+    pub values: Vec<f64>,
+    /// Whether lower or higher is better.
+    pub direction: Direction,
+}
+
+impl WideCriterion {
+    /// Ordinal ratings, one per model column (same tie semantics as
+    /// [`Criterion::ratings`]).
+    #[must_use]
+    pub fn ratings(&self) -> Vec<Rating> {
+        rate_columns(&self.values, self.direction)
+    }
+
+    /// Column index of the winning model; ties resolve to the first
+    /// winner.
+    #[must_use]
+    pub fn winner(&self) -> usize {
+        self.ratings()
+            .iter()
+            .position(|&r| r == Rating::Good)
+            .unwrap_or(0)
+    }
+}
+
+/// A comparison matrix over an arbitrary set of model columns — the
+/// appendix view that extends T1's three models with FaaS without
+/// disturbing the pinned three-column table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideMatrix {
+    models: Vec<&'static str>,
+    criteria: Vec<WideCriterion>,
+}
+
+impl WideMatrix {
+    /// Creates an empty matrix over the given model columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    #[must_use]
+    pub fn new(models: impl IntoIterator<Item = &'static str>) -> Self {
+        let models: Vec<&'static str> = models.into_iter().collect();
+        assert!(!models.is_empty(), "a matrix needs model columns");
+        WideMatrix {
+            models,
+            criteria: Vec::new(),
+        }
+    }
+
+    /// The model column names.
+    #[must_use]
+    pub fn models(&self) -> &[&'static str] {
+        &self.models
+    }
+
+    /// Adds a measured criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values` has one entry per model column.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        experiment: impl Into<String>,
+        values: Vec<f64>,
+        direction: Direction,
+    ) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.models.len(),
+            "criterion width {} != model count {}",
+            values.len(),
+            self.models.len()
+        );
+        self.criteria.push(WideCriterion {
+            name: name.into(),
+            experiment: experiment.into(),
+            values,
+            direction,
+        });
+        self
+    }
+
+    /// The criteria added so far.
+    #[must_use]
+    pub fn criteria(&self) -> &[WideCriterion] {
+        &self.criteria
+    }
+
+    /// How many criteria each model wins (shared wins count for each).
+    #[must_use]
+    pub fn win_counts(&self) -> Vec<usize> {
+        let mut wins = vec![0usize; self.models.len()];
+        for c in &self.criteria {
+            for (i, r) in c.ratings().into_iter().enumerate() {
+                if r == Rating::Good {
+                    wins[i] += 1;
+                }
+            }
+        }
+        wins
+    }
+
+    /// The matrix as a typed measured table, same cell format as
+    /// [`ComparisonMatrix::to_metric_table`].
+    #[must_use]
+    pub fn to_metric_table(&self) -> MetricTable {
+        let headers = ["criterion", "exp"]
+            .into_iter()
+            .chain(self.models.iter().copied())
+            .chain(["verdict"]);
+        let mut t = MetricTable::new(headers);
+        for c in &self.criteria {
+            let ratings = c.ratings();
+            let verdict = if ratings.iter().all(|&r| r == Rating::Good) {
+                "tie".to_string()
+            } else {
+                format!("{} wins", self.models[c.winner()])
+            };
+            let mut cells = vec![Cell::text(c.experiment.clone())];
+            cells.extend(
+                c.values
+                    .iter()
+                    .zip(&ratings)
+                    .map(|(v, r)| Cell::text(format!("{} ({})", fmt_f64(*v), r))),
+            );
+            cells.push(Cell::text(verdict));
+            t.row(c.name.clone(), cells);
+        }
+        t
+    }
+
+    /// Renders the matrix with raw values and ratings.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        self.to_metric_table().to_table()
+    }
+}
+
+impl fmt::Display for WideMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +442,37 @@ mod tests {
     fn rating_display() {
         assert_eq!(Rating::Good.to_string(), "good");
         assert!(Rating::Good > Rating::Fair);
+    }
+
+    #[test]
+    fn wide_matrix_agrees_with_narrow_on_three_columns() {
+        let c = criterion([1.0, 3.0, 2.0], Direction::LowerIsBetter);
+        let wide = rate_columns(&c.values, c.direction);
+        assert_eq!(wide, c.ratings().to_vec());
+    }
+
+    #[test]
+    fn wide_matrix_rates_four_columns() {
+        let mut m = WideMatrix::new(["public", "private", "hybrid", "faas"]);
+        m.add(
+            "cost",
+            "E17",
+            vec![20.0, 40.0, 30.0, 10.0],
+            Direction::LowerIsBetter,
+        );
+        assert_eq!(
+            m.criteria()[0].ratings(),
+            vec![Rating::Fair, Rating::Poor, Rating::Fair, Rating::Good]
+        );
+        assert_eq!(m.win_counts(), vec![0, 0, 0, 1]);
+        let text = m.to_string();
+        assert!(text.contains("faas wins"), "got:\n{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "criterion width 3 != model count 4")]
+    fn wide_matrix_rejects_ragged_rows() {
+        let mut m = WideMatrix::new(["a", "b", "c", "d"]);
+        m.add("x", "E0", vec![1.0, 2.0, 3.0], Direction::LowerIsBetter);
     }
 }

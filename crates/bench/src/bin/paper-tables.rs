@@ -1,6 +1,7 @@
 //! Regenerates every table of the reproduction (E1–E15, T1, plus the E16
-//! resilience appendix) for the harness scenarios, printing the report
-//! and writing one CSV per section under `results/<scenario>/`.
+//! resilience and E17 serverless appendices) for the harness scenarios,
+//! printing the report and writing one CSV per section under
+//! `results/<scenario>/`.
 //!
 //! ```sh
 //! cargo run --release -p elc-bench --bin paper-tables
@@ -13,7 +14,7 @@
 //! cargo run --release -p elc-bench --bin paper-tables -- --list
 //! # additionally record a sim-time trace of every run:
 //! cargo run --release -p elc-bench --bin paper-tables -- --trace tables.jsonl
-//! # override E16's fault campaign (default: the exam-day crisis):
+//! # override E16/E17's fault campaign (default: the exam-day crisis):
 //! cargo run --release -p elc-bench --bin paper-tables -- --chaos disaster@0.5
 //! ```
 //!
@@ -30,7 +31,7 @@ use elc_core::advisor::advise;
 use elc_core::cli_args::{
     chaos_from_flags, experiment_list, flag, parse_or, split_args, unknown_scenario, TraceOptions,
 };
-use elc_core::experiments::{e16, run_all};
+use elc_core::experiments::{e16, e17, run_all};
 use elc_core::requirements::Requirements;
 
 /// Parsed command line: a seed, an optional scenario-name filter, and
@@ -113,12 +114,12 @@ fn main() {
         );
         println!("########################################################\n");
 
-        let (outputs, resilience) = match &args.trace {
-            None => (run_all(&scenario), e16::run(&scenario)),
+        let (outputs, resilience, serverless) = match &args.trace {
+            None => (run_all(&scenario), e16::run(&scenario), e17::run(&scenario)),
             Some(opts) => {
-                let ((outputs, resilience), tracer) =
+                let ((outputs, resilience, serverless), tracer) =
                     elc_trace::with_tracer(elc_trace::Tracer::new(opts.filter.clone()), || {
-                        (run_all(&scenario), e16::run(&scenario))
+                        (run_all(&scenario), e16::run(&scenario), e17::run(&scenario))
                     });
                 if let Some(out) = trace_out.as_mut() {
                     let labels = [("scenario", scenario.name())];
@@ -126,15 +127,21 @@ fn main() {
                         eprintln!("warning: cannot write trace: {e}");
                     }
                 }
-                (outputs, resilience)
+                (outputs, resilience, serverless)
             }
         };
         let report = outputs.report();
         println!("{report}\n");
-        // E16 is an appendix: its chaos campaign is a knob, so it renders
-        // outside the pinned E1–E15/T1 report.
+        // E16 and E17 are appendices: their chaos campaign is a knob, so
+        // they render outside the pinned E1–E15/T1 report.
         let e16_section = resilience.section();
         println!("{e16_section}\n");
+        let e17_section = serverless.section();
+        println!("{e17_section}\n");
+        let metrics = outputs.metrics();
+        let t1f_section =
+            e17::FaasColumn::derive(&scenario, &metrics, &serverless).section(&metrics);
+        println!("{t1f_section}\n");
 
         // Figures for the sweep-shaped experiments.
         let e1_series: Vec<Vec<(f64, f64)>> = (0..3)
@@ -170,7 +177,6 @@ fn main() {
         println!("{}", line_chart(&[("community", &e13_series)], 56, 10));
 
         // Advisor verdicts for the paper's three customer archetypes.
-        let metrics = outputs.metrics();
         for (label, reqs) in [
             ("startup-program", Requirements::startup_program()),
             ("exam-authority", Requirements::exam_authority()),
@@ -194,6 +200,14 @@ fn main() {
         let e16_csv = dir.join("e16.csv");
         if let Err(e) = fs::write(&e16_csv, e16_section.table().to_csv()) {
             eprintln!("warning: cannot write {}: {e}", e16_csv.display());
+        }
+        let e17_csv = dir.join("e17.csv");
+        if let Err(e) = fs::write(&e17_csv, e17_section.table().to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", e17_csv.display());
+        }
+        let t1f_csv = dir.join("t1f.csv");
+        if let Err(e) = fs::write(&t1f_csv, t1f_section.table().to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", t1f_csv.display());
         }
         let report_path = dir.join("report.txt");
         if let Err(e) = fs::write(&report_path, report.to_string()) {

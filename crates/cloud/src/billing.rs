@@ -338,6 +338,14 @@ pub struct Invoice {
 }
 
 impl Invoice {
+    /// Builds an invoice from already-priced lines — the extension point
+    /// for billing models priced outside the VM sheet (e.g. per-invocation
+    /// FaaS metering in `elc-faas`).
+    #[must_use]
+    pub fn from_lines(lines: Vec<InvoiceLine>) -> Self {
+        Invoice { lines }
+    }
+
     /// The line items.
     #[must_use]
     pub fn lines(&self) -> &[InvoiceLine] {

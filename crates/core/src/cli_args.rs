@@ -109,7 +109,7 @@ pub fn unknown_scenario(name: &str) -> String {
 /// The uniform "unknown experiment" diagnostic.
 #[must_use]
 pub fn unknown_experiment(id: &str) -> String {
-    format!("unknown experiment {id:?} (e1..e16, t1; try --list)")
+    format!("unknown experiment {id:?} (e1..e17, t1; try --list)")
 }
 
 /// The experiment registry rendered one `id  name` line at a time — the
@@ -249,7 +249,7 @@ mod tests {
     #[test]
     fn listings_cover_registry_and_presets() {
         let e = experiment_list();
-        for id in ["e01", "e15", "e16", "t1"] {
+        for id in ["e01", "e15", "e16", "e17", "t1"] {
             assert!(e.contains(id), "missing {id} in {e}");
         }
         let s = scenario_list(1);

@@ -2,8 +2,8 @@
 //!
 //! One module per experiment in the DESIGN.md index (E1–E12), the
 //! extension experiments (E13 community cloud, E14 service models, E15
-//! growth planning) and the
-//! measured comparison matrix (T1). Every module exposes `run(&Scenario)`
+//! growth planning, E16 chaos resilience, E17 serverless economics) and
+//! the measured comparison matrix (T1). Every module exposes `run(&Scenario)`
 //! returning a typed output with a `section()` renderer; [`run_all`]
 //! executes the whole suite and assembles the report, and [`registry`]
 //! exposes every experiment behind the uniform [`Experiment`] interface
@@ -26,6 +26,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod registry;
 pub mod t1;
 

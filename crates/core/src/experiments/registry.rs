@@ -119,6 +119,7 @@ experiments! {
     E14: e14, "e14", "Service models on the public cloud: IaaS / PaaS / SaaS";
     E15: e15, "e15", "Capacity planning under enrollment growth";
     E16: e16, "e16", "Resilience under injected faults: deployment models compared";
+    E17: e17, "e17", "Serverless cold-start economics: FaaS vs provisioned models";
 }
 
 /// E12 is the one discrete-event-simulation experiment heavy enough to
@@ -179,12 +180,12 @@ impl Experiment for T1 {
     }
 }
 
-static REGISTRY: [&dyn Experiment; 17] = [
+static REGISTRY: [&dyn Experiment; 18] = [
     &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15, &E16,
-    &T1,
+    &E17, &T1,
 ];
 
-/// Every experiment, suite order (E1–E16 then T1).
+/// Every experiment, suite order (E1–E17 then T1).
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
     &REGISTRY
@@ -209,11 +210,12 @@ mod tests {
     #[test]
     fn registry_covers_the_suite() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
         assert_eq!(ids[0], "e01");
         assert_eq!(ids[14], "e15");
         assert_eq!(ids[15], "e16");
-        assert_eq!(ids[16], "t1");
+        assert_eq!(ids[16], "e17");
+        assert_eq!(ids[17], "t1");
         // Ids are unique.
         let mut dedup = ids.clone();
         dedup.sort_unstable();

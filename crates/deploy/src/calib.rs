@@ -69,6 +69,23 @@ pub const CLOUD_INSTALL: SimDuration = SimDuration::from_days(2);
 /// (VPN, identity federation, data replication).
 pub const HYBRID_INTEGRATION: SimDuration = SimDuration::from_days(15);
 
+/// FaaS account signup + IAM and bucket bring-up. There is no capacity to
+/// provision at all, so this undercuts even the VM signup path.
+pub const FAAS_SIGNUP: SimDuration = SimDuration::from_hours(2);
+
+/// Packaging the LMS endpoints as functions and wiring triggers, gateways
+/// and storage. No images to bake, no instances to harden.
+pub const FAAS_DEPLOY: SimDuration = SimDuration::from_hours(8);
+
+/// Exit-cost multiplier of the FaaS model relative to the public VM model:
+/// event formats, gateway routing and IAM wiring are provider-specific, so
+/// lock-in runs deeper than lift-and-shift VMs.
+pub const FAAS_LOCKIN_FACTOR: f64 = 1.6;
+
+/// Admin attention for a serverless estate, in FTEs — no instances to
+/// patch or scale, but deployment pipelines and quota watching remain.
+pub const FAAS_OPS_FTE: f64 = 0.15;
+
 /// Engineering cost of reworking one proprietary-interface dependency
 /// during a migration (the lock-in unit price).
 pub const REWORK_PER_PROPRIETARY_API: Usd = Usd_const(9_000.0);
@@ -103,6 +120,15 @@ mod tests {
     fn procurement_dwarfs_cloud_signup() {
         // The structural fact behind E9: weeks vs hours.
         assert!(HARDWARE_PROCUREMENT.as_secs() > 50 * CLOUD_SIGNUP.as_secs());
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn faas_is_the_fastest_lightest_path() {
+        assert!(FAAS_SIGNUP < CLOUD_SIGNUP);
+        assert!(FAAS_DEPLOY < CLOUD_INSTALL);
+        assert!(FAAS_OPS_FTE < CLOUD_OPS_FTE);
+        assert!(FAAS_LOCKIN_FACTOR > 1.0);
     }
 
     #[test]

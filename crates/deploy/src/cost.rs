@@ -116,6 +116,20 @@ impl CostBreakdown {
     }
 }
 
+/// Daily ownership cost of private capacity equal to one `unit` VM:
+/// amortized capex plus power/cooling/facilities, scaled from the
+/// calibrated server (≈ an XLarge's worth of capacity) by throughput.
+/// The building block the day-granular experiments use to price an
+/// always-on private fleet without re-running the full TCO horizon.
+#[must_use]
+pub fn private_unit_day_cost(unit: VmSize) -> Usd {
+    let per_server_year = calib::SERVER_CAPEX * (1.0 / calib::SERVER_AMORTIZATION_YEARS)
+        + calib::SERVER_POWER_COOLING_PER_YEAR
+        + calib::SERVER_FACILITIES_PER_YEAR;
+    let scale = unit.requests_per_sec() / VmSize::XLarge.requests_per_sec();
+    per_server_year * (scale / 365.0)
+}
+
 /// Prices a deployment over the horizon.
 ///
 /// # Panics
@@ -235,6 +249,21 @@ mod tests {
     fn inputs(students: u32) -> CostInputs {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
         CostInputs::standard(WorkloadModel::standard(students, cal))
+    }
+
+    #[test]
+    fn private_unit_day_cost_scales_with_throughput() {
+        let medium = private_unit_day_cost(VmSize::Medium);
+        let xlarge = private_unit_day_cost(VmSize::XLarge);
+        assert!(medium > Usd::ZERO);
+        assert!(xlarge > medium);
+        // A full server-year at day granularity reassembles the calibrated
+        // annual ownership cost.
+        let year = xlarge * 365.0;
+        let expected = calib::SERVER_CAPEX * (1.0 / calib::SERVER_AMORTIZATION_YEARS)
+            + calib::SERVER_POWER_COOLING_PER_YEAR
+            + calib::SERVER_FACILITIES_PER_YEAR;
+        assert!((year.amount() - expected.amount()).abs() < 1e-6);
     }
 
     #[test]

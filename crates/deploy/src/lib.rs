@@ -5,6 +5,7 @@
 //!
 //! * [`model`] — deployments as component-to-site placements,
 //! * [`cost`] — TCO: pay-as-you-go vs capex/opex/staff (E1),
+//! * [`faas`] — the serverless fourth model and its invocation TCO (E17),
 //! * [`security`] — attack-surface threat model (E6),
 //! * [`migration`] — lock-in and exit pricing (E8),
 //! * [`updates`] — SaaS push vs admin-managed rollout (E3),
@@ -33,6 +34,7 @@
 pub mod calib;
 pub mod community;
 pub mod cost;
+pub mod faas;
 pub mod governance;
 pub mod hybrid;
 pub mod migration;
@@ -45,6 +47,7 @@ pub mod updates;
 
 pub use community::{sweep_members, CommunityAssessment, CommunityCloud};
 pub use cost::{tco, CostBreakdown, CostInputs};
+pub use faas::{faas_tco, standard_profile, FaasCostBreakdown, FaasDeployment};
 pub use governance::OpsOverhead;
 pub use hybrid::{pareto, sweep, SplitPoint};
 pub use migration::{exit_plan, ExitPlan};

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use elc_elearn::content::Sensitivity;
+use elc_elearn::request::RequestKind;
 
 /// The three deployment models under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -158,6 +159,37 @@ impl Component {
             Component::VideoStreaming => 0.70,
             Component::AssessmentEngine => 0.02,
             Component::GradeBook => 0.01,
+        }
+    }
+
+    /// The component that serves a given request kind — how the FaaS
+    /// model maps each deployed function back onto the LMS units whose
+    /// placement the other deployment models argue about.
+    #[must_use]
+    pub fn serving(kind: RequestKind) -> Component {
+        match kind {
+            RequestKind::Login
+            | RequestKind::CoursePage
+            | RequestKind::ForumRead
+            | RequestKind::ForumPost => Component::WebPortal,
+            RequestKind::VideoChunk => Component::VideoStreaming,
+            RequestKind::QuizFetch | RequestKind::QuizSubmit => Component::AssessmentEngine,
+            RequestKind::Upload | RequestKind::Download => Component::ContentStore,
+        }
+    }
+
+    /// Function memory sizing when this component is deployed as FaaS, in
+    /// GB — the GB-second billing unit. Chunk relays run lean; stateful
+    /// engines need a working set.
+    #[must_use]
+    pub fn faas_memory_gb(self) -> f64 {
+        match self {
+            Component::WebPortal => 0.256,
+            Component::Database => 0.768,
+            Component::ContentStore => 0.768,
+            Component::VideoStreaming => 0.128,
+            Component::AssessmentEngine => 0.512,
+            Component::GradeBook => 0.256,
         }
     }
 
@@ -490,6 +522,22 @@ mod tests {
             assert!(c.burstiness() <= Component::AssessmentEngine.burstiness());
             assert!(c.peak_factor() <= Component::AssessmentEngine.peak_factor());
         }
+    }
+
+    #[test]
+    fn every_request_kind_maps_to_a_serving_component() {
+        for kind in RequestKind::ALL {
+            let c = Component::serving(kind);
+            assert!(c.faas_memory_gb() > 0.0);
+        }
+        assert_eq!(
+            Component::serving(RequestKind::QuizSubmit),
+            Component::AssessmentEngine
+        );
+        assert_eq!(
+            Component::serving(RequestKind::VideoChunk),
+            Component::VideoStreaming
+        );
     }
 
     #[test]

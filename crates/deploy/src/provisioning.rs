@@ -30,6 +30,18 @@ impl ProvisioningSchedule {
     }
 }
 
+/// The provisioning schedule of the FaaS model: no capacity to acquire at
+/// all — an account signup and a function deployment pipeline. This is
+/// the "quickest solution" claim of §IV.A taken to its limit.
+#[must_use]
+pub fn faas_schedule() -> ProvisioningSchedule {
+    ProvisioningSchedule {
+        acquisition: calib::FAAS_SIGNUP,
+        installation: calib::FAAS_DEPLOY,
+        integration: SimDuration::ZERO,
+    }
+}
+
 /// Computes the provisioning schedule for a deployment.
 #[must_use]
 pub fn schedule(deployment: &Deployment) -> ProvisioningSchedule {
@@ -88,6 +100,15 @@ mod tests {
         let pv = schedule(&Deployment::private()).time_to_service();
         assert!(pb < SimDuration::from_days(4), "public took {pb}");
         assert!(pv > SimDuration::from_days(40), "private took {pv}");
+    }
+
+    #[test]
+    fn faas_beats_every_provisioned_model() {
+        let fa = faas_schedule().time_to_service();
+        let pb = schedule(&Deployment::public()).time_to_service();
+        assert!(fa < pb, "faas {fa} < public {pb}");
+        assert!(fa < SimDuration::from_days(1), "faas took {fa}");
+        assert_eq!(faas_schedule().integration, SimDuration::ZERO);
     }
 
     #[test]

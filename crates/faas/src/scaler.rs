@@ -1,0 +1,152 @@
+//! Scale-from-zero with an account-level burst concurrency cap.
+//!
+//! Providers never offer unbounded concurrency: an account gets a burst
+//! pool shared by all of its functions. The [`FaasScaler`] sizes each
+//! function from its offered load (Little's law over the per-invocation
+//! service time, padded to a target utilisation) and grants cold starts
+//! only while the shared pool has headroom. Functions are scaled in a
+//! fixed order, so at an exam-day peak the pool can run dry before the
+//! last functions are reached — exactly the starvation E17 measures.
+
+use std::fmt;
+
+use elc_simcore::time::SimDuration;
+
+/// Construction errors for [`FaasScaler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalerError {
+    /// Target utilisation must be in `(0, 1]`.
+    InvalidTargetUtil,
+    /// The burst concurrency cap must admit at least one sandbox.
+    ZeroBurstLimit,
+}
+
+impl fmt::Display for ScalerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalerError::InvalidTargetUtil => {
+                write!(f, "scaler target utilisation must be in (0, 1]")
+            }
+            ScalerError::ZeroBurstLimit => {
+                write!(f, "burst concurrency limit must be >= 1")
+            }
+        }
+    }
+}
+
+/// Account-level scaling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaasScaler {
+    target_util: f64,
+    burst_limit: u32,
+}
+
+impl FaasScaler {
+    /// Validating constructor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a target utilisation outside `(0, 1]` and a zero burst cap.
+    pub fn try_new(target_util: f64, burst_limit: u32) -> Result<Self, ScalerError> {
+        if !(target_util.is_finite() && target_util > 0.0 && target_util <= 1.0) {
+            return Err(ScalerError::InvalidTargetUtil);
+        }
+        if burst_limit == 0 {
+            return Err(ScalerError::ZeroBurstLimit);
+        }
+        Ok(FaasScaler {
+            target_util,
+            burst_limit,
+        })
+    }
+
+    /// Panicking constructor; see [`FaasScaler::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions `try_new` rejects.
+    #[must_use]
+    pub fn new(target_util: f64, burst_limit: u32) -> Self {
+        match Self::try_new(target_util, burst_limit) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid FaasScaler: {e}"),
+        }
+    }
+
+    /// The shared burst concurrency cap.
+    #[must_use]
+    pub fn burst_limit(&self) -> u32 {
+        self.burst_limit
+    }
+
+    /// Sandboxes one function wants for an offered load of `rate` requests
+    /// per second at `service_time` each: Little's law padded to the
+    /// target utilisation. Zero rate wants zero sandboxes — that is the
+    /// scale-*to*-zero half of the bargain.
+    #[must_use]
+    pub fn desired_containers(&self, rate: f64, service_time: SimDuration) -> u32 {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let in_flight = rate * service_time.as_secs_f64() / self.target_util;
+        in_flight.ceil().min(f64::from(u32::MAX)) as u32
+    }
+
+    /// Cold starts granted this tick: enough to close the gap between
+    /// `desired` and `live`, bounded by what the shared pool has left once
+    /// `pool_in_use` sandboxes (all functions, this one included) are
+    /// accounted for.
+    #[must_use]
+    pub fn grant(&self, desired: u32, live: u32, pool_in_use: u32) -> u32 {
+        let wanted = desired.saturating_sub(live);
+        let headroom = self.burst_limit.saturating_sub(pool_in_use);
+        wanted.min(headroom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_rejects_bad_util() {
+        for bad in [0.0, -0.2, 1.2, f64::NAN] {
+            let err = FaasScaler::try_new(bad, 100).unwrap_err();
+            assert_eq!(
+                err.to_string(),
+                "scaler target utilisation must be in (0, 1]"
+            );
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_zero_burst() {
+        let err = FaasScaler::try_new(0.7, 0).unwrap_err();
+        assert_eq!(err.to_string(), "burst concurrency limit must be >= 1");
+    }
+
+    #[test]
+    fn desired_follows_littles_law() {
+        let s = FaasScaler::new(0.5, 1_000);
+        // 10 rps x 0.2 s = 2 in flight; at 50% target util -> 4 sandboxes.
+        assert_eq!(
+            s.desired_containers(10.0, SimDuration::from_secs_f64(0.2)),
+            4
+        );
+        assert_eq!(
+            s.desired_containers(0.0, SimDuration::from_secs_f64(0.2)),
+            0
+        );
+    }
+
+    #[test]
+    fn grant_respects_the_shared_pool() {
+        let s = FaasScaler::new(0.7, 10);
+        assert_eq!(s.grant(8, 2, 2), 6);
+        // Pool nearly exhausted by other functions.
+        assert_eq!(s.grant(8, 2, 9), 1);
+        assert_eq!(s.grant(8, 2, 10), 0);
+        // Already at desired: nothing to start.
+        assert_eq!(s.grant(3, 3, 3), 0);
+    }
+}

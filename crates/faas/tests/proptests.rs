@@ -1,0 +1,159 @@
+//! Seed-derived property tests: container-count invariants under random
+//! invoke/reap interleavings.
+//!
+//! Each case derives its own [`SimRng`] stream from the case index, draws
+//! a random invoker configuration (fixed-window or adaptive keepalive)
+//! and a random demand/grant/chaos walk, and checks the bookkeeping that
+//! the fluid model leans on:
+//!
+//! * warm hits never exceed what the live warm sandboxes could serve,
+//! * sandboxes are conserved (`started == live + reaped`),
+//! * the per-function concurrency cap and buffer capacity hold,
+//! * per-tick flow balances (`demand + drained == served + buffered +
+//!   shed`),
+//! * and — via the `Container::reap` state assertion — the adaptive
+//!   keepalive never reaps a sandbox mid-invocation: any violation
+//!   panics the walk.
+
+use elc_elearn::request::RequestKind;
+use elc_faas::{
+    AdaptiveKeepalive, ColdStartProfile, FixedWindow, Invoker, InvokerConfig, KeepalivePolicy,
+};
+use elc_simcore::metrics::Histogram;
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+const TICK: SimDuration = SimDuration::from_secs(60);
+const CASES: u64 = 150;
+const TICKS_PER_CASE: u64 = 120;
+
+fn random_config(rng: &mut SimRng) -> InvokerConfig {
+    let keepalive = if rng.chance(0.5) {
+        KeepalivePolicy::Fixed(FixedWindow::new(SimDuration::from_secs(
+            rng.range_u64(60, 900),
+        )))
+    } else {
+        let min = SimDuration::from_secs(rng.range_u64(30, 120));
+        let max = min + SimDuration::from_secs(rng.range_u64(60, 1800));
+        KeepalivePolicy::Adaptive(AdaptiveKeepalive::new(rng.range_f64(0.5, 1.0), min, max))
+    };
+    let concurrency = rng.range_u64(1, 40) as u32;
+    let buffer = rng.range_u64(0, 500) as i64;
+    InvokerConfig::new(keepalive, concurrency, buffer)
+}
+
+#[test]
+fn random_interleavings_preserve_container_invariants() {
+    let root = SimRng::seed(0xFAA5).derive("proptests");
+    for case in 0..CASES {
+        let mut rng = root.derive_u64(case);
+        let kind = *rng.pick(&RequestKind::ALL).expect("non-empty");
+        let config = random_config(&mut rng);
+        let cap = u64::from(config.concurrency_limit());
+        let buffer_cap = config.buffer_capacity();
+        let spec = *ColdStartProfile::standard().get(kind);
+        let slots_per =
+            (TICK.as_nanos() / (spec.warm_start() + spec.service_time()).as_nanos()).max(1);
+
+        let mut invoker = Invoker::new(kind, config);
+        let (mut warm, mut cold) = (Histogram::new(), Histogram::new());
+        let mut now = SimTime::ZERO;
+        for tick in 0..TICKS_PER_CASE {
+            // Bursty demand: quiet stretches force reaps, spikes force
+            // cold starts and buffering.
+            let demand = if rng.chance(0.3) {
+                0
+            } else {
+                rng.range_u64(0, 40 * slots_per)
+            };
+            let grant = rng.range_u64(0, 10) as u32;
+            // Warm serving only ever uses sandboxes that were live at
+            // tick start (fresh cold starts serve on the cold path), so
+            // live-at-entry bounds the warm capacity.
+            let live_before = u64::from(invoker.live());
+            let buffered_before = invoker.buffered();
+
+            let out = invoker.tick(
+                now, TICK, demand, grant, &spec, &mut rng, &mut warm, &mut cold,
+            );
+
+            assert!(
+                out.served_warm <= live_before * slots_per,
+                "case {case} tick {tick}: {} warm hits from {live_before} live sandboxes",
+                out.served_warm
+            );
+            // Concurrency cap and buffer capacity hold.
+            assert!(
+                u64::from(invoker.live()) <= cap,
+                "case {case} tick {tick}: live {} over cap {cap}",
+                invoker.live()
+            );
+            assert!(
+                invoker.buffered() <= buffer_cap,
+                "case {case} tick {tick}: buffer {} over cap {buffer_cap}",
+                invoker.buffered()
+            );
+            // Sandbox conservation.
+            assert_eq!(
+                invoker.started_total(),
+                u64::from(invoker.live()) + invoker.reaped_total(),
+                "case {case} tick {tick}: sandboxes leaked"
+            );
+            // Flow balance: everything that arrived or drained is
+            // accounted for.
+            let drained = buffered_before + out.buffered - invoker.buffered();
+            assert_eq!(
+                out.served_warm + out.served_cold + out.buffered + out.shed,
+                demand + drained,
+                "case {case} tick {tick}: flow imbalance"
+            );
+
+            // Occasional chaos: kill a few sandboxes between ticks. The
+            // Container state machine panics if a kill or reap ever hits
+            // a sandbox mid-invocation.
+            if rng.chance(0.1) {
+                invoker.kill(rng.range_u64(1, 5) as u32);
+                assert_eq!(
+                    invoker.started_total(),
+                    u64::from(invoker.live()) + invoker.reaped_total(),
+                    "case {case} tick {tick}: kill broke conservation"
+                );
+            }
+            now += TICK;
+        }
+    }
+}
+
+#[test]
+fn adaptive_keepalive_walks_never_reap_inflight_work() {
+    // A focused walk on the adaptive policy with tiny windows — the
+    // regime where an over-eager reaper would fire mid-invocation if the
+    // tick ordering were wrong. Survival (no panic from the Container
+    // state assertions) is the property.
+    let root = SimRng::seed(0xADA7).derive("adaptive");
+    for case in 0..CASES {
+        let mut rng = root.derive_u64(case);
+        let keepalive = KeepalivePolicy::Adaptive(AdaptiveKeepalive::new(
+            0.9,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(90),
+        ));
+        let config = InvokerConfig::new(keepalive, 20, 200);
+        let spec = *ColdStartProfile::standard().get(RequestKind::QuizSubmit);
+        let mut invoker = Invoker::new(RequestKind::QuizSubmit, config);
+        let (mut warm, mut cold) = (Histogram::new(), Histogram::new());
+        let mut now = SimTime::ZERO;
+        let mut served = 0u64;
+        for _ in 0..TICKS_PER_CASE {
+            let demand = if rng.chance(0.4) {
+                0
+            } else {
+                rng.range_u64(1, 600)
+            };
+            let out = invoker.tick(now, TICK, demand, 3, &spec, &mut rng, &mut warm, &mut cold);
+            served += out.served_warm + out.served_cold;
+            now += TICK;
+        }
+        assert!(served > 0, "case {case}: walk never served anything");
+    }
+}

@@ -60,6 +60,26 @@ fn e16_chaos_aggregates_are_byte_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn e17_chaos_aggregates_are_byte_identical_at_1_2_and_8_threads() {
+    // E17 layers the serverless platform (cold-start sampling per grant,
+    // keepalive reaping, cascade kills) on top of the chaos timeline —
+    // two fresh RNG lineages whose consumption order must not depend on
+    // worker scheduling.
+    let spec: elc_resil::chaos::ChaosSpec = "storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79"
+        .parse()
+        .unwrap();
+    let scenario = Scenario::university(42).with_chaos(spec);
+    let serial = aggregate_bytes("e17", scenario.clone(), 6, 1);
+    for threads in [2, 8] {
+        let parallel = aggregate_bytes("e17", scenario.clone(), 6, threads);
+        assert_eq!(
+            serial, parallel,
+            "e17 aggregates diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn equivalence_holds_on_a_harsher_scenario() {
     let serial = aggregate_bytes("e09", Scenario::rural_learners(2013), 8, 1);
     let parallel = aggregate_bytes("e09", Scenario::rural_learners(2013), 8, 8);

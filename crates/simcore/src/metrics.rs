@@ -115,6 +115,34 @@ impl Summary {
         self.record(d.as_secs_f64());
     }
 
+    /// Records `n` identical observations of `x` in O(1) — the batch form
+    /// used by fluid models where one tick stands for many requests.
+    ///
+    /// Equivalent to calling [`Summary::record`] `n` times (up to float
+    /// round-off in the variance accumulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        assert!(!x.is_nan(), "cannot record NaN");
+        if n == 0 {
+            return;
+        }
+        // Merge with a virtual summary of n identical observations
+        // (mean = x, m2 = 0), using the pairwise-merge update.
+        let n1 = self.count as f64;
+        let n2 = n as f64;
+        let total = n1 + n2;
+        let delta = x - self.mean;
+        self.mean += delta * n2 / total;
+        self.m2 += delta * delta * n1 * n2 / total;
+        self.count += n;
+        self.sum += x * n2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
     /// Number of observations.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -300,6 +328,28 @@ impl Histogram {
         self.record(d.as_secs_f64());
     }
 
+    /// Records `n` identical observations of `x` in O(1) — the batch form
+    /// used by fluid models where one tick stands for many requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or NaN.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        assert!(
+            x >= 0.0 && !x.is_nan(),
+            "histogram values must be >= 0, got {x}"
+        );
+        if n == 0 {
+            return;
+        }
+        self.summary.record_n(x, n);
+        if x == 0.0 {
+            self.zero_count += n;
+            return;
+        }
+        self.buckets[Self::index_of(x)] += n;
+    }
+
     fn index_of(x: f64) -> usize {
         let idx = (x.log2() * SUBS as f64).floor() as i64 - (MIN_EXP * SUBS) as i64;
         idx.clamp(0, BUCKET_COUNT as i64 - 1) as usize
@@ -480,6 +530,39 @@ impl fmt::Display for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_record_n_matches_repeated_record() {
+        let mut batched = Summary::new();
+        let mut looped = Summary::new();
+        for (x, n) in [(2.0, 3u64), (5.0, 1), (0.5, 4), (9.0, 0)] {
+            batched.record_n(x, n);
+            for _ in 0..n {
+                looped.record(x);
+            }
+        }
+        assert_eq!(batched.count(), looped.count());
+        assert!((batched.mean() - looped.mean()).abs() < 1e-12);
+        assert!((batched.variance() - looped.variance()).abs() < 1e-12);
+        assert_eq!(batched.min(), looped.min());
+        assert_eq!(batched.max(), looped.max());
+    }
+
+    #[test]
+    fn histogram_record_n_matches_repeated_record() {
+        let mut batched = Histogram::new();
+        let mut looped = Histogram::new();
+        for (x, n) in [(0.0, 2u64), (0.12, 40), (1.7, 7), (3.0, 0)] {
+            batched.record_n(x, n);
+            for _ in 0..n {
+                looped.record(x);
+            }
+        }
+        assert_eq!(batched.count(), looped.count());
+        assert_eq!(batched.p50(), looped.p50());
+        assert_eq!(batched.p95(), looped.p95());
+        assert_eq!(batched.min_max(), looped.min_max());
+    }
 
     #[test]
     fn counter_accumulates() {

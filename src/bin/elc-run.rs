@@ -38,12 +38,12 @@ fn usage() -> ExitCode {
          elc-run --experiment <ID> [--scenario NAME] [--replications N] \
          [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC] \
          [--chaos SPEC]\n\
-         experiments: e1..e16, t1\n\
+         experiments: e1..e17, t1\n\
          {SCENARIO_USAGE}\n\
          defaults: --scenario small-college, --replications 8, --seed 2013, \
          --threads <available cores>\n\
          trace filter: LEVEL or LEVEL,target=LEVEL,... (e.g. warn,cloud=trace,net=off)\n\
-         chaos spec (e16): off | campaigns joined with ';' \
+         chaos spec (e16/e17): off | campaigns joined with ';' \
          (e.g. storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79)"
     );
     ExitCode::from(2)

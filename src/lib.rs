@@ -9,11 +9,13 @@
 //! * [`net`] — links, topology, outages, transfers,
 //! * [`cloud`] — datacenters, VMs, autoscaling, storage, failures, billing,
 //! * [`elearn`] — the LMS model and its workload,
-//! * [`deploy`] — public / private / hybrid deployment models and their
-//!   cost, security, portability, update, reliability and governance
+//! * [`faas`] — the serverless platform model: container lifecycle,
+//!   keepalive policies, invocation buffering and GB-s billing,
+//! * [`deploy`] — public / private / hybrid / FaaS deployment models and
+//!   their cost, security, portability, update, reliability and governance
 //!   behaviour,
 //! * [`analysis`] — statistics, tables, the comparison matrix,
-//! * [`core`] — the experiment suite (E1–E15, T1), the uniform experiment
+//! * [`core`] — the experiment suite (E1–E17, T1), the uniform experiment
 //!   registry and the deployment advisor,
 //! * [`runner`] — the deterministic parallel multi-seed execution engine
 //!   (replications, worker pool, aggregate statistics, run manifests).
@@ -38,6 +40,7 @@ pub use elc_cloud as cloud;
 pub use elc_core as core;
 pub use elc_deploy as deploy;
 pub use elc_elearn as elearn;
+pub use elc_faas as faas;
 pub use elc_net as net;
 pub use elc_runner as runner;
 pub use elc_simcore as simcore;

@@ -15,7 +15,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use elc_core::experiments::{e16, run_all};
+use elc_core::experiments::{e16, e17, run_all};
 use elc_core::scenario::Scenario;
 
 const SEED: u64 = 42;
@@ -54,6 +54,24 @@ fn render_e16(scenario: &Scenario) -> String {
     e16::run(scenario).section().to_string()
 }
 
+/// E17 also stays outside the pinned report: its own golden carries the
+/// serverless day table plus the four-column T1F appendix matrix.
+fn e17_golden_path(scenario: &Scenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!(
+            "paper_tables_e17_seed{SEED}_{}.txt",
+            scenario.name()
+        ))
+}
+
+fn render_e17(scenario: &Scenario) -> String {
+    let out = e17::run(scenario);
+    let base = run_all(scenario).metrics();
+    let column = e17::FaasColumn::derive(scenario, &base, &out);
+    format!("{}{}", out.section(), column.section(&base))
+}
+
 #[test]
 fn report_is_byte_identical_to_the_golden_capture() {
     for scenario in scenarios() {
@@ -88,6 +106,23 @@ fn e16_section_is_byte_identical_to_the_golden_capture() {
     }
 }
 
+#[test]
+fn e17_section_is_byte_identical_to_the_golden_capture() {
+    for scenario in scenarios() {
+        let path = e17_golden_path(&scenario);
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let actual = render_e17(&scenario);
+        assert_eq!(
+            actual,
+            expected,
+            "E17 section for scenario {} (seed {SEED}) drifted from {}",
+            scenario.name(),
+            path.display()
+        );
+    }
+}
+
 /// Rewrites the golden files from the current implementation. Run
 /// explicitly (`--ignored regenerate`) after an intentional output change.
 #[test]
@@ -99,6 +134,9 @@ fn regenerate() {
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         let path = e16_golden_path(&scenario);
         fs::write(&path, render_e16(&scenario))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let path = e17_golden_path(&scenario);
+        fs::write(&path, render_e17(&scenario))
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     }
 }
