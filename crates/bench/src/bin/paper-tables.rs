@@ -16,6 +16,8 @@
 //! cargo run --release -p elc-bench --bin paper-tables -- --trace tables.jsonl
 //! # override E16/E17's fault campaign (default: the exam-day crisis):
 //! cargo run --release -p elc-bench --bin paper-tables -- --chaos disaster@0.5
+//! # shard-parallel execution (output is byte-identical at any shard count):
+//! cargo run --release -p elc-bench --bin paper-tables -- --shards 4
 //! ```
 //!
 //! With no arguments the output is unchanged from the original harness:
@@ -29,7 +31,8 @@ use elc_analysis::plot::line_chart;
 use elc_bench::{harness_scenarios, HARNESS_SEED};
 use elc_core::advisor::advise;
 use elc_core::cli_args::{
-    chaos_from_flags, experiment_list, flag, parse_or, split_args, unknown_scenario, TraceOptions,
+    chaos_from_flags, experiment_list, flag, parse_or, shards_from_flags, split_args,
+    unknown_scenario, TraceOptions,
 };
 use elc_core::experiments::{e16, e17, run_all};
 use elc_core::requirements::Requirements;
@@ -41,6 +44,7 @@ struct Args {
     scenario: Option<String>,
     trace: Option<TraceOptions>,
     chaos: Option<elc_resil::chaos::ChaosSpec>,
+    shards: u32,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -62,6 +66,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         scenario: flag(&flags, "scenario").map(ToString::to_string),
         trace: TraceOptions::from_flags(&flags)?,
         chaos: chaos_from_flags(&flags)?,
+        shards: shards_from_flags(&flags)?,
     }))
 }
 
@@ -73,7 +78,7 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: paper-tables [SEED] [--seed N] [--scenario NAME] [--list] \
-                 [--trace PATH.jsonl] [--trace-filter SPEC] [--chaos SPEC]"
+                 [--trace PATH.jsonl] [--trace-filter SPEC] [--chaos SPEC] [--shards N]"
             );
             exit(2);
         }
@@ -85,6 +90,7 @@ fn main() {
             Some(spec) => s.with_chaos(spec.clone()),
             None => s,
         })
+        .map(|s| s.with_shards(args.shards))
         .filter(|s| args.scenario.as_deref().is_none_or(|want| s.name() == want))
         .collect();
     if scenarios.is_empty() {

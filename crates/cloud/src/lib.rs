@@ -11,7 +11,9 @@
 //! * [`autoscale`] — target-tracking elasticity and the fixed baseline,
 //! * [`storage`] — replica placement and survival under site loss,
 //! * [`failure`] — host/disk/site hazard processes,
-//! * [`billing`] — usage meters, price sheets, invoices.
+//! * [`billing`] — usage meters, price sheets, invoices,
+//! * [`mesh`] — the multi-region LMS mesh driven shard-parallel by
+//!   `elc_simcore::shard`.
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@ pub mod billing;
 pub mod datacenter;
 pub mod failure;
 pub mod host;
+pub mod mesh;
 pub mod placement;
 pub mod resources;
 pub mod storage;

@@ -162,6 +162,22 @@ pub fn chaos_from_flags(flags: &[(String, String)]) -> Result<Option<ChaosSpec>,
     }
 }
 
+/// Extracts `--shards <n>`, the intra-replication shard count (default
+/// 1). Sharding splits one simulation's sites over worker threads with a
+/// conservative time-window protocol; output is byte-identical at any
+/// value, so the flag is purely a scheduling knob.
+///
+/// # Errors
+///
+/// Returns a message when the value is not a number or is zero.
+pub fn shards_from_flags(flags: &[(String, String)]) -> Result<u32, String> {
+    let shards: u32 = parse_or(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    Ok(shards)
+}
+
 /// Parsed `--trace`/`--trace-filter` pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceOptions {
@@ -285,6 +301,22 @@ mod tests {
         assert!(chaos_from_flags(&flags)
             .unwrap_err()
             .starts_with("--chaos:"));
+    }
+
+    #[test]
+    fn shards_flag_defaults_and_diagnoses() {
+        let (_, flags) = split_args(&args(&["--seed", "1"]));
+        assert_eq!(shards_from_flags(&flags), Ok(1));
+        let (_, flags) = split_args(&args(&["--shards", "4"]));
+        assert_eq!(shards_from_flags(&flags), Ok(4));
+        let (_, flags) = split_args(&args(&["--shards", "0"]));
+        assert!(shards_from_flags(&flags)
+            .unwrap_err()
+            .contains("at least 1"));
+        let (_, flags) = split_args(&args(&["--shards", "many"]));
+        assert!(shards_from_flags(&flags)
+            .unwrap_err()
+            .contains("expects a number"));
     }
 
     #[test]

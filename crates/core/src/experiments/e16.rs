@@ -516,16 +516,25 @@ fn simulate(scenario: &Scenario, chaos: &ChaosSpec, model: DeployModel) -> Resil
 
 /// Runs all three deployment models under the scenario's chaos campaign
 /// (or the default exam-day crisis when none is configured).
+///
+/// The three arms draw from independent RNG lineages, so with
+/// `scenario.shards() > 1` they run as parallel shard jobs
+/// ([`elc_simcore::shard::run_jobs`]) — results are collected in model
+/// order and the output is byte-identical at any shard count.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
     let chaos = scenario
         .chaos()
         .cloned()
         .unwrap_or_else(ChaosSpec::exam_day_crisis);
-    let rows = DeployModel::ALL
+    let jobs: Vec<_> = DeployModel::ALL
         .iter()
-        .map(|&m| simulate(scenario, &chaos, m))
+        .map(|&m| {
+            let chaos = &chaos;
+            move || simulate(scenario, chaos, m)
+        })
         .collect();
+    let rows = elc_simcore::shard::run_jobs(scenario.shards(), jobs);
     Output { chaos, rows }
 }
 

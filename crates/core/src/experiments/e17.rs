@@ -503,16 +503,20 @@ pub fn run(scenario: &Scenario) -> Output {
     let rng_root = SimRng::seed(scenario.seed()).derive("e17");
     let timeline = FaultTimeline::generate(&chaos, &rng_root.derive("chaos"), HORIZON);
 
-    let mut rows = Vec::with_capacity(Day::ALL.len() * Model::ALL.len());
+    // Every (day, model) arm draws from its own RNG lineage, so with
+    // `scenario.shards() > 1` the arms run as parallel shard jobs;
+    // collection stays in (day, model) order at any shard count.
+    let mut jobs = Vec::with_capacity(Day::ALL.len() * Model::ALL.len());
     for day in Day::ALL {
         let tl = (day == Day::Chaos).then_some(&timeline);
         for model in Model::ALL {
-            rows.push(match model {
+            jobs.push(move || match model {
                 Model::Faas => simulate_faas(scenario, day, tl),
                 _ => simulate_vm(scenario, day, model, tl),
             });
         }
     }
+    let rows = elc_simcore::shard::run_jobs(scenario.shards(), jobs);
     Output { chaos, rows }
 }
 

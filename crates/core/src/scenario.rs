@@ -23,6 +23,8 @@ pub enum ScenarioError {
     NoStudents,
     /// The planning horizon was not a positive, finite number of years.
     BadHorizon(f64),
+    /// The shard count was zero.
+    NoShards,
 }
 
 impl fmt::Display for ScenarioError {
@@ -32,6 +34,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::BadHorizon(y) => {
                 write!(f, "scenario horizon must be positive and finite, got {y}")
             }
+            ScenarioError::NoShards => write!(f, "scenario needs at least one shard"),
         }
     }
 }
@@ -69,6 +72,7 @@ pub struct ScenarioBuilder {
     outages: OutageModel,
     calendar: AcademicCalendar,
     chaos: Option<ChaosSpec>,
+    shards: u32,
 }
 
 impl ScenarioBuilder {
@@ -87,6 +91,7 @@ impl ScenarioBuilder {
             outages: Self::standard_outages(),
             calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
             chaos: None,
+            shards: 1,
         }
     }
 
@@ -134,6 +139,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the shard count for intra-replication parallelism (default
+    /// 1). Output is byte-identical at any shard count; shards only
+    /// change how a run is scheduled onto cores.
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
@@ -147,6 +161,9 @@ impl ScenarioBuilder {
         if !(self.years.is_finite() && self.years > 0.0) {
             return Err(ScenarioError::BadHorizon(self.years));
         }
+        if self.shards == 0 {
+            return Err(ScenarioError::NoShards);
+        }
         Ok(Scenario {
             name: self.name,
             students: self.students,
@@ -156,6 +173,7 @@ impl ScenarioBuilder {
             outages: self.outages,
             calendar: self.calendar,
             chaos: self.chaos,
+            shards: self.shards,
         })
     }
 }
@@ -171,6 +189,7 @@ pub struct Scenario {
     outages: OutageModel,
     calendar: AcademicCalendar,
     chaos: Option<ChaosSpec>,
+    shards: u32,
 }
 
 impl Scenario {
@@ -308,6 +327,27 @@ impl Scenario {
         s
     }
 
+    /// Shard count for intra-replication parallelism (default 1).
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// A copy with the given shard count. Sharding never changes what a
+    /// run computes — only how it is spread over cores — so reports stay
+    /// byte-identical at any value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    #[must_use]
+    pub fn with_shards(&self, shards: u32) -> Scenario {
+        assert!(shards > 0, "need at least one shard");
+        let mut s = self.clone();
+        s.shards = shards;
+        s
+    }
+
     /// The institutional workload model.
     #[must_use]
     pub fn workload(&self) -> WorkloadModel {
@@ -407,6 +447,26 @@ mod tests {
     #[should_panic(expected = "need students")]
     fn zero_students_rejected() {
         let _ = Scenario::university(1).with_students(0);
+    }
+
+    #[test]
+    fn shards_default_to_one_and_thread_through() {
+        let plain = Scenario::university(1);
+        assert_eq!(plain.shards(), 1);
+        let sharded = plain.with_shards(4);
+        assert_eq!(sharded.shards(), 4);
+        assert_eq!(sharded.students(), plain.students());
+        let built = Scenario::builder("s", 10).shards(2).build().unwrap();
+        assert_eq!(built.shards(), 2);
+        let err = Scenario::builder("s", 10).shards(0).build().unwrap_err();
+        assert_eq!(err, ScenarioError::NoShards);
+        assert!(err.to_string().contains("shard"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Scenario::university(1).with_shards(0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! results, so two runs that executed the same replications (on any
 //! thread counts) aggregate byte-identically.
 
-use elc_analysis::metrics::MetricKey;
+use elc_analysis::metrics::{slot_index, MetricKey};
 use elc_analysis::report::Section;
 use elc_analysis::stats::{ci95, mean, sorted_percentile, Ci95};
 use elc_analysis::table::{fmt_f64, Table};
@@ -69,23 +69,14 @@ pub fn aggregate(results: &[TaskResult]) -> (Vec<MetricSummary>, Vec<MetricKey>)
         return (Vec::new(), Vec::new());
     };
     // Accumulate per-key sample vectors. An experiment emits on the order
-    // of a dozen metrics, so a linear scan over `u32` keys outruns a
-    // HashMap here — and every replication emits keys in the same order,
-    // so the scan almost always hits on the first probe.
+    // of a dozen metrics, so the position-hinted linear scan shared with
+    // `MetricSet::merge_from` outruns a HashMap here — every replication
+    // emits keys in the same order, so the hint almost always hits.
     let mut acc: Vec<(MetricKey, Vec<f64>)> = Vec::new();
     for result in results {
-        for (i, &(key, value)) in result.metrics.entries().iter().enumerate() {
-            match acc.get_mut(i).filter(|(k, _)| *k == key) {
-                Some((_, values)) => values.push(value),
-                None => match acc.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, values)) => values.push(value),
-                    None => {
-                        let mut values = Vec::with_capacity(results.len());
-                        values.push(value);
-                        acc.push((key, values));
-                    }
-                },
-            }
+        for (hint, &(key, value)) in result.metrics.entries().iter().enumerate() {
+            let slot = slot_index(&mut acc, hint, key, || Vec::with_capacity(results.len()));
+            acc[slot].1.push(value);
         }
     }
     let mut summaries = Vec::new();

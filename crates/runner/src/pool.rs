@@ -76,22 +76,29 @@ fn run_parallel(spec: &RunSpec, progress: &mut dyn Progress, workers: usize) -> 
     }
     drop(task_tx); // workers see a closed queue once it drains
 
+    // Replication workers already saturate `workers` cores, so any sharded
+    // experiment inside a task gets only the leftover share of the machine:
+    // shards × replications must never oversubscribe the pool.
+    let shard_budget = std::cmp::max(1, elc_simcore::shard::worker_budget() / workers);
+
     thread::scope(|scope| {
         for _ in 0..workers {
             let task_rx = Arc::clone(&task_rx);
             let result_tx = result_tx.clone();
             scope.spawn(move || {
-                // Each worker owns its scratch for its whole lifetime;
-                // tasks reuse the previous task's working set.
-                let mut scratch = Scratch::new();
-                loop {
-                    // Hold the lock only to dequeue, not while running.
-                    let task = task_rx.lock().expect("queue lock poisoned").recv();
-                    let Ok(index) = task else { break };
-                    if result_tx.send(execute(spec, index, &mut scratch)).is_err() {
-                        break;
+                elc_simcore::shard::with_worker_budget(shard_budget, || {
+                    // Each worker owns its scratch for its whole lifetime;
+                    // tasks reuse the previous task's working set.
+                    let mut scratch = Scratch::new();
+                    loop {
+                        // Hold the lock only to dequeue, not while running.
+                        let task = task_rx.lock().expect("queue lock poisoned").recv();
+                        let Ok(index) = task else { break };
+                        if result_tx.send(execute(spec, index, &mut scratch)).is_err() {
+                            break;
+                        }
                     }
-                }
+                });
             });
         }
         drop(result_tx);

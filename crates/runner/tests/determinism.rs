@@ -80,6 +80,29 @@ fn e17_chaos_aggregates_are_byte_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn e16_and_e17_chaos_aggregates_are_byte_identical_at_1_2_and_4_shards() {
+    // The shard count must be as invisible as the thread count: e16 and
+    // e17 fan their arms through `shard::run_jobs`, each arm with its
+    // own RNG lineage, so results are reassembled in arm order no matter
+    // which worker group ran them. Pinned under the full chaos campaign
+    // so the shard split composes with fault injection.
+    let spec: elc_resil::chaos::ChaosSpec = "storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79"
+        .parse()
+        .unwrap();
+    for experiment in ["e16", "e17"] {
+        let scenario = Scenario::university(42).with_chaos(spec.clone());
+        let single = aggregate_bytes(experiment, scenario.with_shards(1), 6, 2);
+        for shards in [2, 4] {
+            let sharded = aggregate_bytes(experiment, scenario.with_shards(shards), 6, 2);
+            assert_eq!(
+                single, sharded,
+                "{experiment} aggregates diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
 fn equivalence_holds_on_a_harsher_scenario() {
     let serial = aggregate_bytes("e09", Scenario::rural_learners(2013), 8, 1);
     let parallel = aggregate_bytes("e09", Scenario::rural_learners(2013), 8, 8);

@@ -78,8 +78,10 @@ impl PayloadBuf {
 }
 
 /// The spilled representation: the pre-optimization boxed handler. A fat
-/// pointer (16 bytes, align 8) — always fits the buffer.
-type Spilled<S> = Box<dyn FnOnce(&mut Simulation<S>)>;
+/// pointer (16 bytes, align 8) — always fits the buffer. Handlers are
+/// `Send` so a whole `Simulation` can move onto a shard worker thread
+/// (see [`crate::shard`]).
+type Spilled<S> = Box<dyn FnOnce(&mut Simulation<S>) + Send>;
 
 /// The manual vtable shared by every event of one closure type: how to run
 /// the payload, how to destroy an unfired one, and which representation it
@@ -108,7 +110,7 @@ struct EventVTable {
 #[allow(clippy::type_complexity)]
 struct VTables<S, F>(PhantomData<(fn(S), fn(F))>);
 
-impl<S, F: FnOnce(&mut Simulation<S>) + 'static> VTables<S, F> {
+impl<S, F: FnOnce(&mut Simulation<S>) + Send + 'static> VTables<S, F> {
     const INLINE: EventVTable = EventVTable {
         call: call_inline::<S, F>,
         drop_fn: drop_in_buf::<F>,
@@ -133,9 +135,10 @@ impl<S, F: FnOnce(&mut Simulation<S>) + 'static> VTables<S, F> {
 pub struct EventFn<S> {
     buf: PayloadBuf,
     vtable: &'static EventVTable,
-    /// The payload may own non-`Send` captures, exactly like the
-    /// `Box<dyn FnOnce>` this type replaces; inherit its auto traits.
-    _not_send: PhantomData<Spilled<S>>,
+    /// Every constructor requires a `Send` payload, so the type inherits
+    /// `Send` from the boxed form it replaces — which is what lets the
+    /// shard executor move whole simulations across worker threads.
+    _marker: PhantomData<Spilled<S>>,
 }
 
 impl<S> EventFn<S> {
@@ -146,7 +149,7 @@ impl<S> EventFn<S> {
     #[must_use]
     pub const fn stores_inline<F>() -> bool
     where
-        F: FnOnce(&mut Simulation<S>) + 'static,
+        F: FnOnce(&mut Simulation<S>) + Send + 'static,
     {
         size_of::<F>() <= INLINE_EVENT_BYTES && align_of::<F>() <= align_of::<PayloadBuf>()
     }
@@ -155,7 +158,7 @@ impl<S> EventFn<S> {
     #[inline]
     pub fn new<F>(handler: F) -> Self
     where
-        F: FnOnce(&mut Simulation<S>) + 'static,
+        F: FnOnce(&mut Simulation<S>) + Send + 'static,
     {
         let mut buf = PayloadBuf::uninit();
         if const { Self::stores_inline::<F>() } {
@@ -169,7 +172,7 @@ impl<S> EventFn<S> {
             EventFn {
                 buf,
                 vtable: &VTables::<S, F>::INLINE,
-                _not_send: PhantomData,
+                _marker: PhantomData,
             }
         } else {
             let boxed: Spilled<S> = Box::new(handler);
@@ -183,7 +186,7 @@ impl<S> EventFn<S> {
             EventFn {
                 buf,
                 vtable: &VTables::<S, F>::SPILLED,
-                _not_send: PhantomData,
+                _marker: PhantomData,
             }
         }
     }
@@ -263,7 +266,7 @@ unsafe fn drop_in_buf<T>(buf: *mut u8) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn event_fn_is_one_cache_line() {
@@ -325,37 +328,37 @@ mod tests {
 
     #[test]
     fn dropping_unfired_events_releases_captures_once() {
-        // An Rc's strong count observes drops exactly: leaking keeps it
+        // An Arc's strong count observes drops exactly: leaking keeps it
         // elevated, double-dropping would abort or corrupt.
-        let token = Rc::new(());
+        let token = Arc::new(());
 
         // Inline representation.
-        let held = Rc::clone(&token);
+        let held = Arc::clone(&token);
         let ev = EventFn::<u32>::new(move |_s: &mut Simulation<u32>| {
             let _ = &held;
         });
         assert!(!ev.is_spilled());
-        assert_eq!(Rc::strong_count(&token), 2);
+        assert_eq!(Arc::strong_count(&token), 2);
         drop(ev);
-        assert_eq!(Rc::strong_count(&token), 1, "inline capture must drop");
+        assert_eq!(Arc::strong_count(&token), 1, "inline capture must drop");
 
         // Spilled representation (an array capture pushes the closure over
         // the threshold — a Vec would not, its 24-byte header is inline).
-        let held = Rc::clone(&token);
+        let held = Arc::clone(&token);
         let big = [0u8; INLINE_EVENT_BYTES + 1];
         let ev = EventFn::<u32>::new(move |_s: &mut Simulation<u32>| {
             let _ = (&held, &big);
         });
         assert!(ev.is_spilled());
-        assert_eq!(Rc::strong_count(&token), 2);
+        assert_eq!(Arc::strong_count(&token), 2);
         drop(ev);
-        assert_eq!(Rc::strong_count(&token), 1, "spilled capture must drop");
+        assert_eq!(Arc::strong_count(&token), 1, "spilled capture must drop");
     }
 
     #[test]
     fn calling_releases_captures_exactly_once() {
-        let token = Rc::new(());
-        let held = Rc::clone(&token);
+        let token = Arc::new(());
+        let held = Arc::clone(&token);
         let mut sim = Simulation::new(1, 0u32);
         EventFn::new(move |s: &mut Simulation<u32>| {
             let _ = &held;
@@ -364,7 +367,7 @@ mod tests {
         .call(&mut sim);
         assert_eq!(*sim.state(), 1);
         assert_eq!(
-            Rc::strong_count(&token),
+            Arc::strong_count(&token),
             1,
             "capture must drop after the call"
         );

@@ -13,10 +13,13 @@
 //! * a splittable, platform-independent PRNG ([`rng::SimRng`]) and a set of
 //!   validated probability distributions ([`dist`]),
 //! * measurement primitives ([`metrics`], [`series`]) and typed entity ids
-//!   ([`id`]).
+//!   ([`id`]),
+//! * a conservative time-window executor that partitions one scenario
+//!   across site shards without changing its output ([`shard`]).
 //!
-//! Everything is single-threaded and allocation-light; a run is a pure
-//! function of `(configuration, seed)`.
+//! Each simulation executive is single-threaded and allocation-light; a
+//! run is a pure function of `(configuration, seed)`, byte-identical at
+//! any shard or worker count.
 //!
 //! # Examples
 //!
@@ -71,6 +74,7 @@ pub mod queue;
 pub mod queueing;
 pub mod rng;
 pub mod series;
+pub mod shard;
 pub mod sim;
 pub mod time;
 

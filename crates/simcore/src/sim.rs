@@ -12,9 +12,14 @@
 //! with the arena reusing its slots the steady-state event loop performs
 //! zero allocations per event — pinned by `tests/zero_alloc.rs`.
 //!
-//! The executive is single-threaded by design: determinism is a hard
-//! requirement (see DESIGN.md §4) and the models in this project are far from
-//! CPU-bound enough to justify a parallel DES with all its ordering hazards.
+//! One executive is single-threaded by design: determinism is a hard
+//! requirement (see DESIGN.md §4) and a single shard's event loop stays an
+//! ordinary sequential pop-execute cycle. Parallelism lives one layer up:
+//! [`crate::shard`] partitions a scenario's sites over several executives
+//! and synchronizes them with a conservative time-window protocol, keeping
+//! output byte-identical at any shard count. The window hooks on this type
+//! ([`Simulation::next_event_time`], [`Simulation::step_before`],
+//! [`Simulation::advance_to`]) exist for that executor.
 
 use std::fmt;
 
@@ -194,7 +199,7 @@ impl<S> Simulation<S> {
     #[inline]
     fn wrap<F>(&mut self, handler: F) -> EventFn<S>
     where
-        F: FnOnce(&mut Simulation<S>) + 'static,
+        F: FnOnce(&mut Simulation<S>) + Send + 'static,
     {
         if const { EventFn::<S>::stores_inline::<F>() } {
             self.inline_scheduled += 1;
@@ -209,7 +214,7 @@ impl<S> Simulation<S> {
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        handler: impl FnOnce(&mut Simulation<S>) + 'static,
+        handler: impl FnOnce(&mut Simulation<S>) + Send + 'static,
     ) -> EventId {
         let ev = self.wrap(handler);
         self.queue.push(self.now + delay, ev)
@@ -224,7 +229,7 @@ impl<S> Simulation<S> {
     pub fn schedule_at(
         &mut self,
         time: SimTime,
-        handler: impl FnOnce(&mut Simulation<S>) + 'static,
+        handler: impl FnOnce(&mut Simulation<S>) + Send + 'static,
     ) -> EventId {
         assert!(
             time >= self.now,
@@ -247,7 +252,7 @@ impl<S> Simulation<S> {
     /// equal offsets keep the slice's FIFO order.
     pub fn schedule_batch<F>(&mut self, offsets: &[SimDuration], handler: F)
     where
-        F: Fn(&mut Simulation<S>) + Clone + 'static,
+        F: Fn(&mut Simulation<S>) + Clone + Send + 'static,
     {
         // Inline-vs-spill is a property of `F`, so one check covers the
         // whole batch.
@@ -272,11 +277,11 @@ impl<S> Simulation<S> {
         &mut self,
         start: SimDuration,
         interval: SimDuration,
-        handler: impl FnMut(&mut Simulation<S>) -> bool + 'static,
+        handler: impl FnMut(&mut Simulation<S>) -> bool + Send + 'static,
     ) -> EventId {
         fn tick<S, F>(sim: &mut Simulation<S>, mut f: F, interval: SimDuration)
         where
-            F: FnMut(&mut Simulation<S>) -> bool + 'static,
+            F: FnMut(&mut Simulation<S>) -> bool + Send + 'static,
         {
             if f(sim) {
                 sim.schedule_in(interval, move |sim| tick(sim, f, interval));
@@ -295,7 +300,7 @@ impl<S> Simulation<S> {
     pub fn schedule_deadline(
         &mut self,
         after: SimDuration,
-        handler: impl FnOnce(&mut Simulation<S>) + 'static,
+        handler: impl FnOnce(&mut Simulation<S>) + Send + 'static,
     ) -> Deadline {
         Deadline {
             id: self.schedule_in(after, handler),
@@ -395,6 +400,67 @@ impl<S> Simulation<S> {
                 ],
             );
         }
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    ///
+    /// The sharded executor's window scheduler reads this to pick the next
+    /// global window start without popping anything.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Executes the next pending event if it fires strictly before
+    /// `horizon`. Returns `false` — leaving the event pending — otherwise.
+    ///
+    /// The per-window drain step of the sharded executor: a conservative
+    /// window `[t, t+L)` owns exactly the events below its end.
+    #[inline]
+    pub fn step_before(&mut self, horizon: SimTime) -> bool {
+        if elc_trace::enabled(TRACE_TARGET, Level::Debug) {
+            return match self.queue.peek_time() {
+                Some(t) if t < horizon => self.step_traced(),
+                _ => false,
+            };
+        }
+        match self.queue.pop_before(horizon) {
+            Some((time, handler)) => {
+                debug_assert!(time >= self.now, "event queue returned a past event");
+                self.now = time;
+                self.executed += 1;
+                handler.call(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the clock to `t` without executing anything.
+    ///
+    /// Used by the sharded executor to position the clock at a cross-shard
+    /// delivery's arrival instant before applying it, so handlers the
+    /// delivery schedules see the correct `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or beyond the next pending event —
+    /// jumping over a pending event would execute it at a later clock than
+    /// its timestamp.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot advance the clock backwards: now={}, requested={}",
+            self.now,
+            t
+        );
+        if let Some(next) = self.queue.peek_time() {
+            assert!(
+                t <= next,
+                "cannot advance past a pending event at {next}: requested={t}"
+            );
+        }
+        self.now = t;
     }
 
     /// Runs until no events remain.
@@ -510,6 +576,51 @@ mod tests {
         sim.run();
         assert_eq!(*sim.state(), 5);
         assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn step_before_stops_at_the_exclusive_horizon() {
+        let mut sim = Simulation::new(1, 0u32);
+        for i in 1..=4 {
+            sim.schedule_at(SimTime::from_secs(i), |s| *s.state_mut() += 1);
+        }
+        while sim.step_before(SimTime::from_secs(3)) {}
+        assert_eq!(*sim.state(), 2, "events at or past the horizon stay put");
+        assert_eq!(sim.pending(), 2);
+        assert_eq!(
+            sim.now(),
+            SimTime::from_secs(2),
+            "clock stops at the last executed event"
+        );
+        while sim.step_before(SimTime::from_secs(100)) {}
+        assert_eq!(*sim.state(), 4);
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_between_events() {
+        let mut sim = Simulation::new(1, ());
+        sim.schedule_at(SimTime::from_secs(10), |_| {});
+        sim.advance_to(SimTime::from_secs(4));
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        // Idempotent at the same instant.
+        sim.advance_to(SimTime::from_secs(4));
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance past a pending event")]
+    fn advance_to_rejects_jumping_over_events() {
+        let mut sim = Simulation::new(1, ());
+        sim.schedule_at(SimTime::from_secs(2), |_| {});
+        sim.advance_to(SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance the clock backwards")]
+    fn advance_to_rejects_the_past() {
+        let mut sim = Simulation::new(1, ());
+        sim.run_until(SimTime::from_secs(9));
+        sim.advance_to(SimTime::from_secs(1));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! * **exactly-once `Drop`** — a cancelled spilled event releases its
 //!   captures once: no leak, no double-drop.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use elc_simcore::event::INLINE_EVENT_BYTES;
 use elc_simcore::queue::EventId;
@@ -90,7 +90,7 @@ fn mixed_generations_fire_with_correct_payloads() {
     // check the survivors fire with exactly their own captures — a slot
     // that held a spilled payload in one generation and an inline payload
     // in the next must not mix them up.
-    let fired: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let fired: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Simulation::new(11, ());
 
     let mut expected: Vec<u32> = Vec::new();
@@ -99,16 +99,16 @@ fn mixed_generations_fire_with_correct_payloads() {
         for k in 0..12u32 {
             let tag = wave * 100 + k;
             let at = SimTime::from_secs(u64::from(wave) + 1);
-            let log = Rc::clone(&fired);
+            let log = Arc::clone(&fired);
             let id = if k % 2 == 0 {
                 sim.schedule_at(at, move |_s: &mut Simulation<()>| {
-                    log.borrow_mut().push(tag);
+                    log.lock().unwrap().push(tag);
                 })
             } else {
                 let pad = [0u8; SPILL_PAD];
                 sim.schedule_at(at, move |_s: &mut Simulation<()>| {
                     std::hint::black_box(&pad);
-                    log.borrow_mut().push(tag);
+                    log.lock().unwrap().push(tag);
                 })
             };
             pending.push((tag, id));
@@ -131,50 +131,50 @@ fn mixed_generations_fire_with_correct_payloads() {
     assert_eq!(stats.executed as usize, expected.len());
     // Events at the same instant fire in schedule order, so the log is
     // exactly the per-wave survivor order.
-    assert_eq!(*fired.borrow(), expected);
+    assert_eq!(*fired.lock().unwrap(), expected);
 }
 
 #[test]
 fn cancelled_spilled_events_drop_captures_exactly_once() {
-    let token = Rc::new(());
+    let token = Arc::new(());
     let mut sim = Simulation::new(3, ());
 
     // One spilled and one inline event, both capturing the token.
-    let keep = Rc::clone(&token);
+    let keep = Arc::clone(&token);
     let pad = [0u8; SPILL_PAD];
     let spilled_id = sim.schedule_in(SimDuration::from_secs(1), move |_s| {
         std::hint::black_box(&pad);
         drop(keep);
     });
-    let keep = Rc::clone(&token);
+    let keep = Arc::clone(&token);
     let inline_id = sim.schedule_in(SimDuration::from_secs(1), move |_s| {
         drop(keep);
     });
     assert_eq!(sim.spilled_scheduled(), 1);
     assert_eq!(sim.inline_scheduled(), 1);
-    assert_eq!(Rc::strong_count(&token), 3);
+    assert_eq!(Arc::strong_count(&token), 3);
 
     // Cancelling the spilled event must free its Box and run the capture's
     // Drop exactly once.
     assert!(sim.cancel(spilled_id));
     assert_eq!(
-        Rc::strong_count(&token),
+        Arc::strong_count(&token),
         2,
         "cancel leaked the spilled capture"
     );
     assert!(!sim.cancel(spilled_id), "stale id must not double-drop");
-    assert_eq!(Rc::strong_count(&token), 2);
+    assert_eq!(Arc::strong_count(&token), 2);
 
     assert!(sim.cancel(inline_id));
     assert_eq!(
-        Rc::strong_count(&token),
+        Arc::strong_count(&token),
         1,
         "cancel leaked the inline capture"
     );
 
     // Refill the recycled slots with firing events: captures are released
     // by the call itself, again exactly once.
-    let keep = Rc::clone(&token);
+    let keep = Arc::clone(&token);
     let pad = [0u8; SPILL_PAD];
     sim.schedule_in(SimDuration::from_secs(1), move |_s| {
         std::hint::black_box(&pad);
@@ -182,16 +182,20 @@ fn cancelled_spilled_events_drop_captures_exactly_once() {
     });
     let stats = sim.run();
     assert_eq!(stats.executed, 1);
-    assert_eq!(Rc::strong_count(&token), 1, "firing leaked or double-freed");
+    assert_eq!(
+        Arc::strong_count(&token),
+        1,
+        "firing leaked or double-freed"
+    );
 }
 
 #[test]
 fn dropping_the_simulation_releases_pending_mixed_payloads() {
-    let token = Rc::new(());
+    let token = Arc::new(());
     {
         let mut sim = Simulation::new(5, ());
         for i in 0..10 {
-            let keep = Rc::clone(&token);
+            let keep = Arc::clone(&token);
             if i % 2 == 0 {
                 sim.schedule_in(SimDuration::from_secs(1), move |_s| drop(keep));
             } else {
@@ -202,11 +206,11 @@ fn dropping_the_simulation_releases_pending_mixed_payloads() {
                 });
             }
         }
-        assert_eq!(Rc::strong_count(&token), 11);
+        assert_eq!(Arc::strong_count(&token), 11);
         // `sim` dropped here with all ten events still pending.
     }
     assert_eq!(
-        Rc::strong_count(&token),
+        Arc::strong_count(&token),
         1,
         "dropping the queue must release every pending capture exactly once"
     );

@@ -9,7 +9,7 @@
 //! elc-run --experiment e01 [--scenario NAME] [--replications N]
 //!         [--threads T] [--seed S] [--quiet]
 //!         [--trace PATH.jsonl] [--trace-filter SPEC]
-//!         [--chaos SPEC]
+//!         [--chaos SPEC] [--shards N]
 //! ```
 //!
 //! The aggregate table is a pure function of `(experiment, scenario,
@@ -24,8 +24,8 @@ use std::process::ExitCode;
 
 use elearn_cloud::analysis::table::Table;
 use elearn_cloud::core::cli_args::{
-    chaos_from_flags, experiment_list, flag, parse_or, scenario_by_name, split_args,
-    unknown_experiment, unknown_scenario, TraceOptions, SCENARIO_USAGE,
+    chaos_from_flags, experiment_list, flag, parse_or, scenario_by_name, shards_from_flags,
+    split_args, unknown_experiment, unknown_scenario, TraceOptions, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::find;
 use elearn_cloud::runner::progress::{Silent, Stderr};
@@ -37,11 +37,11 @@ fn usage() -> ExitCode {
         "usage:\n  elc-run --list\n  \
          elc-run --experiment <ID> [--scenario NAME] [--replications N] \
          [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC] \
-         [--chaos SPEC]\n\
+         [--chaos SPEC] [--shards N]\n\
          experiments: e1..e17, t1\n\
          {SCENARIO_USAGE}\n\
          defaults: --scenario small-college, --replications 8, --seed 2013, \
-         --threads <available cores>\n\
+         --threads <available cores>, --shards 1\n\
          trace filter: LEVEL or LEVEL,target=LEVEL,... (e.g. warn,cloud=trace,net=off)\n\
          chaos spec (e16/e17): off | campaigns joined with ';' \
          (e.g. storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79)"
@@ -145,6 +145,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let shards = match shards_from_flags(&flags) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
 
     let scenario_name = flag(&flags, "scenario").unwrap_or("small-college");
     let Some(mut scenario) = scenario_by_name(scenario_name, seed) else {
@@ -154,6 +161,7 @@ fn main() -> ExitCode {
     if let Some(spec) = chaos {
         scenario = scenario.with_chaos(spec);
     }
+    scenario = scenario.with_shards(shards);
 
     let mut spec = RunSpec::new(experiment, scenario, replications).threads(threads);
     if let Some(opts) = &trace_opts {

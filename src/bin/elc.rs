@@ -7,6 +7,8 @@
 //! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e17, t1)
 //!     [--chaos SPEC]                         fault campaign for e16/e17
 //!                                            (e.g. storm@0.3:n=4,mins=6;disaster@0.79, or off)
+//!     [--shards N]                           shard-parallel execution (output is
+//!                                            byte-identical at any shard count)
 //! elc advise [SCENARIO] [--seed N]
 //!     [--profile startup|exam|balanced]      advisor with a preset profile
 //!     [--cost W --security W --elasticity W
@@ -19,8 +21,8 @@
 use std::process::ExitCode;
 
 use elearn_cloud::core::cli_args::{
-    chaos_from_flags, flag, parse_or, scenario_by_name, scenario_list, split_args,
-    unknown_experiment, unknown_scenario, SCENARIO_USAGE,
+    chaos_from_flags, flag, parse_or, scenario_by_name, scenario_list, shards_from_flags,
+    split_args, unknown_experiment, unknown_scenario, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::{find, run_all};
 use elearn_cloud::core::{advise, Requirements, Scenario};
@@ -28,7 +30,7 @@ use elearn_cloud::core::{advise, Requirements, Scenario};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elc scenarios\n  elc experiments\n  elc report [SCENARIO] [--seed N]\n  \
-         elc experiment <ID> [SCENARIO] [--seed N] [--chaos SPEC]\n  \
+         elc experiment <ID> [SCENARIO] [--seed N] [--chaos SPEC] [--shards N]\n  \
          elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
          [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
          {SCENARIO_USAGE}"
@@ -63,6 +65,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let shards = match shards_from_flags(&flags) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
 
     match command.as_str() {
         "scenarios" => {
@@ -79,7 +88,7 @@ fn main() -> ExitCode {
                 eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
-            let outputs = run_all(&scenario);
+            let outputs = run_all(&scenario.with_shards(shards));
             println!("{}", outputs.report());
             ExitCode::SUCCESS
         }
@@ -95,6 +104,7 @@ fn main() -> ExitCode {
             if let Some(spec) = &chaos {
                 scenario = scenario.with_chaos(spec.clone());
             }
+            scenario = scenario.with_shards(shards);
             match run_experiment(&id.to_lowercase(), &scenario) {
                 Some(text) => {
                     println!("{text}");
