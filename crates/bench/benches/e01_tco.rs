@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let scenario = Scenario::university(HARNESS_SEED);
-    let inputs = CostInputs::standard(scenario.workload());
+    let inputs = CostInputs::standard(scenario.workload_model());
 
     let mut g = c.benchmark_group("e01_tco");
     for kind in DeploymentKind::ALL {

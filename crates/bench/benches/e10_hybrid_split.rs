@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let scenario = Scenario::national_platform(HARNESS_SEED);
-    let inputs = CostInputs::standard(scenario.workload());
+    let inputs = CostInputs::standard(scenario.workload_model());
     let threat = ThreatModel::standard();
 
     let mut g = c.benchmark_group("e10_hybrid_split");

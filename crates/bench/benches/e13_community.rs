@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let scenario = Scenario::university(HARNESS_SEED);
-    let inputs = CostInputs::standard(scenario.workload());
+    let inputs = CostInputs::standard(scenario.workload_model());
 
     let mut g = c.benchmark_group("e13_community");
     g.bench_function("assess_8_members", |b| {

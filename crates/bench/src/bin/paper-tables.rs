@@ -18,6 +18,11 @@
 //! cargo run --release -p elc-bench --bin paper-tables -- --chaos disaster@0.5
 //! # shard-parallel execution (output is byte-identical at any shard count):
 //! cargo run --release -p elc-bench --bin paper-tables -- --shards 4
+//! # record the workload into a trace, then replay it (byte-identical report):
+//! cargo run --release -p elc-bench --bin paper-tables -- \
+//!     --scenario university --record-trace u.elcw
+//! cargo run --release -p elc-bench --bin paper-tables -- \
+//!     --scenario university --workload trace:u.elcw [--morph stretch=2]
 //! ```
 //!
 //! With no arguments the output is unchanged from the original harness:
@@ -32,7 +37,7 @@ use elc_bench::{harness_scenarios, HARNESS_SEED};
 use elc_core::advisor::advise;
 use elc_core::cli_args::{
     chaos_from_flags, experiment_list, flag, parse_or, shards_from_flags, split_args,
-    unknown_scenario, TraceOptions,
+    unknown_scenario, TraceOptions, WorkloadOptions,
 };
 use elc_core::experiments::{e16, e17, run_all};
 use elc_core::requirements::Requirements;
@@ -45,6 +50,7 @@ struct Args {
     trace: Option<TraceOptions>,
     chaos: Option<elc_resil::chaos::ChaosSpec>,
     shards: u32,
+    workload: WorkloadOptions,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -61,13 +67,20 @@ fn parse_args() -> Result<Option<Args>, String> {
             .parse()
             .map_err(|_| format!("expected --seed/--scenario or a numeric seed, got {p:?}"))?;
     }
-    Ok(Some(Args {
+    let args = Args {
         seed,
         scenario: flag(&flags, "scenario").map(ToString::to_string),
         trace: TraceOptions::from_flags(&flags)?,
         chaos: chaos_from_flags(&flags)?,
         shards: shards_from_flags(&flags)?,
-    }))
+        workload: WorkloadOptions::from_flags(&flags)?,
+    };
+    if args.workload.record.is_some() && (args.scenario.is_none() || args.shards != 1) {
+        return Err("--record-trace requires --scenario NAME and --shards 1 \
+             (one trace captures one scenario's runs, in source-creation order)"
+            .to_string());
+    }
+    Ok(Some(args))
 }
 
 fn main() {
@@ -78,7 +91,8 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: paper-tables [SEED] [--seed N] [--scenario NAME] [--list] \
-                 [--trace PATH.jsonl] [--trace-filter SPEC] [--chaos SPEC] [--shards N]"
+                 [--trace PATH.jsonl] [--trace-filter SPEC] [--chaos SPEC] [--shards N] \
+                 [--workload trace:PATH] [--morph SPEC] [--record-trace PATH]"
             );
             exit(2);
         }
@@ -92,6 +106,13 @@ fn main() {
         })
         .map(|s| s.with_shards(args.shards))
         .filter(|s| args.scenario.as_deref().is_none_or(|want| s.name() == want))
+        .map(|s| match args.workload.apply(s) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                exit(2);
+            }
+        })
         .collect();
     if scenarios.is_empty() {
         eprintln!("{}", unknown_scenario(&args.scenario.unwrap_or_default()));
@@ -110,7 +131,8 @@ fn main() {
     };
 
     let out_root = PathBuf::from("results");
-    for scenario in scenarios {
+    for mut scenario in scenarios {
+        let recorder = args.workload.start_recording(&mut scenario);
         println!("########################################################");
         println!(
             "## scenario: {} — {} students, seed {}",
@@ -220,6 +242,16 @@ fn main() {
             eprintln!("warning: cannot write {}: {e}", report_path.display());
         }
         println!("csv written to {}\n", dir.display());
+
+        if let Some(recorder) = &recorder {
+            match args.workload.finish_recording(recorder) {
+                Ok(line) => eprintln!("{line}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    exit(1);
+                }
+            }
+        }
     }
 
     if let (Some(opts), Some(mut out)) = (&args.trace, trace_out.take()) {

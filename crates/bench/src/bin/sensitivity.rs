@@ -69,12 +69,11 @@ impl Knobs {
 
     fn inputs(&self, students: u32) -> CostInputs {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let workload = WorkloadModel::new(
-            students,
-            self.peak_rps_per_kstudent,
-            cal,
-            PhaseFactors::default(),
-        );
+        let workload = WorkloadModel::builder(students, cal)
+            .peak_rps_per_kstudent(self.peak_rps_per_kstudent)
+            .phase_factors(PhaseFactors::default())
+            .build()
+            .expect("knob sweep stays within valid workload parameters");
         CostInputs {
             workload,
             stored_bytes: Bytes::from_gib(

@@ -15,10 +15,12 @@
 //! write a JSONL trace.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use elc_resil::chaos::ChaosSpec;
 use elc_trace::TraceFilter;
+use elc_wltrace::{codec, csvio, MorphSpec, WorkloadTrace};
 
 use crate::experiments::registry;
 use crate::scenario::Scenario;
@@ -178,6 +180,158 @@ pub fn shards_from_flags(flags: &[(String, String)]) -> Result<u32, String> {
     Ok(shards)
 }
 
+/// Parsed `--workload`/`--morph`/`--record-trace` trio: where demand
+/// comes from and whether the run should be captured.
+///
+/// `--workload trace:PATH` replays a recorded trace (`.csv` files parse
+/// as interchange CSV, everything else as the `ELCW` binary format);
+/// `--workload generated` is the explicit spelling of the default.
+/// `--morph SPEC` (e.g. `stretch=2,scale=0.5,clip=48..96`) reshapes the
+/// replayed trace before the run. `--record-trace PATH` tees a
+/// generator-driven run into a trace file at PATH.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadOptions {
+    /// The loaded (and morphed) trace to replay, when requested.
+    pub replay: Option<Arc<WorkloadTrace>>,
+    /// Where to write the recorded trace, when recording was requested.
+    pub record: Option<PathBuf>,
+}
+
+impl WorkloadOptions {
+    /// True when neither replay nor recording was requested.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.replay.is_none() && self.record.is_none()
+    }
+
+    /// Extracts and validates the workload options, loading (and
+    /// morphing) the replay trace file when one is named.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a flag is malformed, `--morph` appears
+    /// without `--workload trace:…`, `--record-trace` is combined with
+    /// replay, or the trace file cannot be read, parsed, or morphed.
+    pub fn from_flags(flags: &[(String, String)]) -> Result<WorkloadOptions, String> {
+        let record = match flag(flags, "record-trace") {
+            None => None,
+            Some("") => return Err("--record-trace expects a file path".to_string()),
+            Some(p) => Some(PathBuf::from(p)),
+        };
+        let replay = match flag(flags, "workload") {
+            None | Some("generated") => None,
+            Some("") => {
+                return Err("--workload expects a source (generated, or trace:PATH)".to_string())
+            }
+            Some(spec) => match spec.strip_prefix("trace:") {
+                Some("") => return Err("--workload trace: expects a file path".to_string()),
+                Some(path) => {
+                    if record.is_some() {
+                        return Err("--record-trace cannot be combined with --workload trace: \
+                             (recording captures generator-driven runs)"
+                            .to_string());
+                    }
+                    Some(load_trace(Path::new(path))?)
+                }
+                None => {
+                    return Err(format!(
+                        "--workload: unknown source {spec:?} (generated, or trace:PATH)"
+                    ))
+                }
+            },
+        };
+        let replay = match (flag(flags, "morph"), replay) {
+            (None, replay) => replay,
+            (Some(_), None) => return Err("--morph requires --workload trace:PATH".to_string()),
+            (Some(spec), Some(trace)) => {
+                let morph = MorphSpec::parse(spec).map_err(|e| format!("--morph: {e}"))?;
+                Some(morph.apply(&trace).map_err(|e| format!("--morph: {e}"))?)
+            }
+        };
+        Ok(WorkloadOptions {
+            replay: replay.map(WorkloadTrace::into_shared),
+            record,
+        })
+    }
+
+    /// Applies the replay choice to `scenario` (recording is attached by
+    /// the binary, which owns the recorder's lifecycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the trace fails scenario validation.
+    pub fn apply(&self, scenario: Scenario) -> Result<Scenario, String> {
+        match &self.replay {
+            None => Ok(scenario),
+            Some(trace) => scenario
+                .with_workload_trace(Arc::clone(trace))
+                .map_err(|e| format!("--workload: {e}")),
+        }
+    }
+
+    /// Attaches a fresh recorder to `scenario` when `--record-trace` was
+    /// given, returning the handle the caller later passes to
+    /// [`finish_recording`](WorkloadOptions::finish_recording).
+    #[must_use]
+    pub fn start_recording(&self, scenario: &mut Scenario) -> Option<elc_wltrace::TraceRecorder> {
+        self.record.as_ref().map(|_| {
+            let recorder = elc_wltrace::TraceRecorder::new();
+            scenario.attach_recorder(recorder.clone());
+            recorder
+        })
+    }
+
+    /// Finalises a recording: assembles the trace, writes it to the
+    /// `--record-trace` path (`.csv` as interchange CSV, anything else
+    /// as `ELCW` binary) and returns a one-line summary for stderr.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when nothing was recorded, the streams conflict,
+    /// or the file cannot be written.
+    pub fn finish_recording(
+        &self,
+        recorder: &elc_wltrace::TraceRecorder,
+    ) -> Result<String, String> {
+        let path = self
+            .record
+            .as_ref()
+            .ok_or_else(|| "--record-trace was not requested".to_string())?;
+        let trace = recorder
+            .finish()
+            .map_err(|e| format!("--record-trace: {e}"))?;
+        let csv = path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+        let written = if csv {
+            csvio::write_file(&trace, path)
+        } else {
+            codec::write_file(&trace, path)
+        };
+        written.map_err(|e| format!("--record-trace {}: {e}", path.display()))?;
+        Ok(format!(
+            "recorded workload trace: {} stream(s), {} students -> {}",
+            trace.streams.len(),
+            trace.students,
+            path.display()
+        ))
+    }
+}
+
+/// Loads a workload trace from disk, dispatching on the extension:
+/// `.csv` parses as interchange CSV, everything else as `ELCW` binary.
+fn load_trace(path: &Path) -> Result<WorkloadTrace, String> {
+    let csv = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+    let loaded = if csv {
+        csvio::read_file(path)
+    } else {
+        codec::read_file(path)
+    };
+    loaded.map_err(|e| format!("--workload trace:{}: {e}", path.display()))
+}
+
 /// Parsed `--trace`/`--trace-filter` pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceOptions {
@@ -317,6 +471,126 @@ mod tests {
         assert!(shards_from_flags(&flags)
             .unwrap_err()
             .contains("expects a number"));
+    }
+
+    fn tiny_trace() -> WorkloadTrace {
+        let mut trace = WorkloadTrace::empty(4_000, 120.0);
+        let mut stream = elc_wltrace::Stream::default();
+        for i in 0..4u64 {
+            stream.rates.push(elc_wltrace::RateSample {
+                t_ns: i * 60_000_000_000,
+                rate_bits: (40.0 + i as f64).to_bits(),
+            });
+            stream.slots.push(elc_wltrace::SlotSample {
+                t_ns: i * 60_000_000_000,
+                slot_ns: 60_000_000_000,
+                count: 10 + i,
+            });
+        }
+        trace.streams.push(stream);
+        trace
+    }
+
+    #[test]
+    fn workload_options_default_to_generated() {
+        let (_, flags) = split_args(&args(&["--seed", "1"]));
+        let opts = WorkloadOptions::from_flags(&flags).unwrap();
+        assert!(opts.is_default());
+        let (_, flags) = split_args(&args(&["--workload", "generated"]));
+        assert!(WorkloadOptions::from_flags(&flags).unwrap().is_default());
+        let scenario = scenario_by_name("university", 1).unwrap();
+        assert_eq!(opts.apply(scenario.clone()).unwrap(), scenario);
+    }
+
+    #[test]
+    fn workload_options_load_morph_and_apply_traces() {
+        let dir = std::env::temp_dir().join("elc-cli-workload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.elcw");
+        elc_wltrace::codec::write_file(&tiny_trace(), &path).unwrap();
+        let spec = format!("trace:{}", path.display());
+
+        let (_, flags) = split_args(&args(&["--workload", &spec]));
+        let opts = WorkloadOptions::from_flags(&flags).unwrap();
+        let trace = opts.replay.as_ref().expect("trace loaded");
+        assert_eq!(trace.students, 4_000);
+        let s = opts
+            .apply(scenario_by_name("university", 1).unwrap())
+            .unwrap();
+        assert_eq!(s.students(), 4_000, "population follows the trace");
+
+        let (_, flags) = split_args(&args(&["--workload", &spec, "--morph", "scale=2"]));
+        let opts = WorkloadOptions::from_flags(&flags).unwrap();
+        assert_eq!(
+            opts.replay.unwrap().students,
+            8_000,
+            "morph ran at load time"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_options_accept_csv_traces() {
+        let dir = std::env::temp_dir().join("elc-cli-workload-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        elc_wltrace::csvio::write_file(&tiny_trace(), &path).unwrap();
+        let (_, flags) = split_args(&args(&["--workload", &format!("trace:{}", path.display())]));
+        let opts = WorkloadOptions::from_flags(&flags).unwrap();
+        assert_eq!(opts.replay.unwrap().students, 4_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_options_diagnose_misuse() {
+        let (_, flags) = split_args(&args(&["--workload"]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("expects a source"));
+
+        let (_, flags) = split_args(&args(&["--workload", "psychic"]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("unknown source"));
+
+        let (_, flags) = split_args(&args(&["--workload", "trace:"]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("expects a file path"));
+
+        let (_, flags) = split_args(&args(&["--workload", "trace:/no/such/file.elcw"]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("/no/such/file.elcw"));
+
+        let (_, flags) = split_args(&args(&["--morph", "scale=2"]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("requires --workload trace:"));
+
+        let (_, flags) = split_args(&args(&["--record-trace"]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("expects a file path"));
+
+        let (_, flags) = split_args(&args(&[
+            "--record-trace",
+            "out.elcw",
+            "--workload",
+            "trace:in.elcw",
+        ]));
+        assert!(WorkloadOptions::from_flags(&flags)
+            .unwrap_err()
+            .contains("cannot be combined"));
+    }
+
+    #[test]
+    fn record_flag_parses_alone() {
+        let (_, flags) = split_args(&args(&["--record-trace", "out.elcw"]));
+        let opts = WorkloadOptions::from_flags(&flags).unwrap();
+        assert_eq!(opts.record, Some(PathBuf::from("out.elcw")));
+        assert!(opts.replay.is_none());
     }
 
     #[test]

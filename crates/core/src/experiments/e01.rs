@@ -60,7 +60,7 @@ pub struct Output {
 pub fn run(scenario: &Scenario) -> Output {
     let breakdowns = |students: u32| -> [CostBreakdown; 3] {
         let sized = scenario.with_students(students);
-        let mut inputs = CostInputs::standard(sized.workload());
+        let mut inputs = CostInputs::standard(sized.workload_model());
         inputs.years = scenario.years();
         [
             tco(&Deployment::public(), &inputs),
@@ -89,7 +89,7 @@ pub fn run(scenario: &Scenario) -> Output {
     let at_scenario_breakdown = breakdowns(scenario.students());
     let public_reserved = {
         let sized = scenario.with_students(scenario.students());
-        let mut inputs = CostInputs::standard(sized.workload()).with_reserved();
+        let mut inputs = CostInputs::standard(sized.workload_model()).with_reserved();
         inputs.years = scenario.years();
         tco(&Deployment::public(), &inputs).total()
     };

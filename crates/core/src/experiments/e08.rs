@@ -36,7 +36,7 @@ pub struct Output {
 /// Prices exits for the scenario's data volume.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
-    let inputs = CostInputs::standard(scenario.workload());
+    let inputs = CostInputs::standard(scenario.workload_model());
     let prices = PriceSheet::public_2013();
     let link = Link::from_profile(LinkProfile::InterDatacenter);
     let rows = DeploymentKind::ALL

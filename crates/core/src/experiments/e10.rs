@@ -27,7 +27,7 @@ pub struct Output {
 /// Runs the sweep at the scenario's scale.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
-    let mut inputs = CostInputs::standard(scenario.workload());
+    let mut inputs = CostInputs::standard(scenario.workload_model());
     inputs.years = scenario.years();
     let data = inputs.stored_bytes;
     let points = sweep(&inputs, &ThreatModel::standard(), data);

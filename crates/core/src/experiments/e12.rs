@@ -27,8 +27,7 @@ use elc_cloud::datacenter::Datacenter;
 use elc_cloud::placement::FirstFit;
 use elc_cloud::resources::{Resources, VmSize};
 use elc_cloud::vm::VmState;
-use elc_elearn::workload::WorkloadModel;
-use elc_simcore::dist::{Distribution, Poisson};
+use elc_elearn::source::WorkloadSource;
 use elc_simcore::metrics::Histogram;
 use elc_simcore::rng::SimRng;
 use elc_simcore::series::TimeWeighted;
@@ -130,7 +129,7 @@ pub struct Output {
 struct World {
     dc: Datacenter,
     scaler: Option<AutoScaler>,
-    workload: WorkloadModel,
+    workload: Box<dyn WorkloadSource>,
     /// Offset of the simulated day within the calendar.
     day_start: SimTime,
     rng: SimRng,
@@ -157,10 +156,10 @@ fn tick(sim: &mut Simulation<World>) {
     let now = sim.now();
     let w = sim.state_mut();
     let cal_now = w.cal_time(now);
-    let rate = w.workload.rate_at(cal_now);
-    let arrivals = Poisson::new(rate * TICK.as_secs_f64())
-        .expect("rate is finite")
-        .sample(&mut w.rng);
+    // Demand comes through the WorkloadSource trait: generator-backed
+    // sources draw the same Poisson the inline code used to, replayed
+    // traces return their recorded counts.
+    let arrivals = w.workload.sample_arrivals(&mut w.rng, cal_now, TICK);
     let capacity = w.dc.serving_capacity_rps(now) * TICK.as_secs_f64();
     let served = (arrivals as f64).min(capacity);
     w.offered += arrivals;

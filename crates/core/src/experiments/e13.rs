@@ -40,7 +40,7 @@ pub struct Output {
 /// Runs the consortium sweep. Each member has the scenario's population.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
-    let mut inputs = CostInputs::standard(scenario.workload());
+    let mut inputs = CostInputs::standard(scenario.workload_model());
     inputs.years = scenario.years();
     Output {
         sweep: sweep_members(&inputs, MAX_MEMBERS),

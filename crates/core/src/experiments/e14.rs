@@ -29,7 +29,7 @@ pub struct Output {
 /// Runs the assessment against the scenario's public-cloud usage bill.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
-    let mut inputs = CostInputs::standard(scenario.workload());
+    let mut inputs = CostInputs::standard(scenario.workload_model());
     inputs.years = scenario.years();
     let iaas_usage = tco(&Deployment::public(), &inputs).cloud_usage;
     Output {

@@ -36,7 +36,7 @@ use elc_cloud::autoscale::{AutoScaler, ScaleDecision};
 use elc_cloud::resources::VmSize;
 use elc_deploy::hybrid::FailoverPlan;
 use elc_elearn::request::{RequestKind, RequestOutcome};
-use elc_elearn::workload::WorkloadModel;
+use elc_elearn::source::WorkloadSource;
 use elc_resil::admission::AdmissionController;
 use elc_resil::breaker::CircuitBreaker;
 use elc_resil::chaos::{ChaosSpec, FaultTimeline};
@@ -157,7 +157,7 @@ struct Cohort {
 
 struct World {
     model: DeployModel,
-    workload: WorkloadModel,
+    workload: Box<dyn WorkloadSource>,
     day_start: SimTime,
     timeline: FaultTimeline,
     rng: SimRng,

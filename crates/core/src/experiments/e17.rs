@@ -612,7 +612,7 @@ impl FaasColumn {
     /// platform shares the public cloud's properties.
     #[must_use]
     pub fn derive(scenario: &Scenario, base: &t1::ModelMetrics, e17: &Output) -> Self {
-        let mut inputs = CostInputs::standard(scenario.workload());
+        let mut inputs = CostInputs::standard(scenario.workload_model());
         inputs.years = scenario.years();
         let day = 86_400.0;
         FaasColumn {

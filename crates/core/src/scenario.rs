@@ -8,13 +8,16 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use elc_elearn::calendar::AcademicCalendar;
+use elc_elearn::source::WorkloadSource;
 use elc_elearn::workload::WorkloadModel;
 use elc_net::link::LinkProfile;
 use elc_net::outage::OutageModel;
 use elc_resil::chaos::ChaosSpec;
 use elc_simcore::time::{SimDuration, SimTime};
+use elc_wltrace::{TraceHandout, TraceRecorder, WorkloadTrace};
 
 /// Why a [`ScenarioBuilder`] refused to build.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +28,8 @@ pub enum ScenarioError {
     BadHorizon(f64),
     /// The shard count was zero.
     NoShards,
+    /// The replay trace was empty or failed validation.
+    BadTrace,
 }
 
 impl fmt::Display for ScenarioError {
@@ -35,11 +40,62 @@ impl fmt::Display for ScenarioError {
                 write!(f, "scenario horizon must be positive and finite, got {y}")
             }
             ScenarioError::NoShards => write!(f, "scenario needs at least one shard"),
+            ScenarioError::BadTrace => {
+                write!(f, "scenario workload trace is empty or failed validation")
+            }
         }
     }
 }
 
 impl Error for ScenarioError {}
+
+/// Where a scenario's demand comes from.
+///
+/// The default is [`Generated`](WorkloadSpec::Generated): the synthetic
+/// [`WorkloadModel`] calibrated to the scenario's population and calendar.
+/// [`Trace`](WorkloadSpec::Trace) replays a recorded [`WorkloadTrace`]
+/// instead, handing each requested source its own recorded stream through
+/// a shared [`TraceHandout`].
+#[derive(Debug)]
+enum WorkloadSpec {
+    /// Synthesise demand from the standard model (population + calendar).
+    Generated,
+    /// Drive demand from an explicitly configured model.
+    Model(WorkloadModel),
+    /// Replay a recorded trace; the handout assigns streams to sources.
+    Trace(TraceHandout),
+}
+
+impl Clone for WorkloadSpec {
+    fn clone(&self) -> Self {
+        match self {
+            WorkloadSpec::Generated => WorkloadSpec::Generated,
+            WorkloadSpec::Model(model) => WorkloadSpec::Model(model.clone()),
+            // A cloned scenario starts its own replay: stream claims are
+            // per scenario instance, so parallel replication workers
+            // (which clone, then reseed) never race on a shared handout.
+            WorkloadSpec::Trace(handout) => WorkloadSpec::Trace(
+                TraceHandout::new(Arc::clone(handout.trace()))
+                    .expect("an existing handout's trace has streams"),
+            ),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Structural equality: handout claim state and recorded content both
+    /// compare by the trace's value, never by allocation identity.
+    fn matches(&self, other: &WorkloadSpec) -> bool {
+        match (self, other) {
+            (WorkloadSpec::Generated, WorkloadSpec::Generated) => true,
+            (WorkloadSpec::Model(a), WorkloadSpec::Model(b)) => a == b,
+            (WorkloadSpec::Trace(a), WorkloadSpec::Trace(b)) => {
+                a.trace().as_ref() == b.trace().as_ref()
+            }
+            _ => false,
+        }
+    }
+}
 
 /// Builds a [`Scenario`] field by field, validating on [`build`].
 ///
@@ -73,6 +129,8 @@ pub struct ScenarioBuilder {
     calendar: AcademicCalendar,
     chaos: Option<ChaosSpec>,
     shards: u32,
+    model: Option<WorkloadModel>,
+    trace: Option<Arc<WorkloadTrace>>,
 }
 
 impl ScenarioBuilder {
@@ -92,6 +150,8 @@ impl ScenarioBuilder {
             calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
             chaos: None,
             shards: 1,
+            model: None,
+            trace: None,
         }
     }
 
@@ -148,12 +208,36 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Drives the scenario's demand from an explicitly configured
+    /// workload model instead of the standard one (default: synthesise
+    /// from the population and calendar). Clears any replay trace set
+    /// earlier — the last workload choice wins.
+    #[must_use]
+    pub fn workload_model(mut self, model: WorkloadModel) -> Self {
+        self.model = Some(model);
+        self.trace = None;
+        self
+    }
+
+    /// Replays a recorded workload trace instead of synthesising demand.
+    /// Clears any explicit model set earlier — the last workload choice
+    /// wins. The trace's recorded population replaces the builder's
+    /// student count so capacity and cost planning match the replayed
+    /// demand.
+    #[must_use]
+    pub fn workload_trace(mut self, trace: Arc<WorkloadTrace>) -> Self {
+        self.trace = Some(trace);
+        self.model = None;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError`] if the population is zero or the horizon
-    /// is not a positive, finite number of years.
+    /// Returns [`ScenarioError`] if the population is zero, the horizon
+    /// is not a positive, finite number of years, the shard count is
+    /// zero, or a configured replay trace is empty or invalid.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         if self.students == 0 {
             return Err(ScenarioError::NoStudents);
@@ -164,9 +248,22 @@ impl ScenarioBuilder {
         if self.shards == 0 {
             return Err(ScenarioError::NoShards);
         }
+        let mut students = self.students;
+        let workload = match (self.trace, self.model) {
+            (Some(trace), _) => {
+                if trace.validate().is_err() {
+                    return Err(ScenarioError::BadTrace);
+                }
+                students = trace.students.max(1);
+                let handout = TraceHandout::new(trace).map_err(|_| ScenarioError::BadTrace)?;
+                WorkloadSpec::Trace(handout)
+            }
+            (None, Some(model)) => WorkloadSpec::Model(model),
+            (None, None) => WorkloadSpec::Generated,
+        };
         Ok(Scenario {
             name: self.name,
-            students: self.students,
+            students,
             seed: self.seed,
             years: self.years,
             link: self.link,
@@ -174,12 +271,14 @@ impl ScenarioBuilder {
             calendar: self.calendar,
             chaos: self.chaos,
             shards: self.shards,
+            workload,
+            recorder: None,
         })
     }
 }
 
 /// A named evaluation context.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     name: String,
     students: u32,
@@ -190,6 +289,27 @@ pub struct Scenario {
     calendar: AcademicCalendar,
     chaos: Option<ChaosSpec>,
     shards: u32,
+    workload: WorkloadSpec,
+    recorder: Option<TraceRecorder>,
+}
+
+/// Equality is structural configuration, not runtime bookkeeping: replay
+/// traces compare by content (never by which handout allocation assigns
+/// their streams) and an attached recorder — a pure observation tee — is
+/// ignored.
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.students == other.students
+            && self.seed == other.seed
+            && self.years == other.years
+            && self.link == other.link
+            && self.outages == other.outages
+            && self.calendar == other.calendar
+            && self.chaos == other.chaos
+            && self.shards == other.shards
+            && self.workload.matches(&other.workload)
+    }
 }
 
 impl Scenario {
@@ -348,10 +468,86 @@ impl Scenario {
         s
     }
 
-    /// The institutional workload model.
+    /// The institutional demand source.
+    ///
+    /// Generated scenarios return the standard [`WorkloadModel`]; a
+    /// scenario configured with [`workload_trace`] returns a
+    /// [`TraceReplayer`](elc_wltrace::TraceReplayer) bound lazily to the
+    /// next recorded stream. When a recorder is
+    /// [attached](Scenario::attach_recorder), the source is wrapped in a
+    /// recording tee that observes every query without perturbing it.
+    ///
+    /// [`workload_trace`]: ScenarioBuilder::workload_trace
     #[must_use]
-    pub fn workload(&self) -> WorkloadModel {
-        WorkloadModel::standard(self.students, self.calendar)
+    pub fn workload(&self) -> Box<dyn WorkloadSource> {
+        let base: Box<dyn WorkloadSource> = match &self.workload {
+            WorkloadSpec::Generated => {
+                Box::new(WorkloadModel::standard(self.students, self.calendar))
+            }
+            WorkloadSpec::Model(model) => Box::new(model.clone()),
+            WorkloadSpec::Trace(handout) => Box::new(handout.source()),
+        };
+        match &self.recorder {
+            Some(recorder) => recorder.wrap(base),
+            None => base,
+        }
+    }
+
+    /// The concrete analytic workload model, for closed-form consumers
+    /// (capacity planning, cost models) that need more than the
+    /// [`WorkloadSource`] sampling surface.
+    ///
+    /// Trace-driven scenarios fall back to the standard model calibrated
+    /// to the trace's recorded population, so cost columns stay
+    /// comparable across generated and replayed runs of the same cohort.
+    #[must_use]
+    pub fn workload_model(&self) -> WorkloadModel {
+        match &self.workload {
+            WorkloadSpec::Model(model) => model.clone(),
+            WorkloadSpec::Generated | WorkloadSpec::Trace(_) => {
+                WorkloadModel::standard(self.students, self.calendar)
+            }
+        }
+    }
+
+    /// The replay trace driving this scenario, if one is configured.
+    #[must_use]
+    pub fn replay_trace(&self) -> Option<&Arc<WorkloadTrace>> {
+        match &self.workload {
+            WorkloadSpec::Trace(handout) => Some(handout.trace()),
+            WorkloadSpec::Generated | WorkloadSpec::Model(_) => None,
+        }
+    }
+
+    /// A copy that replays `trace` instead of synthesising demand. The
+    /// trace's recorded population replaces the scenario's student count
+    /// so capacity and cost planning match the replayed demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::BadTrace`] when the trace is empty or
+    /// fails validation.
+    pub fn with_workload_trace(
+        &self,
+        trace: Arc<WorkloadTrace>,
+    ) -> Result<Scenario, ScenarioError> {
+        if trace.validate().is_err() {
+            return Err(ScenarioError::BadTrace);
+        }
+        let mut s = self.clone();
+        s.students = trace.students.max(1);
+        s.workload =
+            WorkloadSpec::Trace(TraceHandout::new(trace).map_err(|_| ScenarioError::BadTrace)?);
+        Ok(s)
+    }
+
+    /// Tees every workload source this scenario hands out into
+    /// `recorder`, so a generator-driven run can be captured with
+    /// [`TraceRecorder::finish`] afterwards. Recording is a pure
+    /// observation: the wrapped sources consume RNG exactly as the
+    /// unwrapped ones would, so the run itself is byte-identical.
+    pub fn attach_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// A copy with a different root seed (for replicated runs).
@@ -366,9 +562,14 @@ impl Scenario {
     ///
     /// The clone-free counterpart of [`Scenario::with_seed`] for
     /// replication loops that keep one scenario and re-aim it at each
-    /// derived seed.
+    /// derived seed. For trace-driven scenarios this also reopens the
+    /// stream handout, so each replication replays the full trace from
+    /// its first stream again.
     pub fn reseed(&mut self, seed: u64) {
         self.seed = seed;
+        if let WorkloadSpec::Trace(handout) = &self.workload {
+            handout.reset();
+        }
     }
 
     /// A copy with a different population (for sweeps).
@@ -520,6 +721,150 @@ mod tests {
         assert_eq!(s.link(), LinkProfile::RuralInternet);
         assert_eq!(s.outages(), outages);
         assert_eq!(s.calendar().term_start(), SimTime::from_secs(60));
+    }
+
+    fn tiny_trace() -> Arc<WorkloadTrace> {
+        let mut trace = WorkloadTrace::empty(4_000, 120.0);
+        let mut stream = elc_wltrace::Stream::default();
+        for i in 0..4u64 {
+            stream.rates.push(elc_wltrace::RateSample {
+                t_ns: i * 60_000_000_000,
+                rate_bits: (40.0 + i as f64).to_bits(),
+            });
+            stream.slots.push(elc_wltrace::SlotSample {
+                t_ns: i * 60_000_000_000,
+                slot_ns: 60_000_000_000,
+                count: 10 + i,
+            });
+        }
+        trace.streams.push(stream);
+        trace.into_shared()
+    }
+
+    #[test]
+    fn trace_scenarios_adopt_the_recorded_population() {
+        let s = Scenario::university(1)
+            .with_workload_trace(tiny_trace())
+            .unwrap();
+        assert_eq!(s.students(), 4_000, "population follows the trace header");
+        assert_eq!(s.workload().students(), 4_000);
+        assert!(s.replay_trace().is_some());
+        assert!(
+            (s.workload().peak_rate() - 120.0).abs() < 1e-12,
+            "replayed peak comes from the header"
+        );
+        // Cost consumers still get an analytic model, sized to the trace.
+        assert_eq!(s.workload_model().students(), 4_000);
+    }
+
+    #[test]
+    fn trace_scenarios_replay_recorded_counts() {
+        use elc_simcore::rng::SimRng;
+        let s = Scenario::university(1)
+            .with_workload_trace(tiny_trace())
+            .unwrap();
+        let source = s.workload();
+        let mut rng = SimRng::seed(9);
+        let minute = SimDuration::from_mins(1);
+        for i in 0..4u64 {
+            let t = SimTime::ZERO + SimDuration::from_mins(i);
+            assert_eq!(source.sample_arrivals(&mut rng, t, minute), 10 + i);
+        }
+    }
+
+    #[test]
+    fn empty_traces_are_rejected() {
+        let empty = WorkloadTrace::empty(100, 1.0).into_shared();
+        let err = Scenario::university(1)
+            .with_workload_trace(empty)
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::BadTrace);
+        assert!(err.to_string().contains("trace"));
+        let err = Scenario::builder("t", 10)
+            .workload_trace(WorkloadTrace::empty(100, 1.0).into_shared())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::BadTrace);
+    }
+
+    #[test]
+    fn builder_workload_knobs_are_last_wins() {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        let model = WorkloadModel::standard(700, cal);
+        let s = Scenario::builder("t", 10)
+            .workload_trace(tiny_trace())
+            .workload_model(model.clone())
+            .build()
+            .unwrap();
+        assert!(s.replay_trace().is_none(), "model cleared the trace");
+        assert_eq!(s.workload_model(), model);
+        let s = Scenario::builder("t", 10)
+            .workload_model(model)
+            .workload_trace(tiny_trace())
+            .build()
+            .unwrap();
+        assert!(s.replay_trace().is_some(), "trace cleared the model");
+    }
+
+    #[test]
+    fn equality_ignores_handout_claims_and_recorders() {
+        let a = Scenario::university(1)
+            .with_workload_trace(tiny_trace())
+            .unwrap();
+        let b = Scenario::university(1)
+            .with_workload_trace(tiny_trace())
+            .unwrap();
+        assert_eq!(a, b, "distinct allocations of the same trace compare equal");
+        // Claiming a stream on one side must not break equality.
+        let _source = a.workload();
+        assert_eq!(a, b);
+        let mut recorded = Scenario::university(1);
+        recorded.attach_recorder(TraceRecorder::new());
+        assert_eq!(recorded, Scenario::university(1));
+        assert_ne!(a, Scenario::university(1), "trace vs generated differ");
+    }
+
+    #[test]
+    fn reseed_reopens_the_stream_handout() {
+        use elc_simcore::rng::SimRng;
+        let mut s = Scenario::university(1)
+            .with_workload_trace(tiny_trace())
+            .unwrap();
+        let minute = SimDuration::from_mins(1);
+        let mut rng = SimRng::seed(9);
+        let first = s
+            .workload()
+            .sample_arrivals(&mut rng, SimTime::ZERO, minute);
+        s.reseed(2);
+        let again = s
+            .workload()
+            .sample_arrivals(&mut rng, SimTime::ZERO, minute);
+        assert_eq!(first, again, "replication replays the trace from its start");
+        assert_eq!(s.seed(), 2);
+    }
+
+    #[test]
+    fn attached_recorder_captures_generated_runs() {
+        use elc_simcore::rng::SimRng;
+        let mut s = Scenario::small_college(3);
+        let recorder = TraceRecorder::new();
+        s.attach_recorder(recorder.clone());
+        let source = s.workload();
+        let mut rng = SimRng::seed(3);
+        let mut plain_rng = SimRng::seed(3);
+        let plain = Scenario::small_college(3).workload();
+        let minute = SimDuration::from_mins(1);
+        for i in 0..8u64 {
+            let t = SimTime::ZERO + SimDuration::from_mins(i);
+            assert_eq!(
+                source.sample_arrivals(&mut rng, t, minute),
+                plain.sample_arrivals(&mut plain_rng, t, minute),
+                "recording must not perturb the run"
+            );
+        }
+        let trace = recorder.finish().expect("eight slots were recorded");
+        assert_eq!(trace.students, 2_000);
+        assert_eq!(trace.streams[0].slots.len(), 8);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`request`] — the LMS request taxonomy and phase-specific mixes,
 //! * [`calendar`] — semester phases (registration, teaching, exams),
 //! * [`workload`] — calendar- and diurnal-shaped offered load,
+//! * [`source`] — the [`WorkloadSource`] trait experiments consume demand
+//!   through (generator or trace replay),
 //! * [`client`] — thin cloud client vs desktop install.
 //!
 //! # Examples
@@ -43,6 +45,7 @@ pub mod forum;
 pub mod model;
 pub mod request;
 pub mod session;
+pub mod source;
 pub mod workload;
 
 pub use assessment::{Assessments, Exam, ExamId, Submission};
@@ -53,4 +56,5 @@ pub use forum::{Forum, Interactivity, Post, Thread, ThreadId};
 pub use model::{Course, CourseId, Lms, LmsError, Role, User, UserId};
 pub use request::{RequestKind, RequestLifecycle, RequestMix};
 pub use session::{LossLedger, SessionPolicy, StateLocation, WorkSession};
-pub use workload::{PhaseFactors, WorkloadModel};
+pub use source::WorkloadSource;
+pub use workload::{PhaseFactors, WorkloadError, WorkloadModel, WorkloadModelBuilder};

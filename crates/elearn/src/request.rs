@@ -107,6 +107,14 @@ impl RequestKind {
             RequestKind::QuizSubmit | RequestKind::Upload | RequestKind::ForumPost
         )
     }
+
+    /// Parses the [`Display`](std::fmt::Display) name back into a kind —
+    /// the inverse used by trace codecs whose on-disk kind table stores
+    /// names, not discriminants, so the format survives enum reordering.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<RequestKind> {
+        RequestKind::ALL.into_iter().find(|k| k.to_string() == name)
+    }
 }
 
 impl std::fmt::Display for RequestKind {
@@ -255,6 +263,7 @@ impl RequestLifecycle {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestMix {
     dist: Weighted<RequestKind>,
+    pairs: Vec<(RequestKind, f64)>,
     mean_weight: f64,
     mean_response: f64,
 }
@@ -280,9 +289,18 @@ impl RequestMix {
             / total;
         Ok(RequestMix {
             dist,
+            pairs: pairs.to_vec(),
             mean_weight,
             mean_response,
         })
+    }
+
+    /// The `(kind, weight)` pairs this mix was built from, in
+    /// construction order — what a trace recorder serializes so a replay
+    /// can rebuild the identical mix.
+    #[must_use]
+    pub fn pairs(&self) -> &[(RequestKind, f64)] {
+        &self.pairs
     }
 
     /// Ordinary teaching-week traffic: browsing and video dominate.

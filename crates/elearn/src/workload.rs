@@ -5,13 +5,15 @@
 //! This is the demand signal the deployment models must serve in E12
 //! (elasticity) and the usage input for E1 (cost).
 
+use std::fmt;
+
 use elc_simcore::dist::{Distribution, Poisson};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
-use elc_trace::{Field, Level};
 
 use crate::calendar::{AcademicCalendar, Phase};
 use crate::request::RequestMix;
+use crate::source::WorkloadSource;
 
 /// Hour-of-day activity multipliers (0 = midnight). Peak at 20:00 — evening
 /// study — with a secondary mid-day plateau; near-quiet at 04:00.
@@ -54,7 +56,144 @@ impl Default for PhaseFactors {
     }
 }
 
+/// Why a [`WorkloadModelBuilder`] refused to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadError {
+    /// `students` was zero.
+    NoStudents,
+    /// `peak_rps_per_kstudent` was not a positive finite number.
+    BadRate(f64),
+    /// A multiplier (weekend or phase factor) was negative or non-finite.
+    BadFactor {
+        /// Which knob was out of range.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoStudents => write!(f, "need at least one student"),
+            WorkloadError::BadRate(r) => {
+                write!(
+                    f,
+                    "peak rps per kstudent must be positive and finite, got {r}"
+                )
+            }
+            WorkloadError::BadFactor { name, value } => {
+                write!(
+                    f,
+                    "{name} factor must be non-negative and finite, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Validating builder for [`WorkloadModel`], following the
+/// `Scenario::builder` convention: knobs default to the calibrated
+/// standard, `build` checks every invariant and returns a
+/// [`WorkloadError`] instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use elc_elearn::calendar::AcademicCalendar;
+/// use elc_elearn::workload::WorkloadModel;
+/// use elc_simcore::SimTime;
+///
+/// let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+/// let load = WorkloadModel::builder(5_000, cal)
+///     .peak_rps_per_kstudent(35.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(load.students(), 5_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadModelBuilder {
+    students: u32,
+    peak_rps_per_kstudent: f64,
+    calendar: AcademicCalendar,
+    weekend_factor: f64,
+    phase_factors: PhaseFactors,
+}
+
+impl WorkloadModelBuilder {
+    /// The request rate per 1000 enrolled students at the diurnal peak of
+    /// an ordinary teaching day (default 20.0).
+    #[must_use]
+    pub fn peak_rps_per_kstudent(mut self, rate: f64) -> Self {
+        self.peak_rps_per_kstudent = rate;
+        self
+    }
+
+    /// Weekend activity multiplier (default 0.45).
+    #[must_use]
+    pub fn weekend_factor(mut self, factor: f64) -> Self {
+        self.weekend_factor = factor;
+        self
+    }
+
+    /// Traffic multipliers per calendar phase.
+    #[must_use]
+    pub fn phase_factors(mut self, factors: PhaseFactors) -> Self {
+        self.phase_factors = factors;
+        self
+    }
+
+    /// Validates every knob and builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when the population is empty, the rate is
+    /// not positive and finite, or any multiplier is negative/non-finite.
+    pub fn build(self) -> Result<WorkloadModel, WorkloadError> {
+        if self.students == 0 {
+            return Err(WorkloadError::NoStudents);
+        }
+        if !self.peak_rps_per_kstudent.is_finite() || self.peak_rps_per_kstudent <= 0.0 {
+            return Err(WorkloadError::BadRate(self.peak_rps_per_kstudent));
+        }
+        let factors = [
+            ("weekend", self.weekend_factor),
+            ("break", self.phase_factors.break_f),
+            ("registration", self.phase_factors.registration),
+            ("teaching", self.phase_factors.teaching),
+            ("exams", self.phase_factors.exams),
+        ];
+        for (name, value) in factors {
+            if !value.is_finite() || value < 0.0 {
+                return Err(WorkloadError::BadFactor { name, value });
+            }
+        }
+        Ok(WorkloadModel {
+            students: self.students,
+            peak_rps_per_kstudent: self.peak_rps_per_kstudent,
+            calendar: self.calendar,
+            weekend_factor: self.weekend_factor,
+            phase_factors: self.phase_factors,
+        })
+    }
+}
+
 impl WorkloadModel {
+    /// Starts a validating builder with the calibrated defaults (20 rps
+    /// per 1000 students, standard weekend and phase factors).
+    #[must_use]
+    pub fn builder(students: u32, calendar: AcademicCalendar) -> WorkloadModelBuilder {
+        WorkloadModelBuilder {
+            students,
+            peak_rps_per_kstudent: 20.0,
+            calendar,
+            weekend_factor: 0.45,
+            phase_factors: PhaseFactors::default(),
+        }
+    }
+
     /// Creates a workload model.
     ///
     /// `peak_rps_per_kstudent` is the request rate per 1000 enrolled
@@ -63,6 +202,10 @@ impl WorkloadModel {
     /// # Panics
     ///
     /// Panics if `students` is zero or the rate is not positive.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use WorkloadModel::builder(..).build() and handle WorkloadError"
+    )]
     #[must_use]
     pub fn new(
         students: u32,
@@ -70,17 +213,15 @@ impl WorkloadModel {
         calendar: AcademicCalendar,
         phase_factors: PhaseFactors,
     ) -> Self {
-        assert!(students > 0, "need at least one student");
-        assert!(
-            peak_rps_per_kstudent.is_finite() && peak_rps_per_kstudent > 0.0,
-            "rate must be positive"
-        );
-        WorkloadModel {
-            students,
-            peak_rps_per_kstudent,
-            calendar,
-            weekend_factor: 0.45,
-            phase_factors,
+        match WorkloadModel::builder(students, calendar)
+            .peak_rps_per_kstudent(peak_rps_per_kstudent)
+            .phase_factors(phase_factors)
+            .build()
+        {
+            Ok(model) => model,
+            Err(WorkloadError::NoStudents) => panic!("need at least one student"),
+            Err(WorkloadError::BadRate(_)) => panic!("rate must be positive"),
+            Err(err) => panic!("{err}"),
         }
     }
 
@@ -90,9 +231,15 @@ impl WorkloadModel {
     /// students active at peak, each taking an action every 8–10 s —
     /// and to an annual content volume in the tens of TiB per 1000
     /// students, consistent with video-centric course delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `students` is zero.
     #[must_use]
     pub fn standard(students: u32, calendar: AcademicCalendar) -> Self {
-        WorkloadModel::new(students, 20.0, calendar, PhaseFactors::default())
+        WorkloadModel::builder(students, calendar)
+            .build()
+            .unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// Enrolled students.
@@ -170,6 +317,10 @@ impl WorkloadModel {
 
     /// Mean offered rate over `[from, to)`, sampled at `step` resolution.
     ///
+    /// Duration-weighted: when `(to - from)` is not a multiple of `step`,
+    /// the trailing partial step contributes only the span it actually
+    /// covers, not a full step's weight.
+    ///
     /// # Panics
     ///
     /// Panics if `step` is zero or the interval is empty.
@@ -178,14 +329,16 @@ impl WorkloadModel {
         assert!(!step.is_zero(), "step must be positive");
         assert!(to > from, "empty interval");
         let mut t = from;
-        let mut sum = 0.0;
-        let mut n = 0u64;
+        let mut weighted = 0.0;
+        let mut total = 0.0;
         while t < to {
-            sum += self.rate_at(t);
-            n += 1;
+            let span = if to - t < step { to - t } else { step };
+            let w = span.as_secs_f64();
+            weighted += self.rate_at(t) * w;
+            total += w;
             t += step;
         }
-        sum / n as f64
+        weighted / total
     }
 
     /// Samples the number of requests arriving in the slot `[t, t + slot)`.
@@ -209,26 +362,55 @@ impl WorkloadModel {
         slot: SimDuration,
         out: &mut Vec<SimDuration>,
     ) {
-        out.clear();
         let n = self.sample_arrivals(rng, t, slot);
-        out.reserve(usize::try_from(n).unwrap_or(usize::MAX));
-        let span = slot.as_secs_f64();
-        for _ in 0..n {
-            out.push(SimDuration::from_secs_f64(rng.range_f64(0.0, span)));
-        }
-        out.sort_unstable();
-        if elc_trace::enabled(crate::TRACE_TARGET, Level::Debug) {
-            elc_trace::instant(
-                t.as_nanos(),
-                crate::TRACE_TARGET,
-                "arrivals",
-                Level::Debug,
-                &[
-                    Field::u64("count", n),
-                    Field::duration_ns("slot", slot.as_nanos()),
-                ],
-            );
-        }
+        crate::source::jitter_offsets(rng, n, t, slot, out);
+    }
+}
+
+impl WorkloadSource for WorkloadModel {
+    fn students(&self) -> u32 {
+        WorkloadModel::students(self)
+    }
+
+    fn rate_at(&self, t: SimTime) -> f64 {
+        WorkloadModel::rate_at(self, t)
+    }
+
+    fn mix_at(&self, t: SimTime) -> RequestMix {
+        WorkloadModel::mix_at(self, t)
+    }
+
+    fn peak_rate(&self) -> f64 {
+        WorkloadModel::peak_rate(self)
+    }
+
+    fn sample_arrivals(&self, rng: &mut SimRng, t: SimTime, slot: SimDuration) -> u64 {
+        WorkloadModel::sample_arrivals(self, rng, t, slot)
+    }
+
+    fn sample_arrival_offsets(
+        &self,
+        rng: &mut SimRng,
+        t: SimTime,
+        slot: SimDuration,
+        out: &mut Vec<SimDuration>,
+    ) {
+        WorkloadModel::sample_arrival_offsets(self, rng, t, slot, out);
+    }
+
+    fn mean_rate(&self, from: SimTime, to: SimTime, step: SimDuration) -> f64 {
+        WorkloadModel::mean_rate(self, from, to, step)
+    }
+
+    fn split(&self, sites: u32) -> Vec<Box<dyn WorkloadSource>> {
+        WorkloadModel::split(self, sites)
+            .into_iter()
+            .map(|m| Box::new(m) as Box<dyn WorkloadSource>)
+            .collect()
+    }
+
+    fn clone_source(&self) -> Box<dyn WorkloadSource> {
+        Box::new(self.clone())
     }
 }
 
@@ -358,6 +540,90 @@ mod tests {
         let mean = m.mean_rate(at(5, 0, 0), at(6, 0, 0), SimDuration::from_hours(1));
         assert!(mean > m.rate_at(at(5, 2, 4)));
         assert!(mean < m.peak_rate());
+    }
+
+    #[test]
+    fn mean_rate_weights_a_trailing_partial_step_by_its_span() {
+        let m = model();
+        let from = at(5, 2, 10);
+        // 2.5 steps of 1 h: samples at 10:00, 11:00 (full) and 12:00 (half).
+        let to = from + SimDuration::from_mins(150);
+        let step = SimDuration::from_hours(1);
+        let expect = (m.rate_at(from)
+            + m.rate_at(from + SimDuration::from_hours(1))
+            + 0.5 * m.rate_at(from + SimDuration::from_hours(2)))
+            / 2.5;
+        let got = m.mean_rate(from, to, step);
+        assert!(
+            (got - expect).abs() < 1e-12 * expect,
+            "trailing half step must carry half weight: got {got}, expect {expect}"
+        );
+        // An exact multiple of `step` keeps the plain average.
+        let flat = m.mean_rate(from, from + SimDuration::from_hours(2), step);
+        let plain = (m.rate_at(from) + m.rate_at(from + SimDuration::from_hours(1))) / 2.0;
+        assert!((flat - plain).abs() < 1e-12 * plain);
+    }
+
+    #[test]
+    fn builder_validates_every_knob() {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        assert_eq!(
+            WorkloadModel::builder(0, cal).build(),
+            Err(WorkloadError::NoStudents)
+        );
+        assert_eq!(
+            WorkloadModel::builder(100, cal)
+                .peak_rps_per_kstudent(-3.0)
+                .build(),
+            Err(WorkloadError::BadRate(-3.0))
+        );
+        assert!(WorkloadModel::builder(100, cal)
+            .peak_rps_per_kstudent(f64::NAN)
+            .build()
+            .is_err());
+        assert_eq!(
+            WorkloadModel::builder(100, cal)
+                .weekend_factor(-0.1)
+                .build(),
+            Err(WorkloadError::BadFactor {
+                name: "weekend",
+                value: -0.1
+            })
+        );
+        let bad_phase = PhaseFactors {
+            exams: f64::INFINITY,
+            ..PhaseFactors::default()
+        };
+        assert!(matches!(
+            WorkloadModel::builder(100, cal)
+                .phase_factors(bad_phase)
+                .build(),
+            Err(WorkloadError::BadFactor { name: "exams", .. })
+        ));
+        assert!(!WorkloadError::NoStudents.to_string().is_empty());
+    }
+
+    #[test]
+    fn builder_defaults_match_standard() {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        let built = WorkloadModel::builder(10_000, cal).build().unwrap();
+        assert_eq!(built, WorkloadModel::standard(10_000, cal));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_wraps_the_builder() {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        let a = WorkloadModel::new(10_000, 20.0, cal, PhaseFactors::default());
+        assert_eq!(a, WorkloadModel::standard(10_000, cal));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    #[allow(deprecated)]
+    fn deprecated_new_keeps_its_panic_message() {
+        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+        let _ = WorkloadModel::new(10, 0.0, cal, PhaseFactors::default());
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! # elc-wltrace — workload trace record, replay and morphing
+//!
+//! The paper's core question — which cloud deployment model serves an
+//! e-learning system best — demands apples-to-apples comparisons, and the
+//! synthetic [`WorkloadModel`](elc_elearn::workload::WorkloadModel) cannot
+//! drive two experiments with the *same exact* request stream: every run
+//! re-samples its Poisson arrivals. This crate closes that gap:
+//!
+//! * [`trace`] — the in-memory [`WorkloadTrace`] model and the morphing
+//!   combinators ([`time_stretch`](WorkloadTrace::time_stretch),
+//!   [`amplitude_scale`](WorkloadTrace::amplitude_scale),
+//!   [`clip`](WorkloadTrace::clip)) plus the [`MorphSpec`] `--morph`
+//!   parser,
+//! * [`codec`] — the compact binary format (`ELCW` magic, interned
+//!   request-kind table, delta-encoded samples),
+//! * [`csvio`] — CSV interchange for external datasets,
+//! * [`record`] — [`TraceRecorder`], a tee that records any
+//!   generator-driven run without perturbing it,
+//! * [`replay`] — [`TraceReplayer`] and [`TraceHandout`], which drive any
+//!   experiment from a trace while re-jittering recorded counts through
+//!   the caller's RNG so shard/thread byte-identity holds.
+//!
+//! Replay events are emitted under the `wltrace` trace target.
+//!
+//! # Record → morph → replay
+//!
+//! ```
+//! use std::sync::Arc;
+//! use elc_elearn::calendar::AcademicCalendar;
+//! use elc_elearn::source::WorkloadSource;
+//! use elc_elearn::workload::WorkloadModel;
+//! use elc_simcore::{SimDuration, SimRng, SimTime};
+//! use elc_wltrace::{MorphSpec, TraceRecorder, TraceReplayer};
+//!
+//! // Record a generator-driven exam evening.
+//! let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
+//! let recorder = TraceRecorder::new();
+//! let source = recorder.wrap(Box::new(WorkloadModel::standard(1_000, cal)));
+//! let mut rng = SimRng::seed(42);
+//! let start = cal.exams_start() + SimDuration::from_hours(19);
+//! for i in 0..60 {
+//!     source.sample_arrivals(&mut rng, start + SimDuration::from_mins(i), SimDuration::from_mins(1));
+//! }
+//! let trace = recorder.finish().unwrap();
+//!
+//! // Scale the recorded thousand students to forty thousand and replay.
+//! let big = MorphSpec::parse("scale=40").unwrap().apply(&trace).unwrap();
+//! let replay = TraceReplayer::stream(Arc::new(big), 0).unwrap();
+//! assert_eq!(replay.students(), 40_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Trace target every `elc-wltrace` event is recorded under.
+pub(crate) const TRACE_TARGET: &str = "wltrace";
+
+pub mod codec;
+pub mod csvio;
+pub mod record;
+pub mod replay;
+pub mod trace;
+
+pub use record::TraceRecorder;
+pub use replay::{TraceHandout, TraceReplayer};
+pub use trace::{
+    MixEntry, MixSample, Morph, MorphSpec, RateSample, SlotSample, Stream, TraceError,
+    WorkloadTrace,
+};

@@ -1,0 +1,236 @@
+//! Property tests for the trace codec and morph combinators, driven by a
+//! seed-derived case generator (the container has no crates.io access, so
+//! this mirrors the in-file generator idiom of the workspace's
+//! `tests/proptests.rs`): inputs are random but fully deterministic, and a
+//! failing case reproduces from the property's fixed seed and case index.
+
+use elc_elearn::request::RequestKind;
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::SimDuration;
+use elc_wltrace::codec;
+use elc_wltrace::csvio;
+use elc_wltrace::{MixEntry, MixSample, MorphSpec, RateSample, SlotSample, Stream, WorkloadTrace};
+
+/// Runs `f` against `n` independently seeded generators.
+fn cases(n: u64, seed: u64, mut f: impl FnMut(&mut SimRng)) {
+    let root = SimRng::seed(seed).derive("wltrace-proptest");
+    for i in 0..n {
+        f(&mut root.derive_u64(i));
+    }
+}
+
+/// A random but structurally valid trace: sorted sample times, in-range
+/// mix indices, 1–4 streams.
+fn arb_trace(rng: &mut SimRng) -> WorkloadTrace {
+    let mut trace = WorkloadTrace::empty(
+        rng.range_u64(1, 200_000) as u32,
+        rng.range_f64(0.1, 50_000.0),
+    );
+    let n_mixes = rng.range_u64(1, 4);
+    for _ in 0..n_mixes {
+        let n_pairs = rng.range_u64(1, RequestKind::ALL.len() as u64) as usize;
+        let mut pairs: MixEntry = Vec::new();
+        for k in 0..n_pairs {
+            pairs.push((RequestKind::ALL[k], rng.range_f64(0.01, 100.0).to_bits()));
+        }
+        trace.intern_mix(pairs);
+    }
+    let n_streams = rng.range_u64(1, 4);
+    for _ in 0..n_streams {
+        let mut stream = Stream::default();
+        let mut t = rng.range_u64(0, 1 << 40);
+        for _ in 0..rng.range_u64(0, 60) {
+            t += rng.range_u64(1, 1 << 34);
+            stream.rates.push(RateSample {
+                t_ns: t,
+                rate_bits: rng.range_f64(0.0, 10_000.0).to_bits(),
+            });
+        }
+        let mut t = rng.range_u64(0, 1 << 40);
+        for _ in 0..rng.range_u64(0, 10) {
+            t += rng.range_u64(1, 1 << 34);
+            stream.mixes.push(MixSample {
+                t_ns: t,
+                mix: rng.range_u64(0, trace.mixes.len() as u64 - 1) as u32,
+            });
+        }
+        let mut t = rng.range_u64(0, 1 << 40);
+        for _ in 0..rng.range_u64(0, 60) {
+            t += rng.range_u64(1, 1 << 34);
+            stream.slots.push(SlotSample {
+                t_ns: t,
+                slot_ns: rng.range_u64(1, 600_000_000_000),
+                count: rng.range_u64(0, 1 << 20),
+            });
+        }
+        trace.streams.push(stream);
+    }
+    assert_eq!(trace.validate(), Ok(()));
+    trace
+}
+
+#[test]
+fn binary_codec_round_trips_arbitrary_traces() {
+    cases(64, 0x71AC_E001, |rng| {
+        let trace = arb_trace(rng);
+        let bytes = codec::to_bytes(&trace);
+        let back = codec::from_bytes(&bytes).expect("encoded trace must decode");
+        assert_eq!(back, trace, "binary round trip must be lossless");
+    });
+}
+
+#[test]
+fn binary_decoder_never_panics_on_corruption() {
+    cases(48, 0x71AC_E002, |rng| {
+        let trace = arb_trace(rng);
+        let mut bytes = codec::to_bytes(&trace);
+        // Flip a handful of bytes anywhere in the payload; decode must
+        // return (Ok or Err), never panic or allocate absurdly.
+        for _ in 0..8 {
+            let i = rng.range_u64(0, bytes.len() as u64 - 1) as usize;
+            bytes[i] ^= rng.range_u64(1, 255) as u8;
+        }
+        let _ = codec::from_bytes(&bytes);
+    });
+}
+
+#[test]
+fn stretch_then_scale_composes_and_preserves_counts() {
+    cases(48, 0x71AC_E003, |rng| {
+        let trace = arb_trace(rng);
+        let stretch = rng.range_f64(0.25, 4.0);
+        let scale = rng.range_f64(0.5, 64.0);
+        let a = trace
+            .time_stretch(stretch)
+            .unwrap()
+            .amplitude_scale(scale)
+            .unwrap();
+        let b = trace
+            .amplitude_scale(scale)
+            .unwrap()
+            .time_stretch(stretch)
+            .unwrap();
+        // The two orders agree on structure: same stream shapes, same
+        // instants, same counts.
+        assert_eq!(a.streams.len(), b.streams.len());
+        for (sa, sb) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(sa.slots.len(), sb.slots.len());
+            for (x, y) in sa.slots.iter().zip(&sb.slots) {
+                assert_eq!(x.t_ns, y.t_ns);
+                assert_eq!(x.slot_ns, y.slot_ns);
+                assert_eq!(x.count, y.count, "count scaling commutes with stretch");
+            }
+            for (x, y) in sa.rates.iter().zip(&sb.rates) {
+                assert_eq!(x.t_ns, y.t_ns);
+                let rx = f64::from_bits(x.rate_bits);
+                let ry = f64::from_bits(y.rate_bits);
+                assert!(
+                    (rx - ry).abs() <= 1e-9 * rx.abs().max(1.0),
+                    "rate scaling commutes up to rounding: {rx} vs {ry}"
+                );
+            }
+        }
+        // Stretch preserves every count outright.
+        let stretched = trace.time_stretch(stretch).unwrap();
+        let total = |t: &WorkloadTrace| -> u64 {
+            t.streams
+                .iter()
+                .flat_map(|s| s.slots.iter())
+                .map(|s| s.count)
+                .sum()
+        };
+        assert_eq!(total(&stretched), total(&trace));
+        // The morphed traces remain structurally valid.
+        assert_eq!(a.validate(), Ok(()));
+        assert_eq!(b.validate(), Ok(()));
+    });
+}
+
+#[test]
+fn clip_bounds_every_surviving_sample() {
+    cases(48, 0x71AC_E004, |rng| {
+        let trace = arb_trace(rng);
+        let Some(start) = trace.start_ns() else {
+            return;
+        };
+        let span = trace.end_ns().unwrap_or(start).saturating_sub(start);
+        if span == 0 {
+            return;
+        }
+        let from = rng.range_u64(0, span / 2);
+        let to = rng.range_u64(from + 1, span + 1);
+        let clipped = match trace.clip(SimDuration::from_nanos(from), SimDuration::from_nanos(to)) {
+            Ok(c) => c,
+            // An empty window is a legal outcome for sparse traces.
+            Err(_) => return,
+        };
+        let lo = start + from;
+        let hi = start + to;
+        for stream in &clipped.streams {
+            for r in &stream.rates {
+                assert!(r.t_ns >= lo && r.t_ns < hi, "rate outside clip window");
+            }
+            for m in &stream.mixes {
+                assert!(m.t_ns >= lo && m.t_ns < hi, "mix outside clip window");
+            }
+            for s in &stream.slots {
+                assert!(s.t_ns >= lo && s.t_ns < hi, "slot outside clip window");
+            }
+        }
+        assert_eq!(clipped.validate(), Ok(()));
+        // Clipping never invents demand.
+        let total = |t: &WorkloadTrace| -> u64 {
+            t.streams
+                .iter()
+                .flat_map(|s| s.slots.iter())
+                .map(|s| s.count)
+                .sum()
+        };
+        assert!(total(&clipped) <= total(&trace));
+    });
+}
+
+#[test]
+fn morph_spec_round_trips_through_apply() {
+    cases(32, 0x71AC_E005, |rng| {
+        let trace = arb_trace(rng);
+        let stretch = rng.range_f64(0.5, 2.0);
+        let scale = rng.range_f64(1.0, 10.0);
+        let spec = MorphSpec::parse(&format!("stretch={stretch},scale={scale}")).unwrap();
+        let via_spec = spec.apply(&trace).unwrap();
+        let by_hand = trace
+            .time_stretch(stretch)
+            .unwrap()
+            .amplitude_scale(scale)
+            .unwrap();
+        assert_eq!(via_spec, by_hand, "spec application = manual pipeline");
+    });
+}
+
+#[test]
+fn csv_round_trips_single_stream_traces() {
+    cases(24, 0x71AC_E006, |rng| {
+        let mut trace = arb_trace(rng);
+        // CSV re-interns mixes stream-major; restrict to one stream where
+        // the round trip is exact.
+        trace.streams.truncate(1);
+        // Mix samples must reference interned entries actually used; the
+        // CSV writer emits per-pair rows, so drop unused mix table slots
+        // by re-interning through the writer/parser pair.
+        let csv = csvio::to_csv(&trace);
+        let back = csvio::from_csv(&csv).expect("exported csv must parse");
+        assert_eq!(back.students, trace.students);
+        assert_eq!(back.peak_rate_bits, trace.peak_rate_bits);
+        assert_eq!(back.streams[0].rates, trace.streams[0].rates);
+        assert_eq!(back.streams[0].slots, trace.streams[0].slots);
+        // Mixes survive as the same (kind, weight) pairs in force.
+        assert_eq!(back.streams[0].mixes.len(), trace.streams[0].mixes.len());
+        for (a, b) in back.streams[0].mixes.iter().zip(&trace.streams[0].mixes) {
+            assert_eq!(a.t_ns, b.t_ns);
+            assert_eq!(
+                back.mixes[a.mix as usize], trace.mixes[b.mix as usize],
+                "mix pairs must survive the csv round trip"
+            );
+        }
+    });
+}

@@ -35,7 +35,7 @@ fn main() {
     }
 
     // Zoom in: where do the savings come from at 8 members?
-    let inputs = CostInputs::standard(scenario.workload());
+    let inputs = CostInputs::standard(scenario.workload_model());
     let solo = CommunityCloud::new(1, inputs.clone()).assess();
     let eight = CommunityCloud::new(8, inputs).assess();
     let mut t = Table::new(["quantity", "solo", "8-member consortium"]);

@@ -10,6 +10,8 @@
 //!         [--threads T] [--seed S] [--quiet]
 //!         [--trace PATH.jsonl] [--trace-filter SPEC]
 //!         [--chaos SPEC] [--shards N]
+//!         [--workload trace:PATH] [--morph SPEC]
+//!         [--record-trace PATH]   (requires --replications 1 --shards 1)
 //! ```
 //!
 //! The aggregate table is a pure function of `(experiment, scenario,
@@ -25,7 +27,8 @@ use std::process::ExitCode;
 use elearn_cloud::analysis::table::Table;
 use elearn_cloud::core::cli_args::{
     chaos_from_flags, experiment_list, flag, parse_or, scenario_by_name, shards_from_flags,
-    split_args, unknown_experiment, unknown_scenario, TraceOptions, SCENARIO_USAGE,
+    split_args, unknown_experiment, unknown_scenario, TraceOptions, WorkloadOptions,
+    SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::find;
 use elearn_cloud::runner::progress::{Silent, Stderr};
@@ -37,7 +40,8 @@ fn usage() -> ExitCode {
         "usage:\n  elc-run --list\n  \
          elc-run --experiment <ID> [--scenario NAME] [--replications N] \
          [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC] \
-         [--chaos SPEC] [--shards N]\n\
+         [--chaos SPEC] [--shards N] [--workload trace:PATH] [--morph SPEC] \
+         [--record-trace PATH]\n\
          experiments: e1..e17, t1\n\
          {SCENARIO_USAGE}\n\
          defaults: --scenario small-college, --replications 8, --seed 2013, \
@@ -153,6 +157,21 @@ fn main() -> ExitCode {
         }
     };
 
+    let workload = match WorkloadOptions::from_flags(&flags) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    if workload.record.is_some() && (replications != 1 || shards != 1) {
+        eprintln!(
+            "--record-trace requires --replications 1 --shards 1 \
+             (stream order follows source creation within one run)"
+        );
+        return usage();
+    }
+
     let scenario_name = flag(&flags, "scenario").unwrap_or("small-college");
     let Some(mut scenario) = scenario_by_name(scenario_name, seed) else {
         eprintln!("{}", unknown_scenario(scenario_name));
@@ -161,7 +180,14 @@ fn main() -> ExitCode {
     if let Some(spec) = chaos {
         scenario = scenario.with_chaos(spec);
     }
-    scenario = scenario.with_shards(shards);
+    let mut scenario = match workload.apply(scenario.with_shards(shards)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let recorder = workload.start_recording(&mut scenario);
 
     let mut spec = RunSpec::new(experiment, scenario, replications).threads(threads);
     if let Some(opts) = &trace_opts {
@@ -186,6 +212,15 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("cannot write trace {}: {e}", opts.path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(recorder) = &recorder {
+        match workload.finish_recording(recorder) {
+            Ok(line) => eprintln!("{line}"),
+            Err(e) => {
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -9,6 +9,12 @@
 //!                                            (e.g. storm@0.3:n=4,mins=6;disaster@0.79, or off)
 //!     [--shards N]                           shard-parallel execution (output is
 //!                                            byte-identical at any shard count)
+//!     [--workload trace:PATH]                replay a recorded workload trace
+//!                                            (.csv parses as interchange CSV)
+//!     [--morph SPEC]                         reshape the replayed trace, e.g.
+//!                                            stretch=2,scale=0.5,clip=48..96
+//!     [--record-trace PATH]                  tee the generator-driven run into
+//!                                            a trace file (requires --shards 1)
 //! elc advise [SCENARIO] [--seed N]
 //!     [--profile startup|exam|balanced]      advisor with a preset profile
 //!     [--cost W --security W --elasticity W
@@ -22,7 +28,7 @@ use std::process::ExitCode;
 
 use elearn_cloud::core::cli_args::{
     chaos_from_flags, flag, parse_or, scenario_by_name, scenario_list, shards_from_flags,
-    split_args, unknown_experiment, unknown_scenario, SCENARIO_USAGE,
+    split_args, unknown_experiment, unknown_scenario, WorkloadOptions, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::{find, run_all};
 use elearn_cloud::core::{advise, Requirements, Scenario};
@@ -30,7 +36,8 @@ use elearn_cloud::core::{advise, Requirements, Scenario};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elc scenarios\n  elc experiments\n  elc report [SCENARIO] [--seed N]\n  \
-         elc experiment <ID> [SCENARIO] [--seed N] [--chaos SPEC] [--shards N]\n  \
+         elc experiment <ID> [SCENARIO] [--seed N] [--chaos SPEC] [--shards N]\n    \
+         [--workload trace:PATH] [--morph SPEC] [--record-trace PATH]\n  \
          elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
          [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
          {SCENARIO_USAGE}"
@@ -72,6 +79,17 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let workload = match WorkloadOptions::from_flags(&flags) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    if workload.record.is_some() && shards != 1 {
+        eprintln!("--record-trace requires --shards 1 (stream order follows source creation)");
+        return usage();
+    }
 
     match command.as_str() {
         "scenarios" => {
@@ -88,8 +106,25 @@ fn main() -> ExitCode {
                 eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
-            let outputs = run_all(&scenario.with_shards(shards));
+            let mut scenario = match workload.apply(scenario.with_shards(shards)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let recorder = workload.start_recording(&mut scenario);
+            let outputs = run_all(&scenario);
             println!("{}", outputs.report());
+            if let Some(recorder) = &recorder {
+                match workload.finish_recording(recorder) {
+                    Ok(line) => eprintln!("{line}"),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         "experiment" => {
@@ -104,10 +139,26 @@ fn main() -> ExitCode {
             if let Some(spec) = &chaos {
                 scenario = scenario.with_chaos(spec.clone());
             }
-            scenario = scenario.with_shards(shards);
+            let mut scenario = match workload.apply(scenario.with_shards(shards)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let recorder = workload.start_recording(&mut scenario);
             match run_experiment(&id.to_lowercase(), &scenario) {
                 Some(text) => {
                     println!("{text}");
+                    if let Some(recorder) = &recorder {
+                        match workload.finish_recording(recorder) {
+                            Ok(line) => eprintln!("{line}"),
+                            Err(e) => {
+                                eprintln!("{e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
                     ExitCode::SUCCESS
                 }
                 None => {

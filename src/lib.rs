@@ -9,6 +9,8 @@
 //! * [`net`] — links, topology, outages, transfers,
 //! * [`cloud`] — datacenters, VMs, autoscaling, storage, failures, billing,
 //! * [`elearn`] — the LMS model and its workload,
+//! * [`wltrace`] — workload trace record, replay and morphing behind the
+//!   [`WorkloadSource`](elc_elearn::source::WorkloadSource) API,
 //! * [`faas`] — the serverless platform model: container lifecycle,
 //!   keepalive policies, invocation buffering and GB-s billing,
 //! * [`deploy`] — public / private / hybrid / FaaS deployment models and
@@ -45,3 +47,4 @@ pub use elc_net as net;
 pub use elc_runner as runner;
 pub use elc_simcore as simcore;
 pub use elc_trace as trace;
+pub use elc_wltrace as wltrace;
