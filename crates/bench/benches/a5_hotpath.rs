@@ -10,6 +10,12 @@
 //!   extraction and aggregation, which is where the per-replication
 //!   string round-trips used to live.
 //!
+//! The fluid fast path adds its own series: simulated student-seconds per
+//! wall second on the five-million-student national scenario (only the
+//! fluid solver finishes it inside a bench budget), and the fluid
+//! engine's wall-clock speedup over the exact event engine on the same
+//! E18 station at university scale.
+//!
 //! Besides printing the usual crit lines, the bench writes
 //! `BENCH_hotpath.json` at the workspace root so CI can archive the
 //! numbers per PR. Set `ELC_BENCH_QUICK=1` for a fast smoke run (CI).
@@ -20,8 +26,9 @@ use std::time::{Duration, Instant};
 
 use elc_bench::crit::{Criterion, Measurement};
 use elc_cloud::mesh::MeshSpec;
-use elc_core::experiments::find;
+use elc_core::experiments::{e18, find};
 use elc_core::scenario::Scenario;
+use elc_fluid::Fidelity;
 use elc_runner::progress::Silent;
 use elc_runner::RunSpec;
 use elc_simcore::queue::EventQueue;
@@ -135,6 +142,57 @@ fn sharded_series() -> Sharded {
     }
 }
 
+/// The fluid fast-path series.
+struct Fluid {
+    /// Simulated student-seconds per wall second on the national
+    /// five-million-student scenario at its default (auto) fidelity.
+    student_seconds_per_sec: f64,
+    /// Wall-clock ratio event/fluid on the university-scale E18 station
+    /// — how much the flow solver buys over exact events.
+    speedup_vs_event: f64,
+}
+
+/// Times one E18 run and returns wall seconds.
+fn e18_secs(scenario: &Scenario) -> f64 {
+    let start = Instant::now();
+    let out = e18::run(scenario);
+    let secs = start.elapsed().as_secs_f64();
+    black_box(out.offered());
+    secs
+}
+
+/// Measures the fluid series. Both numbers aggregate with a minimum —
+/// scheduler and timer noise only ever add wall time, so the best
+/// observed run is the stable statistic (the gated throughput keys are
+/// aggregated the same way). The sub-millisecond fluid wall gets a large
+/// burst so its minimum settles.
+fn fluid_series() -> Fluid {
+    let national = Scenario::national_5m(2013);
+    let students = f64::from(national.workload().students());
+    let _ = e18_secs(&national); // warm-up
+    let reps = if quick_mode() { 3 } else { 7 };
+    let wall = (0..reps)
+        .map(|_| e18_secs(&national))
+        .fold(f64::INFINITY, f64::min);
+    let student_seconds_per_sec = students * e18::WINDOW.as_secs_f64() / wall;
+
+    let campus = Scenario::university(2013);
+    let event_scn = campus.with_fidelity(Fidelity::Event);
+    let fluid_scn = campus.with_fidelity(Fidelity::Fluid);
+    let event_reps = if quick_mode() { 2 } else { 3 };
+    let _ = e18_secs(&fluid_scn); // warm-up
+    let event = (0..event_reps)
+        .map(|_| e18_secs(&event_scn))
+        .fold(f64::INFINITY, f64::min);
+    let fluid = (0..50)
+        .map(|_| e18_secs(&fluid_scn))
+        .fold(f64::INFINITY, f64::min);
+    Fluid {
+        student_seconds_per_sec,
+        speedup_vs_event: event / fluid,
+    }
+}
+
 /// A self-scheduling chain: the executive's raw event dispatch rate.
 fn chain(c: &mut Criterion) -> Option<Measurement> {
     c.bench_measured("a5_hotpath/executive_chain_100k", |b| {
@@ -237,6 +295,7 @@ fn main() {
     let e09_m = replicate(&mut c, "e09");
     let e06_m = replicate(&mut c, "e06");
     let sharded = sharded_series();
+    let fluid = fluid_series();
 
     let events_per_sec = ops_per_sec(chain_m, CHAIN_EVENTS as f64);
     // Each churn iteration schedules, half-cancels and drains the queue:
@@ -261,6 +320,14 @@ fn main() {
         "  shard speedup 2x / 4x:           {:>10.2} / {:>10.2}",
         sharded.speedup_2x, sharded.speedup_4x
     );
+    println!(
+        "  fluid student-seconds/sec (5M):  {:>14.0}",
+        fluid.student_seconds_per_sec
+    );
+    println!(
+        "  fluid speedup vs event (e18):    {:>14.1}",
+        fluid.speedup_vs_event
+    );
 
     let measured = [
         ("events_per_sec", events_per_sec),
@@ -270,7 +337,7 @@ fn main() {
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"elc-hotpath-v3\",\n  \"bench\": \"a5_hotpath\",\n  \"mode\": \"{}\",\n",
+        "  \"schema\": \"elc-hotpath-v4\",\n  \"bench\": \"a5_hotpath\",\n  \"mode\": \"{}\",\n",
         if quick_mode() { "quick" } else { "full" }
     ));
     for (i, &(key, value)) in measured.iter().enumerate() {
@@ -297,6 +364,18 @@ fn main() {
         "  \"sharded_speedup_2x\": {:.3},\n  \"sharded_speedup_4x\": {:.3},\n",
         sharded.speedup_2x, sharded.speedup_4x
     ));
+    json_field(
+        &mut json,
+        "fluid_student_seconds_per_sec",
+        fluid.student_seconds_per_sec,
+        false,
+    );
+    json_field(
+        &mut json,
+        "fluid_speedup_vs_event",
+        fluid.speedup_vs_event,
+        false,
+    );
     json.push_str(&format!("  \"inline_events\": {inline_events},\n"));
     json.push_str(&format!("  \"spilled_events\": {spilled_events},\n"));
     json.push_str("  \"replications\": ");

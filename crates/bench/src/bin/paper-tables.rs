@@ -36,8 +36,8 @@ use elc_analysis::plot::line_chart;
 use elc_bench::{harness_scenarios, HARNESS_SEED};
 use elc_core::advisor::advise;
 use elc_core::cli_args::{
-    chaos_from_flags, experiment_list, flag, parse_or, shards_from_flags, split_args,
-    unknown_scenario, TraceOptions, WorkloadOptions,
+    chaos_from_flags, experiment_list, fidelity_from_flags, flag, parse_or, shards_from_flags,
+    split_args, unknown_scenario, with_shards_override, TraceOptions, WorkloadOptions,
 };
 use elc_core::experiments::{e16, e17, run_all};
 use elc_core::requirements::Requirements;
@@ -49,7 +49,8 @@ struct Args {
     scenario: Option<String>,
     trace: Option<TraceOptions>,
     chaos: Option<elc_resil::chaos::ChaosSpec>,
-    shards: u32,
+    shards: Option<u32>,
+    fidelity: Option<elc_fluid::Fidelity>,
     workload: WorkloadOptions,
 }
 
@@ -73,9 +74,11 @@ fn parse_args() -> Result<Option<Args>, String> {
         trace: TraceOptions::from_flags(&flags)?,
         chaos: chaos_from_flags(&flags)?,
         shards: shards_from_flags(&flags)?,
+        fidelity: fidelity_from_flags(&flags)?,
         workload: WorkloadOptions::from_flags(&flags)?,
     };
-    if args.workload.record.is_some() && (args.scenario.is_none() || args.shards != 1) {
+    if args.workload.record.is_some() && (args.scenario.is_none() || args.shards.unwrap_or(1) != 1)
+    {
         return Err("--record-trace requires --scenario NAME and --shards 1 \
              (one trace captures one scenario's runs, in source-creation order)"
             .to_string());
@@ -92,7 +95,8 @@ fn main() {
             eprintln!(
                 "usage: paper-tables [SEED] [--seed N] [--scenario NAME] [--list] \
                  [--trace PATH.jsonl] [--trace-filter SPEC] [--chaos SPEC] [--shards N] \
-                 [--workload trace:PATH] [--morph SPEC] [--record-trace PATH]"
+                 [--fidelity event|fluid|auto] [--workload trace:PATH] [--morph SPEC] \
+                 [--record-trace PATH]"
             );
             exit(2);
         }
@@ -104,7 +108,11 @@ fn main() {
             Some(spec) => s.with_chaos(spec.clone()),
             None => s,
         })
-        .map(|s| s.with_shards(args.shards))
+        .map(|s| with_shards_override(s, args.shards))
+        .map(|s| match args.fidelity {
+            Some(f) => s.with_fidelity(f),
+            None => s,
+        })
         .filter(|s| args.scenario.as_deref().is_none_or(|want| s.name() == want))
         .map(|s| match args.workload.apply(s) {
             Ok(s) => s,

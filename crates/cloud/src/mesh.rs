@@ -691,7 +691,9 @@ mod tests {
         let plain = MeshSpec::smoke(42).run(1);
         let mut spec = MeshSpec::smoke(42);
         let model =
-            WorkloadModel::standard(4_000, AcademicCalendar::standard_semester(SimTime::ZERO));
+            WorkloadModel::builder(4_000, AcademicCalendar::standard_semester(SimTime::ZERO))
+                .build()
+                .unwrap();
         spec.demand = Some(MeshDemand::from_source(
             &model,
             spec.regions,
@@ -770,7 +772,9 @@ mod tests {
 
         let mut spec = MeshSpec::smoke(42);
         let model =
-            WorkloadModel::standard(4_000, AcademicCalendar::standard_semester(SimTime::ZERO));
+            WorkloadModel::builder(4_000, AcademicCalendar::standard_semester(SimTime::ZERO))
+                .build()
+                .unwrap();
         spec.demand = Some(MeshDemand::from_source(
             &model,
             spec.regions + 1,

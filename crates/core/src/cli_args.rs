@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use elc_fluid::Fidelity;
 use elc_resil::chaos::ChaosSpec;
 use elc_trace::TraceFilter;
 use elc_wltrace::{codec, csvio, MorphSpec, WorkloadTrace};
@@ -26,16 +27,17 @@ use crate::experiments::registry;
 use crate::scenario::Scenario;
 
 /// The scenario preset names, in listing order.
-pub const SCENARIO_NAMES: [&str; 4] = [
+pub const SCENARIO_NAMES: [&str; 5] = [
     "small-college",
     "rural-learners",
     "university",
     "national-platform",
+    "national-5m",
 ];
 
 /// The scenario line every usage string embeds.
 pub const SCENARIO_USAGE: &str =
-    "scenarios: small-college | rural-learners | university | national-platform";
+    "scenarios: small-college | rural-learners | university | national-platform | national-5m";
 
 /// Splits an argument list into positional arguments and `--flag [value]`
 /// pairs.
@@ -98,6 +100,7 @@ pub fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
         "rural-learners" => Scenario::rural_learners(seed),
         "university" => Scenario::university(seed),
         "national-platform" => Scenario::national_platform(seed),
+        "national-5m" => Scenario::national_5m(seed),
         _ => return None,
     })
 }
@@ -105,13 +108,13 @@ pub fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
 /// The uniform "unknown scenario" diagnostic.
 #[must_use]
 pub fn unknown_scenario(name: &str) -> String {
-    format!("unknown scenario {name:?}; known: small-college | rural-learners | university | national-platform")
+    format!("unknown scenario {name:?}; known: small-college | rural-learners | university | national-platform | national-5m")
 }
 
 /// The uniform "unknown experiment" diagnostic.
 #[must_use]
 pub fn unknown_experiment(id: &str) -> String {
-    format!("unknown experiment {id:?} (e1..e17, t1; try --list)")
+    format!("unknown experiment {id:?} (e1..e18, t1; try --list)")
 }
 
 /// The experiment registry rendered one `id  name` line at a time — the
@@ -164,21 +167,92 @@ pub fn chaos_from_flags(flags: &[(String, String)]) -> Result<Option<ChaosSpec>,
     }
 }
 
-/// Extracts `--shards <n>`, the intra-replication shard count (default
-/// 1). Sharding splits one simulation's sites over worker threads with a
-/// conservative time-window protocol; output is byte-identical at any
-/// value, so the flag is purely a scheduling knob.
+/// Extracts `--shards <n>`, the intra-replication shard count. Returns
+/// `None` when the flag is absent — the scenario then keeps its preset
+/// shard count (1 everywhere except `national-5m`, whose four regions
+/// shard by default). Sharding splits one simulation's sites over
+/// worker threads with a conservative time-window protocol; output is
+/// byte-identical at any value, so the flag is purely a scheduling knob.
 ///
 /// # Errors
 ///
 /// Returns a message when the value is not a number or is zero.
-pub fn shards_from_flags(flags: &[(String, String)]) -> Result<u32, String> {
+pub fn shards_from_flags(flags: &[(String, String)]) -> Result<Option<u32>, String> {
+    if flag(flags, "shards").is_none() {
+        return Ok(None);
+    }
     let shards: u32 = parse_or(flags, "shards", 1)?;
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
-    Ok(shards)
+    Ok(Some(shards))
 }
+
+/// Applies a `--shards` override, keeping the scenario's preset shard
+/// count when the flag was absent.
+#[must_use]
+pub fn with_shards_override(scenario: Scenario, shards: Option<u32>) -> Scenario {
+    match shards {
+        Some(n) => scenario.with_shards(n),
+        None => scenario,
+    }
+}
+
+/// Extracts `--fidelity <event|fluid|auto>`, the simulation-fidelity
+/// override. Returns `None` when the flag is absent — the scenario then
+/// keeps its preset fidelity (`event` everywhere except `national-5m`,
+/// which defaults to `auto`).
+///
+/// # Errors
+///
+/// Returns a message when the flag has no value or the value is not one
+/// of the three fidelities.
+pub fn fidelity_from_flags(flags: &[(String, String)]) -> Result<Option<Fidelity>, String> {
+    match flag(flags, "fidelity") {
+        None => Ok(None),
+        Some("") => Err("--fidelity expects event, fluid or auto".to_string()),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|e: elc_fluid::FidelityParseError| format!("--fidelity: {e}")),
+    }
+}
+
+/// Refuses configurations whose event-level cost is out of reach.
+///
+/// The per-request path is linear in offered requests; at the
+/// `national-5m` scale an exam day is tens of billions of events, so
+/// asking for `--fidelity event` there would not complete. The guard
+/// estimates the event count from the scenario's mean offered rate over
+/// one day (two events per request: arrival + completion) and rejects
+/// event-fidelity runs of the scale experiment (e18) above
+/// [`EVENT_BUDGET`] with a diagnostic pointing at fluid/auto.
+///
+/// # Errors
+///
+/// Returns the diagnostic when the configuration is infeasible.
+pub fn check_fidelity_feasible(experiment_id: &str, scenario: &Scenario) -> Result<(), String> {
+    if scenario.fidelity() != Fidelity::Event {
+        return Ok(());
+    }
+    if registry::find(experiment_id).map(|e| e.id()) != Some("e18") {
+        return Ok(());
+    }
+    let estimate = crate::experiments::e18::event_count_estimate(scenario);
+    if estimate > EVENT_BUDGET {
+        return Err(format!(
+            "e18 on {} at event fidelity needs ~{:.1e} events — beyond the {EVENT_BUDGET:.0e}-event \
+             budget; rerun with --fidelity fluid or --fidelity auto",
+            scenario.name(),
+            estimate
+        ));
+    }
+    Ok(())
+}
+
+/// The largest event-level run the CLI will accept for the scale
+/// experiment (~30 s of simulation at the measured events/sec).
+pub const EVENT_BUDGET: f64 = 2.0e9;
 
 /// Parsed `--workload`/`--morph`/`--record-trace` trio: where demand
 /// comes from and whether the run should be captured.
@@ -460,9 +534,9 @@ mod tests {
     #[test]
     fn shards_flag_defaults_and_diagnoses() {
         let (_, flags) = split_args(&args(&["--seed", "1"]));
-        assert_eq!(shards_from_flags(&flags), Ok(1));
+        assert_eq!(shards_from_flags(&flags), Ok(None));
         let (_, flags) = split_args(&args(&["--shards", "4"]));
-        assert_eq!(shards_from_flags(&flags), Ok(4));
+        assert_eq!(shards_from_flags(&flags), Ok(Some(4)));
         let (_, flags) = split_args(&args(&["--shards", "0"]));
         assert!(shards_from_flags(&flags)
             .unwrap_err()
@@ -471,6 +545,51 @@ mod tests {
         assert!(shards_from_flags(&flags)
             .unwrap_err()
             .contains("expects a number"));
+    }
+
+    #[test]
+    fn fidelity_flag_parses_or_diagnoses() {
+        let (_, flags) = split_args(&args(&["--seed", "1"]));
+        assert_eq!(fidelity_from_flags(&flags), Ok(None));
+        for (spell, want) in [
+            ("event", Fidelity::Event),
+            ("fluid", Fidelity::Fluid),
+            ("auto", Fidelity::Auto),
+        ] {
+            let (_, flags) = split_args(&args(&["--fidelity", spell]));
+            assert_eq!(fidelity_from_flags(&flags), Ok(Some(want)));
+        }
+        let (_, flags) = split_args(&args(&["--fidelity"]));
+        assert!(fidelity_from_flags(&flags)
+            .unwrap_err()
+            .contains("expects event, fluid or auto"));
+        let (_, flags) = split_args(&args(&["--fidelity", "psychic"]));
+        assert!(fidelity_from_flags(&flags).unwrap_err().contains("psychic"));
+    }
+
+    #[test]
+    fn feasibility_guard_blocks_event_mode_at_national_scale() {
+        let national = Scenario::national_5m(1);
+        // The preset itself (auto) passes.
+        assert_eq!(check_fidelity_feasible("e18", &national), Ok(()));
+        assert_eq!(
+            check_fidelity_feasible("e18", &national.with_fidelity(Fidelity::Fluid)),
+            Ok(())
+        );
+        // Forcing event fidelity at 5M students is refused, with a hint.
+        let err =
+            check_fidelity_feasible("e18", &national.with_fidelity(Fidelity::Event)).unwrap_err();
+        assert!(err.contains("--fidelity fluid"), "{err}");
+        // University-scale event runs stay allowed, as do other
+        // experiments at any scale (they never sample per-request at 5M).
+        assert_eq!(
+            check_fidelity_feasible("e18", &Scenario::university(1)),
+            Ok(())
+        );
+        assert_eq!(
+            check_fidelity_feasible("e12", &national.with_fidelity(Fidelity::Event)),
+            Ok(())
+        );
     }
 
     fn tiny_trace() -> WorkloadTrace {

@@ -19,6 +19,13 @@
 //! requests; elastic tracks the surge with a small transient; fixed-exam
 //! matches elastic on service quality at several times the machine-hours —
 //! until a host dies, after which only the elastic fleet recovers.
+//!
+//! At fluid/auto fidelity (`scenario.fidelity()`) the per-tick Poisson
+//! draw is replaced by the deterministic mean flow `rate × tick`; the
+//! autoscaler is rate-driven either way, so the fleet trajectory is
+//! identical and only the demand-side counters change. The event path
+//! keeps its exact integer arithmetic, so default-fidelity output is
+//! bit-identical to what it was before the fluid path existed.
 
 use elc_analysis::metrics::{Cell, MetricSet, MetricTable};
 use elc_analysis::report::Section;
@@ -133,8 +140,14 @@ struct World {
     /// Offset of the simulated day within the calendar.
     day_start: SimTime,
     rng: SimRng,
-    offered: u64,
-    rejected: u64,
+    /// Fluid fidelity: demand is the deterministic mean flow
+    /// `rate × tick` instead of a Poisson draw per tick.
+    fluid: bool,
+    /// Requests offered / rejected. Event fidelity only ever adds exact
+    /// integers (so the totals are bit-identical to the old `u64`
+    /// counters); fluid fidelity accumulates fractional flow.
+    offered: f64,
+    rejected: f64,
     latency: Histogram,
     fleet: TimeWeighted,
 }
@@ -158,16 +171,27 @@ fn tick(sim: &mut Simulation<World>) {
     let cal_now = w.cal_time(now);
     // Demand comes through the WorkloadSource trait: generator-backed
     // sources draw the same Poisson the inline code used to, replayed
-    // traces return their recorded counts.
-    let arrivals = w.workload.sample_arrivals(&mut w.rng, cal_now, TICK);
+    // traces return their recorded counts. At fluid fidelity the draw
+    // is replaced by the mean flow — the tick-level mean-field limit of
+    // the same arrival process.
+    let arrivals = if w.fluid {
+        w.workload.rate_at(cal_now) * TICK.as_secs_f64()
+    } else {
+        w.workload.sample_arrivals(&mut w.rng, cal_now, TICK) as f64
+    };
     let capacity = w.dc.serving_capacity_rps(now) * TICK.as_secs_f64();
-    let served = (arrivals as f64).min(capacity);
+    let served = arrivals.min(capacity);
     w.offered += arrivals;
-    w.rejected += (arrivals as f64 - served) as u64;
+    w.rejected += if w.fluid {
+        arrivals - served
+    } else {
+        // Keep the event path's exact truncation semantics.
+        (arrivals - served) as u64 as f64
+    };
     // M/M/1-style load-latency curve on the utilization of the serving
     // fleet, capped when saturated.
     let rho = if capacity > 0.0 {
-        arrivals as f64 / capacity
+        arrivals / capacity
     } else {
         1.0
     };
@@ -260,8 +284,9 @@ fn simulate(scenario: &Scenario, strategy: Strategy, buckets: Vec<u64>) -> (Surg
         rng: SimRng::seed(scenario.seed())
             .derive("e12")
             .derive(&strategy.to_string()),
-        offered: 0,
-        rejected: 0,
+        fluid: scenario.fidelity().uses_fluid(),
+        offered: 0.0,
+        rejected: 0.0,
         latency: Histogram::from_buckets(buckets),
     };
 
@@ -295,10 +320,10 @@ fn simulate(scenario: &Scenario, strategy: Strategy, buckets: Vec<u64>) -> (Surg
     let w = sim.into_state();
     let row = SurgeRow {
         strategy,
-        rejected_fraction: if w.offered == 0 {
+        rejected_fraction: if w.offered == 0.0 {
             0.0
         } else {
-            w.rejected as f64 / w.offered as f64
+            w.rejected / w.offered
         },
         p95_latency_s: w.latency.p95(),
         vm_hours: w.fleet.integral(horizon) / 3_600.0,
@@ -496,6 +521,27 @@ mod tests {
         let a = run(&Scenario::university(8));
         let b = run(&Scenario::university(8));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fluid_fidelity_tracks_the_event_path() {
+        use elc_fluid::Fidelity;
+        let event = run(&Scenario::university(42));
+        let fluid = run(&Scenario::university(42).with_fidelity(Fidelity::Fluid));
+        for s in Strategy::ALL {
+            let e = event.row(s);
+            let f = fluid.row(s);
+            // Demand-side counters see only Poisson noise at this scale.
+            assert!(
+                (e.rejected_fraction - f.rejected_fraction).abs() < 0.02,
+                "{s}: rejected event {} vs fluid {}",
+                e.rejected_fraction,
+                f.rejected_fraction
+            );
+            // The autoscaler is rate-driven, so the fleet is identical.
+            assert!((e.vm_hours - f.vm_hours).abs() < 1e-9, "{s}: fleet moved");
+            assert!((e.peak_vms - f.peak_vms).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -99,10 +99,12 @@ pub struct Output {
 /// Peak demand (requests/second) for a population, from the standard
 /// workload calibration.
 fn peak_demand(students: u32) -> f64 {
-    WorkloadModel::standard(
+    WorkloadModel::builder(
         students.max(1),
         crate::scenario::Scenario::university(0).calendar(),
     )
+    .build()
+    .expect("students.max(1) satisfies the builder")
     .peak_rate()
 }
 

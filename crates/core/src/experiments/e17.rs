@@ -374,8 +374,12 @@ fn simulate_vm(
 /// Simulates the FaaS platform over one day: one [`Invoker`] per request
 /// kind competing for the account's shared burst pool in
 /// [`RequestKind::ALL`] order.
-fn simulate_faas(scenario: &Scenario, day: Day, timeline: Option<&FaultTimeline>) -> DayRow {
-    let deploy = FaasDeployment::standard();
+fn simulate_faas(
+    scenario: &Scenario,
+    day: Day,
+    timeline: Option<&FaultTimeline>,
+    deploy: &FaasDeployment,
+) -> DayRow {
     let scaler = FaasScaler::new(deploy.target_util, deploy.burst_limit);
     let workload = scenario.workload();
     let start = day_start(scenario, day);
@@ -393,10 +397,12 @@ fn simulate_faas(scenario: &Scenario, day: Day, timeline: Option<&FaultTimeline>
     let mut invokers: Vec<Invoker> = RequestKind::ALL
         .iter()
         .map(|&k| {
+            // The deployment's reaper policy: the classic fixed window,
+            // or the histogram-adaptive keepalive when configured.
             Invoker::new(
                 k,
-                InvokerConfig::fixed_window(
-                    deploy.keepalive,
+                InvokerConfig::new(
+                    deploy.invoker_keepalive(),
                     deploy.per_function_concurrency,
                     deploy.buffer_capacity,
                 ),
@@ -496,6 +502,15 @@ fn simulate_faas(scenario: &Scenario, day: Day, timeline: Option<&FaultTimeline>
 /// none is configured.
 #[must_use]
 pub fn run(scenario: &Scenario) -> Output {
+    run_with_deployment(scenario, &FaasDeployment::standard())
+}
+
+/// Like [`run`], but with a caller-chosen serverless deployment — the
+/// hook that lets the histogram-adaptive keepalive (or any other account
+/// configuration) drive the same three days. [`run`] is exactly
+/// `run_with_deployment(scenario, &FaasDeployment::standard())`.
+#[must_use]
+pub fn run_with_deployment(scenario: &Scenario, deploy: &FaasDeployment) -> Output {
     let chaos = scenario
         .chaos()
         .cloned()
@@ -511,7 +526,7 @@ pub fn run(scenario: &Scenario) -> Output {
         let tl = (day == Day::Chaos).then_some(&timeline);
         for model in Model::ALL {
             jobs.push(move || match model {
-                Model::Faas => simulate_faas(scenario, day, tl),
+                Model::Faas => simulate_faas(scenario, day, tl, deploy),
                 _ => simulate_vm(scenario, day, model, tl),
             });
         }
@@ -751,6 +766,29 @@ mod tests {
         assert!(
             faas.reaped > 0,
             "the overnight trough must reap idle sandboxes"
+        );
+    }
+
+    #[test]
+    fn adaptive_keepalive_changes_reap_timing() {
+        let scenario = Scenario::university(41);
+        let fixed = output();
+        let adaptive = run_with_deployment(&scenario, &FaasDeployment::adaptive());
+        // The histogram reaper learns per-function reuse gaps, so idle
+        // sandboxes die on a different clock than the fixed window —
+        // visible in the day's reap count.
+        let f = fixed.row(Day::Diurnal, Model::Faas);
+        let a = adaptive.row(Day::Diurnal, Model::Faas);
+        assert_ne!(
+            (f.reaped, f.cold_starts),
+            (a.reaped, a.cold_starts),
+            "the adaptive reaper must change reap timing"
+        );
+        // The account configuration is serverless-only: VM rows are
+        // untouched.
+        assert_eq!(
+            fixed.row(Day::Diurnal, Model::Public),
+            adaptive.row(Day::Diurnal, Model::Public)
         );
     }
 

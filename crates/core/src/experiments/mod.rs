@@ -2,8 +2,9 @@
 //!
 //! One module per experiment in the DESIGN.md index (E1–E12), the
 //! extension experiments (E13 community cloud, E14 service models, E15
-//! growth planning, E16 chaos resilience, E17 serverless economics) and
-//! the measured comparison matrix (T1). Every module exposes `run(&Scenario)`
+//! growth planning, E16 chaos resilience, E17 serverless economics, E18
+//! national-scale hybrid fidelity) and the measured comparison matrix
+//! (T1). Every module exposes `run(&Scenario)`
 //! returning a typed output with a `section()` renderer; [`run_all`]
 //! executes the whole suite and assembles the report, and [`registry`]
 //! exposes every experiment behind the uniform [`Experiment`] interface
@@ -27,6 +28,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod registry;
 pub mod t1;
 
@@ -104,7 +106,13 @@ impl SuiteOutputs {
     }
 }
 
-/// Runs the whole suite against one scenario.
+/// Runs the whole report suite against one scenario.
+///
+/// E16–E18 are registry-only extensions: they run through
+/// [`registry`]/[`find`] (the CLI's `--experiment` path) but stay out
+/// of the assembled report, whose section set and goldens predate them.
+/// E18 in particular defaults to national scale, where only the fluid
+/// fast path is tractable.
 #[must_use]
 pub fn run_all(scenario: &Scenario) -> SuiteOutputs {
     SuiteOutputs {

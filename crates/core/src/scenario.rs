@@ -13,6 +13,7 @@ use std::sync::Arc;
 use elc_elearn::calendar::AcademicCalendar;
 use elc_elearn::source::WorkloadSource;
 use elc_elearn::workload::WorkloadModel;
+use elc_fluid::Fidelity;
 use elc_net::link::LinkProfile;
 use elc_net::outage::OutageModel;
 use elc_resil::chaos::ChaosSpec;
@@ -129,6 +130,7 @@ pub struct ScenarioBuilder {
     calendar: AcademicCalendar,
     chaos: Option<ChaosSpec>,
     shards: u32,
+    fidelity: Fidelity,
     model: Option<WorkloadModel>,
     trace: Option<Arc<WorkloadTrace>>,
 }
@@ -150,6 +152,7 @@ impl ScenarioBuilder {
             calendar: AcademicCalendar::standard_semester(SimTime::ZERO),
             chaos: None,
             shards: 1,
+            fidelity: Fidelity::Event,
             model: None,
             trace: None,
         }
@@ -205,6 +208,16 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn shards(mut self, shards: u32) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the simulation fidelity (default [`Fidelity::Event`], the
+    /// exact per-request path). `Fluid` integrates rate flows on coarse
+    /// ticks; `Auto` switches per component. Experiments that support
+    /// fluid mode read this; the rest ignore it (see EXPERIMENTS.md).
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
@@ -271,6 +284,7 @@ impl ScenarioBuilder {
             calendar: self.calendar,
             chaos: self.chaos,
             shards: self.shards,
+            fidelity: self.fidelity,
             workload,
             recorder: None,
         })
@@ -289,6 +303,7 @@ pub struct Scenario {
     calendar: AcademicCalendar,
     chaos: Option<ChaosSpec>,
     shards: u32,
+    fidelity: Fidelity,
     workload: WorkloadSpec,
     recorder: Option<TraceRecorder>,
 }
@@ -308,6 +323,7 @@ impl PartialEq for Scenario {
             && self.calendar == other.calendar
             && self.chaos == other.chaos
             && self.shards == other.shards
+            && self.fidelity == other.fidelity
             && self.workload.matches(&other.workload)
     }
 }
@@ -371,6 +387,22 @@ impl Scenario {
     pub fn national_platform(seed: u64) -> Self {
         Scenario::builder("national-platform", 150_000)
             .seed(seed)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// A 5 000 000-student national exam-day platform spread over four
+    /// regions — the MOOC-scale regime. Event-level simulation of a day
+    /// at this size needs tens of billions of events; the preset
+    /// therefore defaults to [`Fidelity::Auto`], and the event path is
+    /// refused by the CLI feasibility guard (see
+    /// `cli_args::check_fidelity_feasible`).
+    #[must_use]
+    pub fn national_5m(seed: u64) -> Self {
+        Scenario::builder("national-5m", 5_000_000)
+            .seed(seed)
+            .shards(4)
+            .fidelity(Fidelity::Auto)
             .build()
             .expect("preset is valid")
     }
@@ -468,6 +500,23 @@ impl Scenario {
         s
     }
 
+    /// The simulation fidelity (default [`Fidelity::Event`]).
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// A copy with the given simulation fidelity. In the default
+    /// `Event` fidelity every output is byte-identical to the pre-fluid
+    /// simulator; `Fluid`/`Auto` trade per-request exactness for ~100×
+    /// cheaper ticks in the experiments that support them.
+    #[must_use]
+    pub fn with_fidelity(&self, fidelity: Fidelity) -> Scenario {
+        let mut s = self.clone();
+        s.fidelity = fidelity;
+        s
+    }
+
     /// The institutional demand source.
     ///
     /// Generated scenarios return the standard [`WorkloadModel`]; a
@@ -481,9 +530,11 @@ impl Scenario {
     #[must_use]
     pub fn workload(&self) -> Box<dyn WorkloadSource> {
         let base: Box<dyn WorkloadSource> = match &self.workload {
-            WorkloadSpec::Generated => {
-                Box::new(WorkloadModel::standard(self.students, self.calendar))
-            }
+            WorkloadSpec::Generated => Box::new(
+                WorkloadModel::builder(self.students, self.calendar)
+                    .build()
+                    .expect("population validated at scenario build"),
+            ),
             WorkloadSpec::Model(model) => Box::new(model.clone()),
             WorkloadSpec::Trace(handout) => Box::new(handout.source()),
         };
@@ -505,7 +556,9 @@ impl Scenario {
         match &self.workload {
             WorkloadSpec::Model(model) => model.clone(),
             WorkloadSpec::Generated | WorkloadSpec::Trace(_) => {
-                WorkloadModel::standard(self.students, self.calendar)
+                WorkloadModel::builder(self.students, self.calendar)
+                    .build()
+                    .expect("population validated at scenario build")
             }
         }
     }
@@ -651,6 +704,30 @@ mod tests {
     }
 
     #[test]
+    fn fidelity_defaults_to_event_and_threads_through() {
+        let plain = Scenario::university(1);
+        assert_eq!(plain.fidelity(), Fidelity::Event);
+        let fluid = plain.with_fidelity(Fidelity::Fluid);
+        assert_eq!(fluid.fidelity(), Fidelity::Fluid);
+        assert_eq!(fluid.students(), plain.students());
+        assert_ne!(fluid, plain, "fidelity is part of the configuration");
+        let built = Scenario::builder("f", 10)
+            .fidelity(Fidelity::Auto)
+            .build()
+            .unwrap();
+        assert_eq!(built.fidelity(), Fidelity::Auto);
+    }
+
+    #[test]
+    fn national_5m_is_auto_fidelity_multi_region() {
+        let s = Scenario::national_5m(42);
+        assert_eq!(s.students(), 5_000_000);
+        assert_eq!(s.shards(), 4);
+        assert_eq!(s.fidelity(), Fidelity::Auto);
+        assert_eq!(s.name(), "national-5m");
+    }
+
+    #[test]
     fn shards_default_to_one_and_thread_through() {
         let plain = Scenario::university(1);
         assert_eq!(plain.shards(), 1);
@@ -790,7 +867,7 @@ mod tests {
     #[test]
     fn builder_workload_knobs_are_last_wins() {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let model = WorkloadModel::standard(700, cal);
+        let model = WorkloadModel::builder(700, cal).build().unwrap();
         let s = Scenario::builder("t", 10)
             .workload_trace(tiny_trace())
             .workload_model(model.clone())

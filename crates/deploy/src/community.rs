@@ -154,7 +154,7 @@ mod tests {
 
     fn member_inputs() -> CostInputs {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        CostInputs::standard(WorkloadModel::standard(10_000, cal))
+        CostInputs::standard(WorkloadModel::builder(10_000, cal).build().unwrap())
     }
 
     #[test]

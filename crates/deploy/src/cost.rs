@@ -248,7 +248,7 @@ mod tests {
 
     fn inputs(students: u32) -> CostInputs {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        CostInputs::standard(WorkloadModel::standard(students, cal))
+        CostInputs::standard(WorkloadModel::builder(students, cal).build().unwrap())
     }
 
     #[test]

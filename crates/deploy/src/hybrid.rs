@@ -208,7 +208,7 @@ mod tests {
         // hybrid's overhead (see E10 in EXPERIMENTS.md for the full sweep
         // over scale).
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let inputs = CostInputs::standard(WorkloadModel::standard(150_000, cal));
+        let inputs = CostInputs::standard(WorkloadModel::builder(150_000, cal).build().unwrap());
         sweep(&inputs, &ThreatModel::standard(), Bytes::from_gib(30_000))
     }
 

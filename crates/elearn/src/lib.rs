@@ -25,7 +25,7 @@
 //! use elc_simcore::SimTime;
 //!
 //! let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-//! let load = WorkloadModel::standard(20_000, cal);
+//! let load = WorkloadModel::builder(20_000, cal).build().unwrap();
 //! // Exam-week evening traffic dwarfs a teaching-week night.
 //! let exam_peak = load.rate_at(cal.exams_start() + elc_simcore::SimDuration::from_hours(20));
 //! assert!(exam_peak > 100.0);

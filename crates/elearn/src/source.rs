@@ -148,11 +148,14 @@ mod tests {
     use crate::calendar::AcademicCalendar;
     use crate::workload::WorkloadModel;
 
+    fn model() -> WorkloadModel {
+        WorkloadModel::builder(10_000, AcademicCalendar::standard_semester(SimTime::ZERO))
+            .build()
+            .unwrap()
+    }
+
     fn source() -> Box<dyn WorkloadSource> {
-        Box::new(WorkloadModel::standard(
-            10_000,
-            AcademicCalendar::standard_semester(SimTime::ZERO),
-        ))
+        Box::new(model())
     }
 
     fn at(week: u64, day: u64, hour: u64) -> SimTime {
@@ -162,7 +165,7 @@ mod tests {
     #[test]
     fn boxed_source_answers_like_the_model() {
         let s = source();
-        let m = WorkloadModel::standard(10_000, AcademicCalendar::standard_semester(SimTime::ZERO));
+        let m = model();
         let t = at(5, 2, 20);
         assert_eq!(s.rate_at(t).to_bits(), m.rate_at(t).to_bits());
         assert_eq!(s.peak_rate().to_bits(), m.peak_rate().to_bits());
@@ -182,7 +185,7 @@ mod tests {
     #[test]
     fn trait_sampling_matches_inherent_sampling() {
         let s = source();
-        let m = WorkloadModel::standard(10_000, AcademicCalendar::standard_semester(SimTime::ZERO));
+        let m = model();
         let t = at(5, 2, 20);
         let slot = SimDuration::from_secs(10);
         let mut a = SimRng::seed(11);

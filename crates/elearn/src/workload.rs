@@ -194,37 +194,6 @@ impl WorkloadModel {
         }
     }
 
-    /// Creates a workload model.
-    ///
-    /// `peak_rps_per_kstudent` is the request rate per 1000 enrolled
-    /// students at the diurnal peak of an ordinary teaching day.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `students` is zero or the rate is not positive.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use WorkloadModel::builder(..).build() and handle WorkloadError"
-    )]
-    #[must_use]
-    pub fn new(
-        students: u32,
-        peak_rps_per_kstudent: f64,
-        calendar: AcademicCalendar,
-        phase_factors: PhaseFactors,
-    ) -> Self {
-        match WorkloadModel::builder(students, calendar)
-            .peak_rps_per_kstudent(peak_rps_per_kstudent)
-            .phase_factors(phase_factors)
-            .build()
-        {
-            Ok(model) => model,
-            Err(WorkloadError::NoStudents) => panic!("need at least one student"),
-            Err(WorkloadError::BadRate(_)) => panic!("rate must be positive"),
-            Err(err) => panic!("{err}"),
-        }
-    }
-
     /// A calibrated default: 20 rps per 1000 students at a teaching-day
     /// peak. LMS "requests" here are heavyweight (a 2 MiB video chunk is
     /// ~10 s of playback), so this corresponds to roughly 15–20% of
@@ -235,6 +204,10 @@ impl WorkloadModel {
     /// # Panics
     ///
     /// Panics if `students` is zero.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use WorkloadModel::builder(students, cal).build() and handle WorkloadError"
+    )]
     #[must_use]
     pub fn standard(students: u32, calendar: AcademicCalendar) -> Self {
         WorkloadModel::builder(students, calendar)
@@ -443,7 +416,9 @@ mod tests {
     use crate::calendar::AcademicCalendar;
 
     fn model() -> WorkloadModel {
-        WorkloadModel::standard(10_000, AcademicCalendar::standard_semester(SimTime::ZERO))
+        WorkloadModel::builder(10_000, AcademicCalendar::standard_semester(SimTime::ZERO))
+            .build()
+            .unwrap()
     }
 
     fn at(week: u64, day: u64, hour: u64) -> SimTime {
@@ -517,8 +492,8 @@ mod tests {
     #[test]
     fn rate_scales_with_population() {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let small = WorkloadModel::standard(1_000, cal);
-        let large = WorkloadModel::standard(50_000, cal);
+        let small = WorkloadModel::builder(1_000, cal).build().unwrap();
+        let large = WorkloadModel::builder(50_000, cal).build().unwrap();
         let t = at(5, 2, 20);
         assert!((large.rate_at(t) / small.rate_at(t) - 50.0).abs() < 1e-9);
     }
@@ -604,26 +579,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn builder_defaults_match_standard() {
+        // Pins the deprecated shim to the builder defaults until its
+        // release-note cycle ends and `standard` goes away.
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
         let built = WorkloadModel::builder(10_000, cal).build().unwrap();
         assert_eq!(built, WorkloadModel::standard(10_000, cal));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_still_wraps_the_builder() {
-        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let a = WorkloadModel::new(10_000, 20.0, cal, PhaseFactors::default());
-        assert_eq!(a, WorkloadModel::standard(10_000, cal));
-    }
-
-    #[test]
-    #[should_panic(expected = "rate must be positive")]
-    #[allow(deprecated)]
-    fn deprecated_new_keeps_its_panic_message() {
-        let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let _ = WorkloadModel::new(10, 0.0, cal, PhaseFactors::default());
     }
 
     #[test]
@@ -695,6 +657,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at least one student")]
+    #[allow(deprecated)]
     fn rejects_zero_students() {
         let _ = WorkloadModel::standard(0, AcademicCalendar::standard_semester(SimTime::ZERO));
     }

@@ -604,6 +604,36 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_keepalive_reaps_on_a_learned_clock() {
+        use crate::keepalive::AdaptiveKeepalive;
+        // An adaptive policy that has learned ~30 s reuse gaps sits at
+        // its 1-minute floor; the classic window is five minutes.
+        let fixed_cfg = InvokerConfig::fixed_window(SimDuration::from_mins(5), 10, 100);
+        let mut learned =
+            AdaptiveKeepalive::new(0.95, SimDuration::from_mins(1), SimDuration::from_mins(20));
+        for _ in 0..100 {
+            learned.observe_gap(SimDuration::from_secs(30));
+        }
+        let adaptive_cfg = InvokerConfig::new(KeepalivePolicy::Adaptive(learned), 10, 100);
+        let s = spec();
+        for (cfg, expect_reaped) in [(fixed_cfg, 0), (adaptive_cfg, 1)] {
+            let mut inv = Invoker::new(RequestKind::ForumRead, cfg);
+            let (mut warm, mut cold) = (Histogram::new(), Histogram::new());
+            let mut r = rng();
+            inv.tick(SimTime::ZERO, TICK, 10, 1, &s, &mut r, &mut warm, &mut cold);
+            assert_eq!(inv.live(), 1);
+            // Two quiet minutes: inside the fixed window, beyond the
+            // learned one — only the adaptive reaper fires.
+            let later = SimTime::ZERO + SimDuration::from_mins(2);
+            let out = inv.tick(later, TICK, 0, 0, &s, &mut r, &mut warm, &mut cold);
+            assert_eq!(
+                out.reaped, expect_reaped,
+                "reap timing must follow the policy"
+            );
+        }
+    }
+
+    #[test]
     fn kill_takes_down_live_sandboxes() {
         let mut inv = Invoker::new(RequestKind::VideoChunk, config(100));
         let (mut warm, mut cold) = (Histogram::new(), Histogram::new());

@@ -10,7 +10,8 @@
 //! concurrently while the gate is armed.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use elc_simcore::time::SimDuration;
 use elc_simcore::Simulation;
@@ -19,26 +20,37 @@ use elc_simcore::Simulation;
 /// never counted: releasing warm-up storage is not a hot-path allocation.
 struct CountingAlloc;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
+// Armed per-thread: the libtest harness's main thread blocks on a channel
+// while the test thread runs, and setting up its parker can allocate at
+// an arbitrary moment inside the measured window. Only the thread driving
+// the simulation is the hot path under proof. Const-initialized and
+// Drop-free, so reading it inside `alloc` itself never allocates.
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn armed() -> bool {
+    ARMED.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -89,11 +101,11 @@ fn steady_state_event_loop_allocates_nothing() {
 
     // Measure: the same loop must now be allocation-free.
     let executed_before = sim.executed();
-    ARMED.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     for _ in 0..256 {
         round(&mut sim, &offsets);
     }
-    ARMED.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
 
     let events = sim.executed() - executed_before;
     let allocs = ALLOCS.load(Ordering::SeqCst);

@@ -35,7 +35,7 @@
 //! // Record a generator-driven exam evening.
 //! let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
 //! let recorder = TraceRecorder::new();
-//! let source = recorder.wrap(Box::new(WorkloadModel::standard(1_000, cal)));
+//! let source = recorder.wrap(Box::new(WorkloadModel::builder(1_000, cal).build().unwrap()));
 //! let mut rng = SimRng::seed(42);
 //! let start = cal.exams_start() + SimDuration::from_hours(19);
 //! for i in 0..60 {

@@ -47,7 +47,7 @@ struct RecorderInner {
 /// use elc_wltrace::TraceRecorder;
 ///
 /// let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-/// let model = WorkloadModel::standard(1_000, cal);
+/// let model = WorkloadModel::builder(1_000, cal).build().unwrap();
 /// let recorder = TraceRecorder::new();
 /// let source = recorder.wrap(Box::new(model));
 /// let mut rng = SimRng::seed(7);
@@ -279,7 +279,9 @@ mod tests {
     use elc_elearn::workload::WorkloadModel;
 
     fn model(students: u32) -> WorkloadModel {
-        WorkloadModel::standard(students, AcademicCalendar::standard_semester(SimTime::ZERO))
+        WorkloadModel::builder(students, AcademicCalendar::standard_semester(SimTime::ZERO))
+            .build()
+            .unwrap()
     }
 
     #[test]

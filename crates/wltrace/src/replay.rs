@@ -319,7 +319,7 @@ mod tests {
 
     fn recorded_trace(students: u32, seed: u64) -> (WorkloadModel, Arc<WorkloadTrace>) {
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let model = WorkloadModel::standard(students, cal);
+        let model = WorkloadModel::builder(students, cal).build().unwrap();
         let recorder = TraceRecorder::new();
         let wrapped = recorder.wrap(Box::new(model.clone()));
         let mut rng = SimRng::seed(seed);
@@ -423,7 +423,7 @@ mod tests {
     fn handout_binds_streams_by_first_query_time_then_creation_order() {
         // Record two sources with distinct start instants.
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let model = WorkloadModel::standard(4_000, cal);
+        let model = WorkloadModel::builder(4_000, cal).build().unwrap();
         let recorder = TraceRecorder::new();
         let early = recorder.wrap(Box::new(model.clone()));
         let late = recorder.wrap(Box::new(model));

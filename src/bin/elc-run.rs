@@ -9,7 +9,7 @@
 //! elc-run --experiment e01 [--scenario NAME] [--replications N]
 //!         [--threads T] [--seed S] [--quiet]
 //!         [--trace PATH.jsonl] [--trace-filter SPEC]
-//!         [--chaos SPEC] [--shards N]
+//!         [--chaos SPEC] [--shards N] [--fidelity event|fluid|auto]
 //!         [--workload trace:PATH] [--morph SPEC]
 //!         [--record-trace PATH]   (requires --replications 1 --shards 1)
 //! ```
@@ -26,9 +26,9 @@ use std::process::ExitCode;
 
 use elearn_cloud::analysis::table::Table;
 use elearn_cloud::core::cli_args::{
-    chaos_from_flags, experiment_list, flag, parse_or, scenario_by_name, shards_from_flags,
-    split_args, unknown_experiment, unknown_scenario, TraceOptions, WorkloadOptions,
-    SCENARIO_USAGE,
+    chaos_from_flags, check_fidelity_feasible, experiment_list, fidelity_from_flags, flag,
+    parse_or, scenario_by_name, shards_from_flags, split_args, unknown_experiment,
+    unknown_scenario, with_shards_override, TraceOptions, WorkloadOptions, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::find;
 use elearn_cloud::runner::progress::{Silent, Stderr};
@@ -40,12 +40,13 @@ fn usage() -> ExitCode {
         "usage:\n  elc-run --list\n  \
          elc-run --experiment <ID> [--scenario NAME] [--replications N] \
          [--threads T] [--seed S] [--quiet] [--trace PATH.jsonl] [--trace-filter SPEC] \
-         [--chaos SPEC] [--shards N] [--workload trace:PATH] [--morph SPEC] \
+         [--chaos SPEC] [--shards N] [--fidelity event|fluid|auto] \
+         [--workload trace:PATH] [--morph SPEC] \
          [--record-trace PATH]\n\
-         experiments: e1..e17, t1\n\
+         experiments: e1..e18, t1\n\
          {SCENARIO_USAGE}\n\
          defaults: --scenario small-college, --replications 8, --seed 2013, \
-         --threads <available cores>, --shards 1\n\
+         --threads <available cores>, --shards <scenario preset>\n\
          trace filter: LEVEL or LEVEL,target=LEVEL,... (e.g. warn,cloud=trace,net=off)\n\
          chaos spec (e16/e17): off | campaigns joined with ';' \
          (e.g. storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79)"
@@ -164,14 +165,6 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    if workload.record.is_some() && (replications != 1 || shards != 1) {
-        eprintln!(
-            "--record-trace requires --replications 1 --shards 1 \
-             (stream order follows source creation within one run)"
-        );
-        return usage();
-    }
-
     let scenario_name = flag(&flags, "scenario").unwrap_or("small-college");
     let Some(mut scenario) = scenario_by_name(scenario_name, seed) else {
         eprintln!("{}", unknown_scenario(scenario_name));
@@ -180,13 +173,34 @@ fn main() -> ExitCode {
     if let Some(spec) = chaos {
         scenario = scenario.with_chaos(spec);
     }
-    let mut scenario = match workload.apply(scenario.with_shards(shards)) {
+    let mut scenario = match workload.apply(with_shards_override(scenario, shards)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return usage();
         }
     };
+    match fidelity_from_flags(&flags) {
+        Ok(Some(f)) => scenario = scenario.with_fidelity(f),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    }
+    if workload.record.is_some() && (replications != 1 || scenario.shards() != 1) {
+        eprintln!(
+            "--record-trace requires --replications 1 --shards 1 \
+             (stream order follows source creation within one run)"
+        );
+        return usage();
+    }
+    // Refuse event-fidelity runs whose estimated event count no machine
+    // can turn around (E18 at national scale).
+    if let Err(e) = check_fidelity_feasible(experiment.id(), &scenario) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let recorder = workload.start_recording(&mut scenario);
 
     let mut spec = RunSpec::new(experiment, scenario, replications).threads(threads);

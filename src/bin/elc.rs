@@ -4,11 +4,14 @@
 //! elc scenarios                              list scenario presets
 //! elc experiments                            list experiment registry ids
 //! elc report [SCENARIO] [--seed N]           run the full suite, print all tables
-//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e17, t1)
+//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e18, t1)
 //!     [--chaos SPEC]                         fault campaign for e16/e17
 //!                                            (e.g. storm@0.3:n=4,mins=6;disaster@0.79, or off)
 //!     [--shards N]                           shard-parallel execution (output is
 //!                                            byte-identical at any shard count)
+//!     [--fidelity event|fluid|auto]          simulation fidelity: exact per-request
+//!                                            events, fluid flow integration, or
+//!                                            automatic switching (default: event)
 //!     [--workload trace:PATH]                replay a recorded workload trace
 //!                                            (.csv parses as interchange CSV)
 //!     [--morph SPEC]                         reshape the replayed trace, e.g.
@@ -22,13 +25,15 @@
 //! ```
 //!
 //! Scenarios: `small-college` (default), `rural-learners`, `university`,
-//! `national-platform`.
+//! `national-platform`, `national-5m` (5M students; needs `--fidelity
+//! fluid` or `auto` for E18).
 
 use std::process::ExitCode;
 
 use elearn_cloud::core::cli_args::{
-    chaos_from_flags, flag, parse_or, scenario_by_name, scenario_list, shards_from_flags,
-    split_args, unknown_experiment, unknown_scenario, WorkloadOptions, SCENARIO_USAGE,
+    chaos_from_flags, check_fidelity_feasible, fidelity_from_flags, flag, parse_or,
+    scenario_by_name, scenario_list, shards_from_flags, split_args, unknown_experiment,
+    unknown_scenario, with_shards_override, WorkloadOptions, SCENARIO_USAGE,
 };
 use elearn_cloud::core::experiments::{find, run_all};
 use elearn_cloud::core::{advise, Requirements, Scenario};
@@ -37,7 +42,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elc scenarios\n  elc experiments\n  elc report [SCENARIO] [--seed N]\n  \
          elc experiment <ID> [SCENARIO] [--seed N] [--chaos SPEC] [--shards N]\n    \
-         [--workload trace:PATH] [--morph SPEC] [--record-trace PATH]\n  \
+         [--fidelity event|fluid|auto] [--workload trace:PATH] [--morph SPEC] \
+         [--record-trace PATH]\n  \
          elc advise [SCENARIO] [--seed N] [--profile startup|exam|balanced] \
          [--cost W --security W --elasticity W --portability W --time W --ops W]\n\
          {SCENARIO_USAGE}"
@@ -86,11 +92,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    if workload.record.is_some() && shards != 1 {
-        eprintln!("--record-trace requires --shards 1 (stream order follows source creation)");
-        return usage();
-    }
-
+    let fidelity = match fidelity_from_flags(&flags) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
     match command.as_str() {
         "scenarios" => {
             print!("{}", scenario_list(seed));
@@ -106,13 +114,22 @@ fn main() -> ExitCode {
                 eprintln!("{}", unknown_scenario(name));
                 return usage();
             };
-            let mut scenario = match workload.apply(scenario.with_shards(shards)) {
+            let mut scenario = match workload.apply(with_shards_override(scenario, shards)) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("{e}");
                     return usage();
                 }
             };
+            if let Some(f) = fidelity {
+                scenario = scenario.with_fidelity(f);
+            }
+            if workload.record.is_some() && scenario.shards() != 1 {
+                eprintln!(
+                    "--record-trace requires --shards 1 (stream order follows source creation)"
+                );
+                return usage();
+            }
             let recorder = workload.start_recording(&mut scenario);
             let outputs = run_all(&scenario);
             println!("{}", outputs.report());
@@ -139,13 +156,28 @@ fn main() -> ExitCode {
             if let Some(spec) = &chaos {
                 scenario = scenario.with_chaos(spec.clone());
             }
-            let mut scenario = match workload.apply(scenario.with_shards(shards)) {
+            let mut scenario = match workload.apply(with_shards_override(scenario, shards)) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("{e}");
                     return usage();
                 }
             };
+            if let Some(f) = fidelity {
+                scenario = scenario.with_fidelity(f);
+            }
+            if workload.record.is_some() && scenario.shards() != 1 {
+                eprintln!(
+                    "--record-trace requires --shards 1 (stream order follows source creation)"
+                );
+                return usage();
+            }
+            // Refuse event-fidelity runs whose estimated event count no
+            // machine can turn around (E18 at national scale).
+            if let Err(e) = check_fidelity_feasible(id, &scenario) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
             let recorder = workload.start_recording(&mut scenario);
             match run_experiment(&id.to_lowercase(), &scenario) {
                 Some(text) => {

@@ -13,11 +13,14 @@
 //!   [`WorkloadSource`](elc_elearn::source::WorkloadSource) API,
 //! * [`faas`] — the serverless platform model: container lifecycle,
 //!   keepalive policies, invocation buffering and GB-s billing,
+//! * [`fluid`] — the fluid/mean-field fast path: per-class flow
+//!   integration, fidelity switching and backlog materialization for
+//!   million-student scale,
 //! * [`deploy`] — public / private / hybrid / FaaS deployment models and
 //!   their cost, security, portability, update, reliability and governance
 //!   behaviour,
 //! * [`analysis`] — statistics, tables, the comparison matrix,
-//! * [`core`] — the experiment suite (E1–E17, T1), the uniform experiment
+//! * [`core`] — the experiment suite (E1–E18, T1), the uniform experiment
 //!   registry and the deployment advisor,
 //! * [`runner`] — the deterministic parallel multi-seed execution engine
 //!   (replications, worker pool, aggregate statistics, run manifests).
@@ -43,6 +46,7 @@ pub use elc_core as core;
 pub use elc_deploy as deploy;
 pub use elc_elearn as elearn;
 pub use elc_faas as faas;
+pub use elc_fluid as fluid;
 pub use elc_net as net;
 pub use elc_runner as runner;
 pub use elc_simcore as simcore;

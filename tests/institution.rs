@@ -89,7 +89,7 @@ fn a_semester_at_a_small_college() {
     }
 
     // ---- Workload: the institution's calendar shows up in its traffic.
-    let load = WorkloadModel::standard(480, cal);
+    let load = WorkloadModel::builder(480, cal).build().unwrap();
     let teaching_noon = cal.term_start() + SimDuration::from_days(30);
     let exam_noon = cal.exams_start() + SimDuration::from_days(1);
     assert!(load.rate_at(exam_noon) > 2.0 * load.rate_at(teaching_noon));

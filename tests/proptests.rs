@@ -394,7 +394,7 @@ fn workload_rate_bounded_by_peak() {
         let students = rng.range_u64(1, 199_999) as u32;
         let t_secs = rng.next_below(63_072_000);
         let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-        let load = WorkloadModel::standard(students, cal);
+        let load = WorkloadModel::builder(students, cal).build().unwrap();
         let rate = load.rate_at(SimTime::from_secs(t_secs));
         assert!(rate >= 0.0);
         assert!(
@@ -440,5 +440,74 @@ fn station_conserves_jobs() {
         assert_eq!(st.completed().value(), accepted);
         assert_eq!(st.queue_length(), 0);
         assert_eq!(st.in_service(), 0);
+    });
+}
+
+/// The fluid queue's backlog is never negative and its mass balance
+/// closes after every step: offered = served + shed + backlog.
+#[test]
+fn fluid_backlog_never_negative_and_mass_is_conserved() {
+    use elearn_cloud::fluid::FluidQueue;
+
+    cases(64, 0xE0_18, |rng| {
+        let classes = rng.range_u64(1, 3) as usize;
+        let capacity = rng.range_f64(10.0, 500.0);
+        let limit = rng.range_f64(0.0, 2_000.0);
+        let mut q = FluidQueue::new(classes, capacity, limit);
+        for _ in 0..40 {
+            let rates: Vec<f64> = (0..classes).map(|_| rng.range_f64(0.0, 400.0)).collect();
+            let dt = SimDuration::from_secs(rng.range_u64(1, 120));
+            let substeps = rng.range_u64(1, 8) as u32;
+            let flow = q.step(dt, &rates, substeps);
+            assert!(flow.backlog >= 0.0, "tick backlog {}", flow.backlog);
+            for c in 0..classes {
+                assert!(q.class_backlog(c) >= 0.0, "class {c} went negative");
+            }
+            let balance = q.served_total() + q.shed_total() + q.backlog();
+            let tol = 1e-6 * q.offered_total().max(1.0);
+            assert!(
+                (q.offered_total() - balance).abs() <= tol,
+                "offered {} vs served+shed+backlog {balance}",
+                q.offered_total()
+            );
+        }
+    });
+}
+
+/// Request mass survives a fluid→event→fluid fidelity round-trip: after
+/// materializing the backlog, settling what the event layer handled and
+/// absorbing the rest, the balance closes to within the integer rounding
+/// materialization is allowed (at most one request per class).
+#[test]
+fn materialization_boundary_conserves_request_mass() {
+    use elearn_cloud::fluid::FluidQueue;
+
+    cases(64, 0xE0_19, |rng| {
+        let classes = rng.range_u64(1, 3) as usize;
+        let mut q = FluidQueue::new(classes, rng.range_f64(5.0, 50.0), 1e9);
+        for _ in 0..10 {
+            let rates: Vec<f64> = (0..classes).map(|_| rng.range_f64(0.0, 200.0)).collect();
+            q.step(SimDuration::from_secs(rng.range_u64(1, 60)), &rates, 4);
+        }
+        let counts = q.materialize(rng, 0);
+        assert_eq!(q.backlog(), 0.0, "materialize must zero the backlog");
+        // The event layer serves and sheds random shares of the
+        // materialized requests and hands the rest back.
+        let total: u64 = counts.iter().sum();
+        let served = rng.range_u64(0, total);
+        let shed = rng.range_u64(0, total - served);
+        let mut back = vec![0u64; classes];
+        back[0] = total - served - shed;
+        q.settle_materialized(served, shed);
+        q.absorb(&back);
+        let balance =
+            q.served_total() + q.shed_total() + q.backlog() + q.materialized_outstanding();
+        let tol = classes as f64 + 1e-6 * q.offered_total();
+        assert!(
+            (q.offered_total() - balance).abs() <= tol,
+            "offered {} vs balance {balance} (tol {tol})",
+            q.offered_total()
+        );
+        assert!(q.backlog() >= 0.0);
     });
 }

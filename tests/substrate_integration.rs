@@ -65,7 +65,7 @@ fn autoscaled_datacenter_tracks_workload_in_des() {
     }
 
     let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-    let load = WorkloadModel::standard(30_000, cal);
+    let load = WorkloadModel::builder(30_000, cal).build().unwrap();
     let offset = cal.exams_start() + SimDuration::from_days(1);
 
     let mut dc = Datacenter::new("loop", FirstFit, SimDuration::from_secs(60));
@@ -152,7 +152,7 @@ fn workload_mix_shifts_during_exams() {
     // elearn calendar drives the request mix that deploy's cost model and
     // the E12 surge both consume.
     let cal = AcademicCalendar::standard_semester(SimTime::ZERO);
-    let load = WorkloadModel::standard(5_000, cal);
+    let load = WorkloadModel::builder(5_000, cal).build().unwrap();
     let teaching_instant = cal.term_start() + SimDuration::from_days(40);
     let exam_instant = cal.exams_start() + SimDuration::from_days(1);
     assert!(
