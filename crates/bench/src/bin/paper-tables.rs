@@ -1,7 +1,7 @@
 //! Regenerates every table of the reproduction (E1–E15, T1, plus the E16
-//! resilience and E17 serverless appendices) for the harness scenarios,
-//! printing the report and writing one CSV per section under
-//! `results/<scenario>/`.
+//! resilience, E17 serverless and E19 disaster-recovery appendices) for
+//! the harness scenarios, printing the report and writing one CSV per
+//! section under `results/<scenario>/`.
 //!
 //! ```sh
 //! cargo run --release -p elc-bench --bin paper-tables
@@ -14,7 +14,8 @@
 //! cargo run --release -p elc-bench --bin paper-tables -- --list
 //! # additionally record a sim-time trace of every run:
 //! cargo run --release -p elc-bench --bin paper-tables -- --trace tables.jsonl
-//! # override E16/E17's fault campaign (default: the exam-day crisis):
+//! # override E16/E17/E19's fault campaign (E16/E17 default: the exam-day
+//! # crisis; E19 default: the region-loss drill):
 //! cargo run --release -p elc-bench --bin paper-tables -- --chaos disaster@0.5
 //! # shard-parallel execution (output is byte-identical at any shard count):
 //! cargo run --release -p elc-bench --bin paper-tables -- --shards 4
@@ -39,7 +40,7 @@ use elc_core::cli_args::{
     chaos_from_flags, experiment_list, fidelity_from_flags, flag, parse_or, shards_from_flags,
     split_args, unknown_scenario, with_shards_override, TraceOptions, WorkloadOptions,
 };
-use elc_core::experiments::{e16, e17, run_all};
+use elc_core::experiments::{e16, e17, e19, run_all};
 use elc_core::requirements::Requirements;
 
 /// Parsed command line: a seed, an optional scenario-name filter, and
@@ -150,12 +151,22 @@ fn main() {
         );
         println!("########################################################\n");
 
-        let (outputs, resilience, serverless) = match &args.trace {
-            None => (run_all(&scenario), e16::run(&scenario), e17::run(&scenario)),
+        let (outputs, resilience, serverless, recovery) = match &args.trace {
+            None => (
+                run_all(&scenario),
+                e16::run(&scenario),
+                e17::run(&scenario),
+                e19::run(&scenario),
+            ),
             Some(opts) => {
-                let ((outputs, resilience, serverless), tracer) =
+                let ((outputs, resilience, serverless, recovery), tracer) =
                     elc_trace::with_tracer(elc_trace::Tracer::new(opts.filter.clone()), || {
-                        (run_all(&scenario), e16::run(&scenario), e17::run(&scenario))
+                        (
+                            run_all(&scenario),
+                            e16::run(&scenario),
+                            e17::run(&scenario),
+                            e19::run(&scenario),
+                        )
                     });
                 if let Some(out) = trace_out.as_mut() {
                     let labels = [("scenario", scenario.name())];
@@ -163,7 +174,7 @@ fn main() {
                         eprintln!("warning: cannot write trace: {e}");
                     }
                 }
-                (outputs, resilience, serverless)
+                (outputs, resilience, serverless, recovery)
             }
         };
         let report = outputs.report();
@@ -174,6 +185,8 @@ fn main() {
         println!("{e16_section}\n");
         let e17_section = serverless.section();
         println!("{e17_section}\n");
+        let e19_section = recovery.section();
+        println!("{e19_section}\n");
         let metrics = outputs.metrics();
         let t1f_section =
             e17::FaasColumn::derive(&scenario, &metrics, &serverless).section(&metrics);
@@ -240,6 +253,10 @@ fn main() {
         let e17_csv = dir.join("e17.csv");
         if let Err(e) = fs::write(&e17_csv, e17_section.table().to_csv()) {
             eprintln!("warning: cannot write {}: {e}", e17_csv.display());
+        }
+        let e19_csv = dir.join("e19.csv");
+        if let Err(e) = fs::write(&e19_csv, e19_section.table().to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", e19_csv.display());
         }
         let t1f_csv = dir.join("t1f.csv");
         if let Err(e) = fs::write(&t1f_csv, t1f_section.table().to_csv()) {

@@ -82,6 +82,7 @@ impl Knobs {
             years: self.years,
             prices: scaled_prices(self.price_factor),
             reserved: None,
+            dr: None,
         }
     }
 

@@ -114,7 +114,7 @@ pub fn unknown_scenario(name: &str) -> String {
 /// The uniform "unknown experiment" diagnostic.
 #[must_use]
 pub fn unknown_experiment(id: &str) -> String {
-    format!("unknown experiment {id:?} (e1..e18, t1; try --list)")
+    format!("unknown experiment {id:?} (e1..e19, t1; try --list)")
 }
 
 /// The experiment registry rendered one `id  name` line at a time — the

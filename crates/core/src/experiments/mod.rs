@@ -3,8 +3,8 @@
 //! One module per experiment in the DESIGN.md index (E1–E12), the
 //! extension experiments (E13 community cloud, E14 service models, E15
 //! growth planning, E16 chaos resilience, E17 serverless economics, E18
-//! national-scale hybrid fidelity) and the measured comparison matrix
-//! (T1). Every module exposes `run(&Scenario)`
+//! national-scale hybrid fidelity, E19 disaster recovery) and the
+//! measured comparison matrix (T1). Every module exposes `run(&Scenario)`
 //! returning a typed output with a `section()` renderer; [`run_all`]
 //! executes the whole suite and assembles the report, and [`registry`]
 //! exposes every experiment behind the uniform [`Experiment`] interface
@@ -29,6 +29,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod registry;
 pub mod t1;
 

@@ -121,6 +121,7 @@ experiments! {
     E16: e16, "e16", "Resilience under injected faults: deployment models compared";
     E17: e17, "e17", "Serverless cold-start economics: FaaS vs provisioned models";
     E18: e18, "e18", "National exam federation: hybrid-fidelity scale-out";
+    E19: e19, "e19", "Disaster recovery: region-loss drill, RTO / RPO / cost by model";
 }
 
 /// E12 is the one discrete-event-simulation experiment heavy enough to
@@ -181,12 +182,12 @@ impl Experiment for T1 {
     }
 }
 
-static REGISTRY: [&dyn Experiment; 19] = [
+static REGISTRY: [&dyn Experiment; 20] = [
     &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15, &E16,
-    &E17, &E18, &T1,
+    &E17, &E18, &E19, &T1,
 ];
 
-/// Every experiment, suite order (E1–E18 then T1).
+/// Every experiment, suite order (E1–E19 then T1).
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
     &REGISTRY
@@ -211,13 +212,14 @@ mod tests {
     #[test]
     fn registry_covers_the_suite() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
         assert_eq!(ids[0], "e01");
         assert_eq!(ids[14], "e15");
         assert_eq!(ids[15], "e16");
         assert_eq!(ids[16], "e17");
         assert_eq!(ids[17], "e18");
-        assert_eq!(ids[18], "t1");
+        assert_eq!(ids[18], "e19");
+        assert_eq!(ids[19], "t1");
         // Ids are unique.
         let mut dedup = ids.clone();
         dedup.sort_unstable();

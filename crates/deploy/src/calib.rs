@@ -93,6 +93,49 @@ pub const REWORK_PER_PROPRIETARY_API: Usd = Usd_const(9_000.0);
 /// Downtime per component cut over during a migration.
 pub const CUTOVER_DOWNTIME_PER_COMPONENT: SimDuration = SimDuration::from_hours(4);
 
+/// Annual cost of the nightly-tape posture's fixed plant: the library,
+/// the offsite vaulting contract, the courier runs. 2013 LTO-5 era.
+pub const DR_TAPE_LIBRARY_PER_YEAR: Usd = Usd_const(4_000.0);
+
+/// Annual tape media + handling per protected server.
+pub const DR_TAPE_MEDIA_PER_SERVER_PER_YEAR: Usd = Usd_const(250.0);
+
+/// Tape restore throughput. A single 2013 LTO-5 drive streams ~140 MB/s
+/// at best; verification, catalog seeks and operator handling pull the
+/// effective rate down to a fraction of that.
+pub const DR_TAPE_RESTORE_GIB_PER_HOUR: f64 = 200.0;
+
+/// Annual cost of one second-AZ synchronous replica per serving
+/// instance: an always-on medium VM (~$0.16/h on the 2013 sheet) plus
+/// cross-AZ replication traffic.
+pub const DR_SYNC_REPLICA_PER_SERVER_PER_YEAR: Usd = Usd_const(1_700.0);
+
+/// Annual cost of keeping warm-standby burst capacity reserved per
+/// private server: a small capacity reservation plus standby licenses.
+pub const DR_WARM_STANDBY_PER_SERVER_PER_YEAR: Usd = Usd_const(900.0);
+
+/// Annual mutual-aid consortium membership: the reciprocal-hosting
+/// agreement, the yearly drill, the shared runbooks.
+pub const DR_MUTUAL_AID_PER_YEAR: Usd = Usd_const(6_000.0);
+
+/// Annual snapshot storage held at the partner institution, per server.
+pub const DR_MUTUAL_AID_PER_SERVER_PER_YEAR: Usd = Usd_const(120.0);
+
+/// Disk-snapshot import throughput at the mutual-aid partner — disk to
+/// disk over a research network, much faster than tape.
+pub const DR_SNAPSHOT_IMPORT_GIB_PER_HOUR: f64 = 800.0;
+
+/// Annual premium for the managed store's multi-region replication tier
+/// over single-region storage (the FaaS posture's entire DR bill — the
+/// compute is stateless).
+pub const DR_MANAGED_STORE_PREMIUM_PER_YEAR: Usd = Usd_const(1_800.0);
+
+/// Share of the stored estate that must be restored before service can
+/// resume: the transactional LMS database (enrollments, submissions,
+/// grades), not the content library — lecture videos can trickle back
+/// later.
+pub const DR_HOT_DATA_FRACTION: f64 = 0.05;
+
 /// A `const fn` constructor for money so the constants above stay `const`.
 #[allow(non_snake_case)]
 const fn Usd_const(amount: f64) -> Usd {

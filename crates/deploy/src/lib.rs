@@ -5,6 +5,7 @@
 //!
 //! * [`model`] — deployments as component-to-site placements,
 //! * [`cost`] — TCO: pay-as-you-go vs capex/opex/staff (E1),
+//! * [`dr`] — per-model disaster-recovery postures and carrying costs (E19),
 //! * [`faas`] — the serverless fourth model and its invocation TCO (E17),
 //! * [`security`] — attack-surface threat model (E6),
 //! * [`migration`] — lock-in and exit pricing (E8),
@@ -34,6 +35,7 @@
 pub mod calib;
 pub mod community;
 pub mod cost;
+pub mod dr;
 pub mod faas;
 pub mod governance;
 pub mod hybrid;
@@ -47,6 +49,7 @@ pub mod updates;
 
 pub use community::{sweep_members, CommunityAssessment, CommunityCloud};
 pub use cost::{tco, CostBreakdown, CostInputs};
+pub use dr::{DrPosture, ReplicationSpec};
 pub use faas::{faas_tco, standard_profile, FaasCostBreakdown, FaasDeployment};
 pub use governance::OpsOverhead;
 pub use hybrid::{pareto, sweep, SplitPoint};

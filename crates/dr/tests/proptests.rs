@@ -1,0 +1,163 @@
+//! Seed-derived property tests for the DR subsystem.
+//!
+//! No external property-testing crate: cases come from `SimRng`
+//! streams, so every "random" case replays from its printed seed.
+
+use elc_dr::{
+    DrState, FailureDetector, Node, RecoveryOrchestrator, ReplicationLink, ReplicationMode,
+};
+use elc_simcore::rng::SimRng;
+use elc_simcore::time::{SimDuration, SimTime};
+
+#[test]
+fn replication_pending_is_never_negative_and_sync_is_always_zero() {
+    for case in 0..100u64 {
+        let mut rng = SimRng::seed(0xD12A).derive_u64(case);
+        let ship = rng.range_f64(0.5, 50.0);
+        let mut links = [
+            ReplicationLink::new(ReplicationMode::Sync),
+            ReplicationLink::new(ReplicationMode::Async { ship_rate: ship }),
+            ReplicationLink::new(ReplicationMode::Snapshot {
+                interval: SimDuration::from_mins(rng.range_u64(1, 120)),
+            }),
+        ];
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            t += SimDuration::from_secs(rng.range_u64(1, 600));
+            let rate = rng.range_f64(0.0, 100.0);
+            for link in &mut links {
+                link.advance(t, rate);
+                assert!(
+                    link.pending_writes() >= 0.0,
+                    "case {case}: negative pending on {}",
+                    link.mode()
+                );
+            }
+            assert_eq!(
+                links[0].pending_writes(),
+                0.0,
+                "case {case}: sync lagged at {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_pending_is_bounded_by_one_interval_of_peak_rate() {
+    for case in 0..100u64 {
+        let mut rng = SimRng::seed(0xD12B).derive_u64(case);
+        let interval = SimDuration::from_mins(rng.range_u64(1, 240));
+        let mut link = ReplicationLink::new(ReplicationMode::Snapshot { interval });
+        let peak = 50.0;
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            t += SimDuration::from_secs(rng.range_u64(1, 900));
+            link.advance(t, rng.range_f64(0.0, peak));
+            let bound = peak * interval.as_secs_f64() + 1e-6;
+            assert!(
+                link.pending_writes() <= bound,
+                "case {case}: pending {} exceeds one interval at peak ({bound})",
+                link.pending_writes()
+            );
+        }
+    }
+}
+
+#[test]
+fn orchestrator_never_double_serves_under_random_flapping() {
+    for case in 0..150u64 {
+        let mut rng = SimRng::seed(0xD12C).derive_u64(case);
+        let beat = SimDuration::from_secs(rng.range_u64(2, 30));
+        let suspect = rng.range_u64(1, 4) as u32;
+        let confirm = suspect + rng.range_u64(1, 4) as u32;
+        let mut o = RecoveryOrchestrator::new(
+            FailureDetector::new(beat, suspect, confirm),
+            SimDuration::from_secs(rng.range_u64(10, 300)),
+            SimDuration::from_secs(rng.range_u64(60, 1200)),
+        );
+        let catch_up = SimDuration::from_secs(rng.range_u64(0, 600));
+        // A hostile flap pattern: alive/dead stretches of random length.
+        let mut alive = true;
+        let mut flip_at = SimTime::ZERO;
+        let mut t = SimTime::ZERO;
+        let tick = SimDuration::from_secs(5);
+        for _ in 0..2000 {
+            if t >= flip_at {
+                alive = !alive;
+                flip_at = t + SimDuration::from_secs(rng.range_u64(5, 400));
+            }
+            o.tick(t, alive, catch_up);
+            assert!(
+                !(o.may_serve(Node::Primary) && o.may_serve(Node::Standby)),
+                "case {case}: split brain at {t} in {}",
+                o.state()
+            );
+            t += tick;
+        }
+    }
+}
+
+#[test]
+fn orchestrator_replays_byte_identically_under_re_derive() {
+    for case in 0..50u64 {
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed(seed).derive_u64(case);
+            let mut o = RecoveryOrchestrator::new(
+                FailureDetector::new(SimDuration::from_secs(10), 2, 4),
+                SimDuration::from_secs(60),
+                SimDuration::from_mins(10),
+            );
+            let mut states = Vec::new();
+            let mut t = SimTime::ZERO;
+            for _ in 0..500 {
+                let alive = rng.chance(0.8);
+                states.push(o.tick(t, alive, SimDuration::from_secs(30)));
+                t += SimDuration::from_secs(10);
+            }
+            (states, o.failovers(), o.failbacks(), o.fenced_ticks())
+        };
+        assert_eq!(run(0xFEED), run(0xFEED), "case {case}: must replay");
+    }
+}
+
+#[test]
+fn restored_state_always_follows_the_full_arc() {
+    // Whatever the flap pattern, reaching Restored requires passing
+    // through Promoting and CatchingUp first — no shortcut edges.
+    for case in 0..100u64 {
+        let mut rng = SimRng::seed(0xD12E).derive_u64(case);
+        let mut o = RecoveryOrchestrator::new(
+            FailureDetector::new(SimDuration::from_secs(10), 2, 4),
+            SimDuration::from_secs(rng.range_u64(10, 120)),
+            SimDuration::from_mins(10),
+        );
+        let mut prev = DrState::Healthy;
+        let mut seen_promoting = false;
+        let mut seen_catching_up = false;
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t += SimDuration::from_secs(10);
+            let alive = rng.chance(0.7);
+            let state = o.tick(t, alive, SimDuration::from_secs(rng.range_u64(0, 120)));
+            match state {
+                DrState::Promoting => seen_promoting = true,
+                DrState::CatchingUp => {
+                    assert!(seen_promoting, "case {case}: catching-up before promoting");
+                    seen_catching_up = true;
+                }
+                DrState::Restored if prev != DrState::Restored => {
+                    assert!(
+                        seen_catching_up,
+                        "case {case}: restored without catching up"
+                    );
+                }
+                _ => {}
+            }
+            if state == DrState::Healthy {
+                seen_promoting = false;
+                seen_catching_up = false;
+            }
+            prev = state;
+        }
+    }
+}

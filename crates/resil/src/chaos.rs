@@ -14,12 +14,15 @@
 //! horizon:
 //!
 //! ```text
-//! off                         no faults at all
-//! storm@0.3:n=4,mins=6        4 uplink outages clustered around t=30%,
-//!                             mean 6 minutes each (defaults n=3, mins=5)
-//! cascade@0.55:n=3            3 host crashes minutes apart from t=55%
-//!                             (default n=2)
-//! disaster@0.79               the primary site is lost at t=79%
+//! off                             no faults at all
+//! storm@0.3:n=4,mins=6            4 uplink outages clustered around t=30%,
+//!                                 mean 6 minutes each (defaults n=3, mins=5)
+//! cascade@0.55:n=3                3 host crashes minutes apart from t=55%
+//!                                 (default n=2)
+//! disaster@0.79                   the primary site is lost at t=79%
+//! regionloss@0.5:region=0,mins=45 region 0 goes dark at t=50% and returns
+//!                                 45 minutes later (defaults region=0,
+//!                                 mins=30) — E19's recoverable drill
 //! ```
 
 use std::fmt;
@@ -54,6 +57,18 @@ pub enum Campaign {
         /// Anchor, as a fraction of the horizon in `[0, 1]`.
         at: f64,
     },
+    /// Region `region` goes dark at `at` and *returns* `mins` minutes
+    /// later — the recoverable drill E19's disaster-recovery
+    /// orchestration is measured against. Unlike [`Campaign::SiteDisaster`]
+    /// the loss ends, so failback is observable.
+    RegionLoss {
+        /// Anchor, as a fraction of the horizon in `[0, 1]`.
+        at: f64,
+        /// Which region is lost (E19's primary lives in region 0).
+        region: u32,
+        /// Outage length in minutes.
+        mins: f64,
+    },
 }
 
 impl fmt::Display for Campaign {
@@ -66,6 +81,9 @@ impl fmt::Display for Campaign {
             } => write!(f, "storm@{at}:n={count},mins={mean_mins}"),
             Campaign::HostCascade { at, count } => write!(f, "cascade@{at}:n={count}"),
             Campaign::SiteDisaster { at } => write!(f, "disaster@{at}"),
+            Campaign::RegionLoss { at, region, mins } => {
+                write!(f, "regionloss@{at}:region={region},mins={mins}")
+            }
         }
     }
 }
@@ -136,6 +154,20 @@ impl ChaosSpec {
             ],
         }
     }
+
+    /// E19's default drill: the primary region goes dark halfway through
+    /// the exam evening and returns 45 minutes later —
+    /// `regionloss@0.5:region=0,mins=45`.
+    #[must_use]
+    pub fn region_loss_drill() -> Self {
+        ChaosSpec {
+            campaigns: vec![Campaign::RegionLoss {
+                at: 0.5,
+                region: 0,
+                mins: 45.0,
+            }],
+        }
+    }
 }
 
 impl fmt::Display for ChaosSpec {
@@ -176,6 +208,7 @@ fn parse_campaign(item: &str) -> Result<Campaign, ChaosParseError> {
     let at = parse_fraction(at)?;
     let mut count: Option<u32> = None;
     let mut mins: Option<f64> = None;
+    let mut region: Option<u32> = None;
     if let Some(opts) = opts {
         for opt in opts.split(',') {
             let (key, value) = opt
@@ -191,7 +224,7 @@ fn parse_campaign(item: &str) -> Result<Campaign, ChaosParseError> {
                     }
                     count = Some(n);
                 }
-                "mins" if name == "storm" => {
+                "mins" if name == "storm" || name == "regionloss" => {
                     let m: f64 = value
                         .parse()
                         .map_err(|_| parse_err(format!("mins={value:?} is not a number")))?;
@@ -199,6 +232,12 @@ fn parse_campaign(item: &str) -> Result<Campaign, ChaosParseError> {
                         return Err(parse_err(format!("mins must be positive, got {m}")));
                     }
                     mins = Some(m);
+                }
+                "region" if name == "regionloss" => {
+                    let r: u32 = value
+                        .parse()
+                        .map_err(|_| parse_err(format!("region={value:?} is not an integer")))?;
+                    region = Some(r);
                 }
                 _ => {
                     return Err(parse_err(format!("unknown option {key:?} for {name}")));
@@ -222,8 +261,18 @@ fn parse_campaign(item: &str) -> Result<Campaign, ChaosParseError> {
             }
             Ok(Campaign::SiteDisaster { at })
         }
+        "regionloss" => {
+            if count.is_some() {
+                return Err(parse_err("regionloss takes region= and mins= only"));
+            }
+            Ok(Campaign::RegionLoss {
+                at,
+                region: region.unwrap_or(0),
+                mins: mins.unwrap_or(30.0),
+            })
+        }
         _ => Err(parse_err(format!(
-            "unknown campaign {name:?} (storm, cascade, disaster)"
+            "unknown campaign {name:?} (storm, cascade, disaster, regionloss)"
         ))),
     }
 }
@@ -254,6 +303,7 @@ pub struct FaultTimeline {
     storm_windows: Vec<(SimTime, SimTime)>,
     host_crashes: Vec<SimTime>,
     disasters: Vec<SimTime>,
+    region_losses: Vec<(u32, SimTime, SimTime)>,
 }
 
 impl FaultTimeline {
@@ -268,6 +318,7 @@ impl FaultTimeline {
         let mut storm_windows: Vec<(SimTime, SimTime)> = Vec::new();
         let mut host_crashes: Vec<SimTime> = Vec::new();
         let mut disasters: Vec<SimTime> = Vec::new();
+        let mut region_losses: Vec<(u32, SimTime, SimTime)> = Vec::new();
         let horizon_s = horizon.as_secs_f64();
         for (i, campaign) in spec.campaigns().iter().enumerate() {
             let mut rng = rng.derive_u64(i as u64);
@@ -304,6 +355,20 @@ impl FaultTimeline {
                 Campaign::SiteDisaster { at } => {
                     disasters.push(SimTime::ZERO + SimDuration::from_secs_f64(horizon_s * at));
                 }
+                Campaign::RegionLoss { at, region, mins } => {
+                    // A drill, not a scatter: the anchor *is* the loss
+                    // instant and the window is exact, clipped to the
+                    // horizon — so RTO/RPO numbers trace back to the spec.
+                    let start_s = horizon_s * at;
+                    let end_s = (start_s + 60.0 * mins).min(horizon_s);
+                    if end_s > start_s {
+                        region_losses.push((
+                            region,
+                            SimTime::ZERO + SimDuration::from_secs_f64(start_s),
+                            SimTime::ZERO + SimDuration::from_secs_f64(end_s),
+                        ));
+                    }
+                }
             }
         }
         storm_windows.sort();
@@ -318,10 +383,12 @@ impl FaultTimeline {
         }
         host_crashes.sort();
         disasters.sort();
+        region_losses.sort();
         FaultTimeline {
             storm_windows: merged,
             host_crashes,
             disasters,
+            region_losses,
         }
     }
 
@@ -349,6 +416,21 @@ impl FaultTimeline {
     #[must_use]
     pub fn disaster_by(&self, t: SimTime) -> bool {
         self.disasters.iter().any(|&d| d <= t)
+    }
+
+    /// Region-loss windows, sorted by `(region, start)`, start-inclusive /
+    /// end-exclusive.
+    #[must_use]
+    pub fn region_loss_windows(&self) -> &[(u32, SimTime, SimTime)] {
+        &self.region_losses
+    }
+
+    /// True if `region` is dark at `t`.
+    #[must_use]
+    pub fn region_lost_at(&self, region: u32, t: SimTime) -> bool {
+        self.region_losses
+            .iter()
+            .any(|&(r, start, end)| r == region && start <= t && t < end)
     }
 }
 
@@ -406,6 +488,13 @@ mod tests {
             ("disaster@0.5:n=2", "disaster takes no options"),
             ("quake@0.5", "unknown campaign"),
             ("storm@0.5:n", "not key=value"),
+            (
+                "regionloss@0.5:n=2",
+                "regionloss takes region= and mins= only",
+            ),
+            ("regionloss@0.5:region=x", "not an integer"),
+            ("regionloss@0.5:mins=-3", "mins must be positive"),
+            ("storm@0.5:region=1", "unknown option"),
         ] {
             let err = spec.parse::<ChaosSpec>().unwrap_err();
             assert!(
@@ -454,6 +543,70 @@ mod tests {
         let disaster_at = SimTime::ZERO + horizon().mul_f64(0.79);
         assert!(!tl.disaster_by(disaster_at - SimDuration::from_nanos(1)));
         assert!(tl.disaster_by(disaster_at));
+    }
+
+    #[test]
+    fn region_loss_round_trips_and_defaults_fill_in() {
+        let spec = ChaosSpec::region_loss_drill();
+        let text = spec.to_string();
+        assert_eq!(text, "regionloss@0.5:region=0,mins=45");
+        let reparsed: ChaosSpec = text.parse().unwrap();
+        assert_eq!(reparsed, spec);
+
+        let bare: ChaosSpec = "regionloss@0.25".parse().unwrap();
+        assert_eq!(
+            bare.campaigns(),
+            &[Campaign::RegionLoss {
+                at: 0.25,
+                region: 0,
+                mins: 30.0
+            }]
+        );
+    }
+
+    #[test]
+    fn region_loss_window_is_exact_and_clipped() {
+        let spec = ChaosSpec::region_loss_drill();
+        let tl = FaultTimeline::generate(&spec, &SimRng::seed(42).derive("chaos"), horizon());
+        let start = SimTime::ZERO + horizon().mul_f64(0.5);
+        let end = start + SimDuration::from_mins(45);
+        assert_eq!(tl.region_loss_windows(), &[(0, start, end)]);
+        assert!(!tl.region_lost_at(0, start - SimDuration::from_nanos(1)));
+        assert!(tl.region_lost_at(0, start));
+        assert!(tl.region_lost_at(0, end - SimDuration::from_nanos(1)));
+        assert!(!tl.region_lost_at(0, end), "the region comes back");
+        assert!(!tl.region_lost_at(1, start), "only region 0 is dark");
+
+        // A loss anchored near the end clips to the horizon.
+        let late: ChaosSpec = "regionloss@0.99:mins=120".parse().unwrap();
+        let tl = FaultTimeline::generate(&late, &SimRng::seed(42), horizon());
+        let (_, s, e) = tl.region_loss_windows()[0];
+        assert_eq!(e, SimTime::ZERO + horizon());
+        assert!(s < e);
+    }
+
+    #[test]
+    fn region_loss_composes_with_the_other_anchors() {
+        let spec: ChaosSpec =
+            "storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79;regionloss@0.5:region=1,mins=20"
+                .parse()
+                .unwrap();
+        assert_eq!(
+            spec.to_string(),
+            "storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79;regionloss@0.5:region=1,mins=20"
+        );
+        let rng = SimRng::seed(11);
+        let tl = FaultTimeline::generate(&spec, &rng, horizon());
+        assert_eq!(tl.region_loss_windows().len(), 1);
+        // The region-loss campaign draws nothing, so the storm and
+        // cascade streams are untouched by its presence.
+        let without: ChaosSpec = "storm@0.3:n=4,mins=6;cascade@0.55:n=3;disaster@0.79"
+            .parse()
+            .unwrap();
+        let base = FaultTimeline::generate(&without, &rng, horizon());
+        assert_eq!(tl.storm_windows(), base.storm_windows());
+        assert_eq!(tl.host_crashes, base.host_crashes);
+        assert_eq!(tl.disasters, base.disasters);
     }
 
     #[test]

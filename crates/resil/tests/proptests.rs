@@ -1,10 +1,12 @@
-//! Seed-derived property tests for the retry policy.
+//! Seed-derived property tests for the retry policy and the chaos
+//! fault timeline.
 //!
 //! No external property-testing crate: cases are generated from
 //! `SimRng` streams, so every "random" case is reproducible from the
 //! printed seed and the suite itself is deterministic.
 
 use elc_elearn::request::RequestKind;
+use elc_resil::chaos::{Campaign, ChaosSpec, FaultTimeline};
 use elc_resil::retry::{RetryBudget, RetryPolicy};
 use elc_simcore::rng::SimRng;
 use elc_simcore::time::{SimDuration, SimTime};
@@ -110,6 +112,132 @@ fn budget_refill_never_exceeds_ceiling_under_any_interleaving() {
             assert!(budget.tokens() <= 10.0, "case {case}: ceiling breached");
             assert!(budget.tokens() >= 0.0, "case {case}: tokens went negative");
         }
+    }
+}
+
+/// Draws a random multi-campaign spec from the case rng. Every campaign
+/// kind can appear, with anchors and knobs spread over their full
+/// domains.
+fn arbitrary_spec(rng: &mut SimRng) -> ChaosSpec {
+    let n = rng.range_u64(1, 5) as usize;
+    let campaigns = (0..n)
+        .map(|_| match rng.range_u64(0, 4) {
+            0 => Campaign::OutageStorm {
+                at: rng.range_f64(0.0, 1.0),
+                count: rng.range_u64(1, 8) as u32,
+                mean_mins: rng.range_f64(0.5, 30.0),
+            },
+            1 => Campaign::HostCascade {
+                at: rng.range_f64(0.0, 1.0),
+                count: rng.range_u64(1, 6) as u32,
+            },
+            2 => Campaign::SiteDisaster {
+                at: rng.range_f64(0.0, 1.0),
+            },
+            _ => Campaign::RegionLoss {
+                at: rng.range_f64(0.0, 1.0),
+                region: rng.range_u64(0, 3) as u32,
+                mins: rng.range_f64(1.0, 120.0),
+            },
+        })
+        .collect();
+    ChaosSpec::from_campaigns(campaigns)
+}
+
+#[test]
+fn timeline_windows_are_sorted_disjoint_and_clipped_to_the_horizon() {
+    let horizon = SimDuration::from_hours(24);
+    let end_of_time = SimTime::ZERO + horizon;
+    for case in 0..150u64 {
+        let mut case_rng = SimRng::seed(0xC4A0).derive_u64(case);
+        let spec = arbitrary_spec(&mut case_rng);
+        let tl = FaultTimeline::generate(&spec, &case_rng.derive("chaos"), horizon);
+        let mut prev_end = SimTime::ZERO;
+        for &(start, end) in tl.storm_windows() {
+            assert!(start < end, "case {case}: empty storm window survived");
+            assert!(
+                start >= prev_end,
+                "case {case}: storm windows overlap or are unsorted"
+            );
+            assert!(end <= end_of_time, "case {case}: storm past the horizon");
+            prev_end = end;
+        }
+        for &(_, start, end) in tl.region_loss_windows() {
+            assert!(start < end, "case {case}: empty region-loss window");
+            assert!(
+                end <= end_of_time,
+                "case {case}: region loss past the horizon"
+            );
+        }
+    }
+}
+
+#[test]
+fn timeline_queries_are_monotone_and_agree_with_the_windows() {
+    let horizon = SimDuration::from_hours(24);
+    for case in 0..150u64 {
+        let mut case_rng = SimRng::seed(0xC4A1).derive_u64(case);
+        let spec = arbitrary_spec(&mut case_rng);
+        let tl = FaultTimeline::generate(&spec, &case_rng.derive("chaos"), horizon);
+
+        // Scan the whole horizon on a coarse grid plus every window edge.
+        let mut probes: Vec<SimTime> = (0..=288)
+            .map(|i| SimTime::ZERO + SimDuration::from_mins(5 * i))
+            .collect();
+        for &(s, e) in tl.storm_windows() {
+            probes.extend([s, e]);
+        }
+        for &(_, s, e) in tl.region_loss_windows() {
+            probes.extend([s, e]);
+        }
+        probes.sort();
+
+        let mut prev_crashed = 0u32;
+        let mut prev_disaster = false;
+        for &t in &probes {
+            let crashed = tl.crashed_hosts_by(t);
+            assert!(
+                crashed >= prev_crashed,
+                "case {case}: crashed_hosts_by went backwards at {t}"
+            );
+            prev_crashed = crashed;
+            let disaster = tl.disaster_by(t);
+            assert!(
+                disaster >= prev_disaster,
+                "case {case}: disaster_by un-struck at {t}"
+            );
+            prev_disaster = disaster;
+            // storm_at answers exactly per the merged windows.
+            let in_window = tl.storm_windows().iter().any(|&(s, e)| s <= t && t < e);
+            assert_eq!(tl.storm_at(t), in_window, "case {case}: storm_at({t})");
+            // region_lost_at answers exactly per the region windows.
+            for region in 0..3u32 {
+                let lost = tl
+                    .region_loss_windows()
+                    .iter()
+                    .any(|&(r, s, e)| r == region && s <= t && t < e);
+                assert_eq!(
+                    tl.region_lost_at(region, t),
+                    lost,
+                    "case {case}: region_lost_at({region}, {t})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn timeline_is_identical_under_rng_re_derive() {
+    let horizon = SimDuration::from_hours(24);
+    for case in 0..150u64 {
+        let spec = arbitrary_spec(&mut SimRng::seed(0xC4A2).derive_u64(case));
+        let a = FaultTimeline::generate(&spec, &SimRng::seed(case).derive("chaos"), horizon);
+        let b = FaultTimeline::generate(&spec, &SimRng::seed(case).derive("chaos"), horizon);
+        assert_eq!(a, b, "case {case}: same lineage must replay exactly");
+        // And the grammar round-trips every arbitrary spec exactly
+        // (Rust's f64 Display is shortest-exact, so anchors survive).
+        let reparsed: ChaosSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec, "case {case}: display/parse round-trip");
     }
 }
 

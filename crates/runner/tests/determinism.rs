@@ -80,6 +80,37 @@ fn e17_chaos_aggregates_are_byte_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn e19_drill_aggregates_are_byte_identical_at_1_2_and_8_threads() {
+    // E19 fans five DR arms through `shard::run_jobs` and integrates
+    // replication lag over warmed-up links; the drill must land on the
+    // same bytes however the workers are scheduled.
+    let spec: elc_resil::chaos::ChaosSpec = "regionloss@0.5:region=0,mins=45".parse().unwrap();
+    let scenario = Scenario::university(42).with_chaos(spec);
+    let serial = aggregate_bytes("e19", scenario.clone(), 6, 1);
+    for threads in [2, 8] {
+        let parallel = aggregate_bytes("e19", scenario.clone(), 6, threads);
+        assert_eq!(
+            serial, parallel,
+            "e19 aggregates diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn e19_drill_aggregates_are_byte_identical_at_1_2_and_4_shards() {
+    let spec: elc_resil::chaos::ChaosSpec = "regionloss@0.5:region=0,mins=45".parse().unwrap();
+    let scenario = Scenario::university(42).with_chaos(spec);
+    let single = aggregate_bytes("e19", scenario.with_shards(1), 6, 2);
+    for shards in [2, 4] {
+        let sharded = aggregate_bytes("e19", scenario.with_shards(shards), 6, 2);
+        assert_eq!(
+            single, sharded,
+            "e19 aggregates diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
 fn e16_and_e17_chaos_aggregates_are_byte_identical_at_1_2_and_4_shards() {
     // The shard count must be as invisible as the thread count: e16 and
     // e17 fan their arms through `shard::run_jobs`, each arm with its

@@ -43,7 +43,7 @@ fn usage() -> ExitCode {
          [--chaos SPEC] [--shards N] [--fidelity event|fluid|auto] \
          [--workload trace:PATH] [--morph SPEC] \
          [--record-trace PATH]\n\
-         experiments: e1..e18, t1\n\
+         experiments: e1..e19, t1\n\
          {SCENARIO_USAGE}\n\
          defaults: --scenario small-college, --replications 8, --seed 2013, \
          --threads <available cores>, --shards <scenario preset>\n\

@@ -4,7 +4,7 @@
 //! elc scenarios                              list scenario presets
 //! elc experiments                            list experiment registry ids
 //! elc report [SCENARIO] [--seed N]           run the full suite, print all tables
-//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e18, t1)
+//! elc experiment <ID> [SCENARIO] [--seed N]  run one experiment (e1..e19, t1)
 //!     [--chaos SPEC]                         fault campaign for e16/e17
 //!                                            (e.g. storm@0.3:n=4,mins=6;disaster@0.79, or off)
 //!     [--shards N]                           shard-parallel execution (output is

@@ -149,6 +149,31 @@ fn experiment_e16_accepts_a_chaos_campaign() {
 }
 
 #[test]
+fn experiment_e19_accepts_a_region_loss_drill() {
+    let out = elc()
+        .args([
+            "experiment",
+            "e19",
+            "--chaos",
+            "regionloss@0.5:region=0,mins=45",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("== E19"), "{text}");
+    assert!(
+        text.contains("chaos campaign: regionloss@0.5:region=0,mins=45"),
+        "{text}"
+    );
+    assert!(text.contains("| faas"), "{text}");
+}
+
+#[test]
 fn elc_rejects_a_malformed_chaos_spec() {
     let out = elc()
         .args(["experiment", "e16", "--chaos", "meteor@0.5"])

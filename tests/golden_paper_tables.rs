@@ -15,7 +15,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use elc_core::experiments::{e16, e17, run_all};
+use elc_core::experiments::{e16, e17, e19, run_all};
 use elc_core::scenario::Scenario;
 
 const SEED: u64 = 42;
@@ -72,6 +72,21 @@ fn render_e17(scenario: &Scenario) -> String {
     format!("{}{}", out.section(), column.section(&base))
 }
 
+/// E19 runs the region-loss drill, also behind the `--chaos` knob, so
+/// its section is pinned per scenario outside the main report too.
+fn e19_golden_path(scenario: &Scenario) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!(
+            "paper_tables_e19_seed{SEED}_{}.txt",
+            scenario.name()
+        ))
+}
+
+fn render_e19(scenario: &Scenario) -> String {
+    e19::run(scenario).section().to_string()
+}
+
 #[test]
 fn report_is_byte_identical_to_the_golden_capture() {
     for scenario in scenarios() {
@@ -123,6 +138,23 @@ fn e17_section_is_byte_identical_to_the_golden_capture() {
     }
 }
 
+#[test]
+fn e19_section_is_byte_identical_to_the_golden_capture() {
+    for scenario in scenarios() {
+        let path = e19_golden_path(&scenario);
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let actual = render_e19(&scenario);
+        assert_eq!(
+            actual,
+            expected,
+            "E19 section for scenario {} (seed {SEED}) drifted from {}",
+            scenario.name(),
+            path.display()
+        );
+    }
+}
+
 /// Rewrites the golden files from the current implementation. Run
 /// explicitly (`--ignored regenerate`) after an intentional output change.
 #[test]
@@ -137,6 +169,9 @@ fn regenerate() {
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         let path = e17_golden_path(&scenario);
         fs::write(&path, render_e17(&scenario))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let path = e19_golden_path(&scenario);
+        fs::write(&path, render_e19(&scenario))
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     }
 }
